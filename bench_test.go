@@ -1,0 +1,207 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, one testing.B benchmark per artifact, plus
+// micro-benchmarks of the simulator's hot paths.
+//
+// Each experiment benchmark re-runs the full simulation campaign behind
+// that artifact (models and workload calibrations are shared across
+// iterations; runs are not). Benchmarks use the single-run protocol;
+// cmd/benchtables regenerates the same artifacts with the paper's
+// three-run averaging.
+package goear
+
+import (
+	"sync"
+	"testing"
+
+	"goear/internal/cpu"
+	"goear/internal/dynais"
+	"goear/internal/experiments"
+	"goear/internal/mem"
+	"goear/internal/metrics"
+	"goear/internal/model"
+	"goear/internal/perf"
+	"goear/internal/power"
+	"goear/internal/sim"
+	"goear/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchBase *experiments.Context
+)
+
+// benchContext returns a warm base context: models trained, workloads
+// calibrated. Each benchmark iteration derives a fresh run cache from
+// it so the simulations themselves are measured.
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchBase = experiments.NewQuick()
+		// Touch both platforms so model training happens here, not
+		// inside the timed region.
+		if _, err := benchBase.Generate("table2"); err != nil {
+			panic(err)
+		}
+	})
+	return benchBase
+}
+
+func benchExperiment(b *testing.B, id string) {
+	base := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewFrom(base)
+		if _, err := ctx.Generate(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)    { benchExperiment(b, "fig1") }
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkFig3(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkTable7(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkSummary(b *testing.B) { benchExperiment(b, "summary") }
+
+// Ablation benchmarks (DESIGN.md A1-A5; the whole suite in one, and the
+// individually named ones for the design choices §V-B calls out).
+
+func BenchmarkAblations(b *testing.B)  { benchExperiment(b, "ablations") }
+func BenchmarkBaselines(b *testing.B)  { benchExperiment(b, "baselines") }
+func BenchmarkFutureWork(b *testing.B) { benchExperiment(b, "future_work") }
+
+func benchOneRun(b *testing.B, name string, opt sim.Options) {
+	base := benchContext(b)
+	cal := mustCal(b, name)
+	if opt.Policy != "" && opt.Policy != "none" {
+		ctx := experiments.NewFrom(base)
+		r, err := ctx.RunWorkload(name, sim.Options{Policy: "none", Seed: 1})
+		_ = r
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := model.TrainForCPU(cal.Platform.Machine, cal.Platform.Power)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt.Model = m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cal, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustCal(b *testing.B, name string) workload.Calibrated {
+	b.Helper()
+	spec, err := workload.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := spec.Calibrate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cal
+}
+
+func BenchmarkAblationSearch(b *testing.B) {
+	benchOneRun(b, workload.BTCUDA, sim.Options{Policy: "min_energy_eufs", HWGuidedOff: true, Seed: 1})
+}
+
+func BenchmarkAblationAVX512(b *testing.B) {
+	benchOneRun(b, workload.DGEMM, sim.Options{Policy: "min_energy", NoAVX512Model: true, Seed: 1})
+}
+
+func BenchmarkAblationRatioMode(b *testing.B) {
+	benchOneRun(b, workload.BTMZC, sim.Options{Policy: "min_energy_eufs", PinBothUncoreLimits: true, Seed: 1})
+}
+
+func BenchmarkAblationSigChange(b *testing.B) {
+	benchOneRun(b, workload.PhaseChange, sim.Options{Policy: "min_energy_eufs", SigChangeTh: 0.10, Seed: 1})
+}
+
+// Hot-path micro-benchmarks.
+
+func BenchmarkPerfEvaluate(b *testing.B) {
+	m := perf.Machine{CPU: cpu.XeonGold6148(), Mem: mem.DDR4SD530()}
+	p := perf.Phase{BaseCPI: 0.8, BytesPerInstr: 3, Overlap: 0.92, ActiveCores: 40}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := perf.Evaluate(m, p, perf.Operating{CoreRatio: 24, UncoreRatio: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelPredict(b *testing.B) {
+	m, err := model.TrainForCPU(
+		perf.Machine{CPU: cpu.XeonGold6148(), Mem: mem.DDR4SD530()},
+		power.SD530Coeffs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := metrics.Signature{IterTimeSec: 1, CPI: 0.8, TPI: 0.02, GBs: 40, DCPowerW: 330, VPI: 0.2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(sig, 1, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelTrain(b *testing.B) {
+	machine := perf.Machine{CPU: cpu.XeonGold6148(), Mem: mem.DDR4SD530()}
+	pw := power.SD530Coeffs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.TrainForCPU(machine, pw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynaisPush(b *testing.B) {
+	d, err := dynais.New(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pattern := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(pattern[i%len(pattern)])
+	}
+}
+
+func BenchmarkSimSecond(b *testing.B) {
+	// One simulated node-second of BT-MZ.C per iteration (policy off).
+	spec, err := workload.Lookup(workload.BTMZC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.TargetTimeSec = 1.2 // one iteration
+	cal, err := spec.Calibrate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cal, sim.Options{Policy: "none", Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command benchtables regenerates the paper's evaluation: every table
+// and figure, or a selected one, rendered as text (or CSV for plotting).
+//
+// Examples:
+//
+//	benchtables -exp all
+//	benchtables -exp table3
+//	benchtables -exp fig7 -csv
+//	benchtables -exp summary -runs 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"goear/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+// order presents experiments in the paper's order rather than sorted.
+var order = []string{
+	"table1", "fig1", "table2", "table3", "table4", "table5", "table6",
+	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table7", "summary",
+	"ablations", "baselines", "future_work", "model_accuracy",
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id or 'all' (see earctl experiments)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	runs := fs.Int("runs", 3, "averaged runs per configuration (the paper uses 3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx := experiments.New()
+	ctx.Runs = *runs
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		tabs, err := ctx.Generate(id)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			if *csv {
+				if err := t.CSV(out); err != nil {
+					return err
+				}
+			} else {
+				if err := t.Render(out); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}

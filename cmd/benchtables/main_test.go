@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table2", "-runs", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "DGEMM") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table2", "-runs", "1", "-csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "kernel,prog. model,") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "---") {
+		t.Error("CSV output contains text-table rule")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "nope"}, &b); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestOrderCoversAllGenerators(t *testing.T) {
+	// The presentation order must include every registered experiment.
+	var b strings.Builder
+	seen := map[string]bool{}
+	for _, id := range order {
+		seen[id] = true
+	}
+	if err := run([]string{"-exp", "table1", "-runs", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "table7", "fig1", "fig8", "summary", "ablations"} {
+		if !seen[id] {
+			t.Errorf("presentation order missing %s", id)
+		}
+	}
+}

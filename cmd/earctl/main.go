@@ -1,0 +1,316 @@
+// Command earctl inspects the simulated platform the way EAR's admin
+// tools inspect real nodes: the workload catalogue, the registered
+// policy plugins, the pstate tables, the boot-time MSR state of a
+// socket, and an accounting database.
+//
+// Subcommands:
+//
+//	earctl workloads          list the workload catalogue
+//	earctl policies           list registered energy policies
+//	earctl pstates [-platform SD530|GPUNode]
+//	earctl msr     [-platform SD530|GPUNode]
+//	earctl experiments        list reproducible paper experiments
+//	earctl acct -db jobs.json list accounting records
+//	earctl conf [-f ear.conf]  show the effective site configuration
+//	earctl report -db jobs.json per-application and per-policy energy report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"goear/internal/cpu"
+	"goear/internal/earconf"
+	"goear/internal/eard"
+	"goear/internal/experiments"
+	"goear/internal/msr"
+	"goear/internal/policy"
+	"goear/internal/report"
+	"goear/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "earctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report> [flags]")
+	}
+	switch args[0] {
+	case "workloads":
+		return workloads(out)
+	case "policies":
+		for _, n := range policy.Names() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	case "pstates":
+		return pstates(args[1:], out)
+	case "msr":
+		return msrDump(args[1:], out)
+	case "experiments":
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	case "acct":
+		return acct(args[1:], out)
+	case "conf":
+		return confCmd(args[1:], out)
+	case "report":
+		return reportCmd(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func workloads(out io.Writer) error {
+	t := report.Table{
+		Columns: []string{"name", "class", "model", "nodes", "cores/node",
+			"time(s)", "CPI", "GB/s", "power(W)"},
+	}
+	for _, s := range workload.Catalog() {
+		g := s.DefaultSegment
+		if len(s.Segments) > 0 {
+			g = s.Segments[0]
+		}
+		if err := t.AddRow(s.Name, string(s.Class), s.ProgModel,
+			fmt.Sprint(s.Nodes), fmt.Sprint(s.ActiveCores),
+			report.F(s.TargetTimeSec, 0), report.F(g.TargetCPI, 2),
+			report.F(g.TargetGBs, 2), report.F(g.TargetPowerW, 0)); err != nil {
+			return err
+		}
+	}
+	return t.Render(out)
+}
+
+func platformByName(name string) (workload.Platform, error) {
+	switch name {
+	case "SD530", "":
+		return workload.SD530(), nil
+	case "GPUNode":
+		return workload.GPUNode(), nil
+	case "CascadeLake":
+		return workload.CascadeLake(), nil
+	default:
+		return workload.Platform{}, fmt.Errorf("unknown platform %q (SD530, GPUNode, CascadeLake)", name)
+	}
+}
+
+func pstates(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pstates", flag.ContinueOnError)
+	plName := fs.String("platform", "SD530", "platform name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pl, err := platformByName(*plName)
+	if err != nil {
+		return err
+	}
+	m := pl.Machine.CPU
+	fmt.Fprintf(out, "%s\n", m.Name)
+	fmt.Fprintf(out, "sockets %d, cores/socket %d, AVX512 all-core %.1f GHz, uncore %.1f-%.1f GHz\n",
+		m.Sockets, m.CoresPerSocket, float64(m.AVX512Ratio)/10,
+		float64(m.UncoreMinRatio)/10, float64(m.UncoreMaxRatio)/10)
+	t := report.Table{Columns: []string{"pstate", "frequency", "note"}}
+	for p, f := range m.Pstates() {
+		note := ""
+		switch {
+		case p == 0:
+			note = "turbo"
+		case p == 1:
+			note = "nominal"
+		case uint64(0) == m.AVX512Ratio-(m.NominalRatio-uint64(p-1)):
+			note = "AVX512 licence"
+		}
+		if err := t.AddRow(fmt.Sprint(p), f.String(), note); err != nil {
+			return err
+		}
+	}
+	return t.Render(out)
+}
+
+func msrDump(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("msr", flag.ContinueOnError)
+	plName := fs.String("platform", "SD530", "platform name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pl, err := platformByName(*plName)
+	if err != nil {
+		return err
+	}
+	s, err := cpu.NewSocket(pl.Machine.CPU, 0)
+	if err != nil {
+		return err
+	}
+	regs := []struct {
+		name string
+		addr uint32
+	}{
+		{"IA32_MPERF", msr.IA32MPerf},
+		{"IA32_APERF", msr.IA32APerf},
+		{"IA32_PERF_STATUS", msr.IA32PerfStatus},
+		{"IA32_PERF_CTL", msr.IA32PerfCtl},
+		{"IA32_ENERGY_PERF_BIAS", msr.IA32EnergyPerfBias},
+		{"MSR_RAPL_POWER_UNIT", msr.MSRRaplPowerUnit},
+		{"MSR_PKG_ENERGY_STATUS", msr.MSRPkgEnergyStatus},
+		{"MSR_DRAM_ENERGY_STATUS", msr.MSRDramEnergyStatus},
+		{"MSR_UNCORE_RATIO_LIMIT", msr.MSRUncoreRatioLimit},
+		{"MSR_UNCORE_PERF_STATUS", msr.MSRUncorePerfStatus},
+	}
+	t := report.Table{
+		Title:   "boot-time MSR state, socket 0 (" + pl.Machine.CPU.Name + ")",
+		Columns: []string{"register", "address", "value", "decoded"},
+	}
+	for _, r := range regs {
+		v, err := s.MSR.Read(r.addr)
+		if err != nil {
+			return err
+		}
+		dec := ""
+		switch r.addr {
+		case msr.MSRUncoreRatioLimit:
+			u := msr.DecodeUncoreRatioLimit(v)
+			dec = fmt.Sprintf("min %.1fGHz max %.1fGHz", float64(u.MinRatio)/10, float64(u.MaxRatio)/10)
+		case msr.IA32PerfCtl, msr.IA32PerfStatus:
+			dec = fmt.Sprintf("ratio %d (%.1fGHz)", msr.DecodePerfCtl(v), float64(msr.DecodePerfCtl(v))/10)
+		case msr.MSRRaplPowerUnit:
+			dec = fmt.Sprintf("ESU 2^-%d J", (v>>8)&0x1F)
+		}
+		if err := t.AddRow(r.name, fmt.Sprintf("0x%03X", r.addr),
+			fmt.Sprintf("0x%016X", v), dec); err != nil {
+			return err
+		}
+	}
+	return t.Render(out)
+}
+
+func confCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("conf", flag.ContinueOnError)
+	path := fs.String("f", "", "ear.conf-style file (default: built-in site defaults)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := earconf.Default()
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		c, err = earconf.Parse(f)
+		if err != nil {
+			return err
+		}
+	}
+	t := report.Table{Columns: []string{"key", "value"}}
+	auth := "all registered policies"
+	if len(c.AuthorizedPolicies) > 0 {
+		auth = fmt.Sprint(c.AuthorizedPolicies)
+	}
+	rows := [][2]string{
+		{"DefaultPolicy", c.DefaultPolicy},
+		{"DefaultCPUPolicyTh", report.F(c.DefaultCPUPolicyTh, 3)},
+		{"DefaultUncPolicyTh", report.F(c.DefaultUncPolicyTh, 3)},
+		{"MinSignatureWindowSec", report.F(c.MinSignatureWindowSec, 1)},
+		{"SignatureChangeTh", report.F(c.SignatureChangeTh, 2)},
+		{"AuthorizedPolicies", auth},
+		{"ClusterPowerBudgetW", report.F(c.ClusterPowerBudgetW, 0)},
+	}
+	for _, r := range rows {
+		if err := t.AddRow(r[0], r[1]); err != nil {
+			return err
+		}
+	}
+	return t.Render(out)
+}
+
+func reportCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "accounting database JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("report needs -db")
+	}
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db := eard.NewDB()
+	if err := db.Load(f); err != nil {
+		return err
+	}
+	byApp := report.Table{
+		Title:   "energy by application",
+		Columns: []string{"app", "jobs", "node hours", "energy (kJ)", "avg power (W)"},
+	}
+	for _, a := range db.ByApp() {
+		if err := byApp.AddRow(a.App, fmt.Sprint(a.Jobs), report.F(a.NodeHours, 3),
+			report.F(a.EnergyKJ, 1), report.F(a.AvgPowerW, 1)); err != nil {
+			return err
+		}
+	}
+	if err := byApp.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	byPol := report.Table{
+		Title:   "energy by policy",
+		Columns: []string{"policy", "jobs", "node hours", "energy (kJ)", "avg power (W)"},
+	}
+	for _, a := range db.ByPolicy() {
+		if err := byPol.AddRow(a.Policy, fmt.Sprint(a.Jobs), report.F(a.NodeHours, 3),
+			report.F(a.EnergyKJ, 1), report.F(a.AvgPowerW, 1)); err != nil {
+			return err
+		}
+	}
+	return byPol.Render(out)
+}
+
+func acct(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("acct", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "accounting database JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("acct needs -db")
+	}
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db := eard.NewDB()
+	if err := db.Load(f); err != nil {
+		return err
+	}
+	t := report.Table{
+		Columns: []string{"job", "step", "nodes", "app", "time(s)", "energy(J)", "avg power(W)"},
+	}
+	for _, js := range db.Jobs() {
+		s, err := db.Summarize(js[0], js[1])
+		if err != nil {
+			return err
+		}
+		app := ""
+		if recs := db.Job(js[0], js[1]); len(recs) > 0 {
+			app = recs[0].App
+		}
+		if err := t.AddRow(js[0], js[1], fmt.Sprint(s.Nodes), app,
+			report.F(s.TimeSec, 2), report.F(s.EnergyJ, 0), report.F(s.AvgPower, 2)); err != nil {
+			return err
+		}
+	}
+	return t.Render(out)
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goear/internal/eard"
+)
+
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("earctl %v: %v", args, err)
+	}
+	return b.String()
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("expected usage error")
+	}
+	if err := run([]string{"bogus"}, &b); err == nil {
+		t.Error("expected unknown-subcommand error")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	out := capture(t, []string{"workloads"})
+	for _, want := range []string{"BT-MZ.C", "HPCG", "DGEMM", "GROMACS(II)", "cpu-bound", "mem-bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workloads output missing %q", want)
+		}
+	}
+}
+
+func TestPoliciesList(t *testing.T) {
+	out := capture(t, []string{"policies"})
+	for _, want := range []string{"min_energy", "min_energy_eufs", "min_time", "monitoring"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("policies output missing %q", want)
+		}
+	}
+}
+
+func TestPstates(t *testing.T) {
+	out := capture(t, []string{"pstates"})
+	for _, want := range []string{"Gold 6148", "nominal", "turbo", "AVX512 licence", "2.2GHz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pstates output missing %q", want)
+		}
+	}
+	out = capture(t, []string{"pstates", "-platform", "GPUNode"})
+	if !strings.Contains(out, "6142M") {
+		t.Error("GPU platform not selected")
+	}
+	var b strings.Builder
+	if err := run([]string{"pstates", "-platform", "bogus"}, &b); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}
+
+func TestMSRDump(t *testing.T) {
+	out := capture(t, []string{"msr"})
+	for _, want := range []string{"MSR_UNCORE_RATIO_LIMIT", "0x620", "min 1.2GHz max 2.4GHz", "ESU 2^-14 J"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("msr output missing %q", want)
+		}
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	out := capture(t, []string{"experiments"})
+	for _, want := range []string{"table1", "fig7", "summary", "ablations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments output missing %q", want)
+		}
+	}
+}
+
+func TestAcct(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	db := eard.NewDB()
+	if err := db.Insert(eard.JobRecord{
+		JobID: "j1", StepID: "0", Node: "n0", App: "HPCG",
+		TimeSec: 100, EnergyJ: 30000, AvgPower: 300,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := capture(t, []string{"acct", "-db", path})
+	if !strings.Contains(out, "j1") || !strings.Contains(out, "HPCG") {
+		t.Errorf("acct output missing record: %s", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"acct"}, &b); err == nil {
+		t.Error("expected error for missing -db")
+	}
+	if err := run([]string{"acct", "-db", filepath.Join(dir, "missing.json")}, &b); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestConfCommand(t *testing.T) {
+	out := capture(t, []string{"conf"})
+	if !strings.Contains(out, "min_energy_eufs") || !strings.Contains(out, "MinSignatureWindowSec") {
+		t.Errorf("default conf output:\n%s", out)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ear.conf")
+	if err := os.WriteFile(path, []byte("DefaultPolicy=monitoring\nClusterPowerBudgetW=4200\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = capture(t, []string{"conf", "-f", path})
+	if !strings.Contains(out, "monitoring") || !strings.Contains(out, "4200") {
+		t.Errorf("parsed conf output:\n%s", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"conf", "-f", filepath.Join(dir, "missing")}, &b); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	db := eard.NewDB()
+	for i, app := range []string{"HPCG", "BT-MZ"} {
+		if err := db.Insert(eard.JobRecord{
+			JobID: "j" + string(rune('1'+i)), StepID: "0", Node: "n0",
+			App: app, Policy: "min_energy_eufs", TimeSec: 100, EnergyJ: 30000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := capture(t, []string{"report", "-db", path})
+	for _, want := range []string{"energy by application", "energy by policy", "HPCG", "min_energy_eufs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"report"}, &b); err == nil {
+		t.Error("expected error for missing -db")
+	}
+}

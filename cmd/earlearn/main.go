@@ -1,0 +1,123 @@
+// Command earlearn runs the energy-model learning phase, mirroring how
+// EAR trains its per-architecture coefficients against kernels on real
+// nodes: a grid of probe workloads is executed across every pstate pair
+// of the simulated platform and the projection coefficients are fitted
+// by least squares. The model is written as JSON for earsim -model.
+//
+// Example:
+//
+//	earlearn -platform SD530 -o sd530_model.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"goear/internal/metrics"
+	"goear/internal/model"
+	"goear/internal/perf"
+	"goear/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "earlearn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("earlearn", flag.ContinueOnError)
+	plName := fs.String("platform", "SD530", "platform to train for (SD530, GPUNode)")
+	outPath := fs.String("o", "", "output JSON path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pl workload.Platform
+	switch *plName {
+	case "SD530":
+		pl = workload.SD530()
+	case "GPUNode":
+		pl = workload.GPUNode()
+	case "CascadeLake":
+		pl = workload.CascadeLake()
+	default:
+		return fmt.Errorf("unknown platform %q (SD530, GPUNode, CascadeLake)", *plName)
+	}
+
+	fmt.Fprintf(out, "training energy model for %s (%d probes x %d pstates)...\n",
+		pl.Machine.CPU.Name,
+		len(model.DefaultProbes(pl.Machine.CPU.TotalCores())),
+		pl.Machine.CPU.PstateCount())
+	m, err := model.TrainForCPU(pl.Machine, pl.Power)
+	if err != nil {
+		return err
+	}
+
+	mae, err := heldOutAccuracy(pl, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "held-out CPI projection error: %.2f%%\n", mae*100)
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		_, err = out.Write(append(data, '\n'))
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "model written to %s\n", *outPath)
+	return nil
+}
+
+// heldOutAccuracy evaluates the trained model on phases outside the
+// probe grid.
+func heldOutAccuracy(pl workload.Platform, m *model.Model) (float64, error) {
+	held := []perf.Phase{
+		{BaseCPI: 0.38, BytesPerInstr: 0.8, Overlap: 0.8, ActiveCores: pl.Machine.CPU.TotalCores()},
+		{BaseCPI: 0.9, BytesPerInstr: 3.5, Overlap: 0.93, ActiveCores: pl.Machine.CPU.TotalCores()},
+		{BaseCPI: 0.55, BytesPerInstr: 1.7, Overlap: 0.9, ActiveCores: pl.Machine.CPU.TotalCores()},
+	}
+	var samples []model.AccuracySample
+	fromRatio, err := pl.Machine.CPU.PstateRatio(1)
+	if err != nil {
+		return 0, err
+	}
+	for _, ph := range held {
+		src, err := perf.Evaluate(pl.Machine, ph, perf.Operating{
+			CoreRatio: fromRatio, UncoreRatio: pl.Machine.CPU.UncoreMaxRatio,
+		})
+		if err != nil {
+			return 0, err
+		}
+		sig := metrics.Signature{
+			IterTimeSec: 1, CPI: src.CPI,
+			TPI: ph.BytesPerInstr / perf.CacheLineBytes,
+			GBs: src.NodeGBs, DCPowerW: 330,
+		}
+		for to := 2; to < pl.Machine.CPU.PstateCount(); to += 3 {
+			toRatio, err := pl.Machine.CPU.PstateRatio(to)
+			if err != nil {
+				return 0, err
+			}
+			dst, err := perf.Evaluate(pl.Machine, ph, perf.Operating{
+				CoreRatio: toRatio, UncoreRatio: pl.Machine.CPU.UncoreMaxRatio,
+			})
+			if err != nil {
+				return 0, err
+			}
+			samples = append(samples, model.AccuracySample{
+				Sig: sig, From: 1, To: to, TrueCPI: dst.CPI,
+			})
+		}
+	}
+	return m.Accuracy(samples)
+}

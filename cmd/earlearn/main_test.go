@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goear/internal/model"
+)
+
+func TestTrainToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	var b strings.Builder
+	if err := run([]string{"-platform", "SD530", "-o", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "held-out CPI projection error") {
+		t.Errorf("missing accuracy report: %s", b.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m model.Model
+	if err := m.UnmarshalJSON(data); err != nil {
+		t.Fatalf("written model does not parse: %v", err)
+	}
+	if m.AVX512Pstate != 3 {
+		t.Errorf("AVX512 pstate = %d, want 3", m.AVX512Pstate)
+	}
+}
+
+func TestTrainToStdout(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-platform", "GPUNode"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"pairs"`) {
+		t.Error("JSON model not written to stdout")
+	}
+}
+
+func TestUnknownPlatform(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-platform", "bogus"}, &b); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}

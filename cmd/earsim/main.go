@@ -1,0 +1,270 @@
+// Command earsim runs one catalogue workload on the simulated cluster
+// under a chosen energy policy and reports the paper-style metrics,
+// optionally comparing against the nominal-frequency baseline and
+// appending the run to an accounting database (the eard/eacct flow).
+//
+// Examples:
+//
+//	earsim -workload BT-MZ.C -policy min_energy_eufs -compare
+//	earsim -workload HPCG -policy min_energy -cpu-th 0.05 -runs 3
+//	earsim -workload BT-MZ.C -pin-uncore 1.8
+//	earsim -workload GROMACS(I) -policy min_energy_eufs -not-guided
+//	earsim -workload HPCG -policy min_energy_eufs -acct jobs.json -job j42
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"goear/internal/earconf"
+	"goear/internal/eard"
+	"goear/internal/eargm"
+	"goear/internal/model"
+	"goear/internal/sim"
+	"goear/internal/units"
+	"goear/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "earsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("earsim", flag.ContinueOnError)
+	var (
+		wl        = fs.String("workload", "BT-MZ.C", "catalogue workload name")
+		pol       = fs.String("policy", "none", "energy policy (none, monitoring, min_energy, min_energy_eufs, min_time, min_time_eufs)")
+		cpuTh     = fs.Float64("cpu-th", 0.05, "cpu_policy_th: allowed relative time penalty")
+		uncTh     = fs.Float64("unc-th", 0.02, "unc_policy_th: allowed CPI/GB/s degradation")
+		notGuided = fs.Bool("not-guided", false, "start the uncore search from the maximum instead of the HW selection")
+		runs      = fs.Int("runs", 3, "averaged runs (the paper uses 3)")
+		seed      = fs.Int64("seed", 1, "noise seed")
+		compare   = fs.Bool("compare", false, "also run the nominal baseline and print savings")
+		pinCPU    = fs.Int("pin-cpu-pstate", -1, "pin the CPU pstate (disables DVFS)")
+		pinUnc    = fs.Float64("pin-uncore", 0, "pin the uncore frequency in GHz (0 = hardware UFS)")
+		modelPath = fs.String("model", "", "energy-model JSON from earlearn (default: train in-process)")
+		acctPath  = fs.String("acct", "", "accounting database JSON to append the run to")
+		jobID     = fs.String("job", "job0", "job id for accounting")
+		tracePath = fs.String("trace", "", "write node 0's 1 Hz time series (power, frequencies, CPI) as CSV")
+		specPath  = fs.String("spec", "", "JSON workload definition to run instead of a catalogue entry")
+		template  = fs.Bool("spec-template", false, "print a starter workload definition and exit")
+		powercapW = fs.Float64("powercap", 0, "cluster DC power budget in watts (0 = unmanaged); runs under the global manager")
+		confPath  = fs.String("conf", "", "ear.conf-style site configuration providing defaults and policy authorisation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	conf := earconf.Default()
+	if *confPath != "" {
+		f, err := os.Open(*confPath)
+		if err != nil {
+			return err
+		}
+		conf, err = earconf.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// Flags left at their defaults inherit the site configuration.
+		flagSet := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
+		if !flagSet["policy"] {
+			*pol = conf.DefaultPolicy
+		}
+		if !flagSet["cpu-th"] {
+			*cpuTh = conf.DefaultCPUPolicyTh
+		}
+		if !flagSet["unc-th"] {
+			*uncTh = conf.DefaultUncPolicyTh
+		}
+		if !flagSet["powercap"] && conf.ClusterPowerBudgetW > 0 {
+			*powercapW = conf.ClusterPowerBudgetW
+		}
+	}
+	if *pol != "none" && *pol != "" && !conf.Authorized(*pol) {
+		return fmt.Errorf("policy %q not authorised by site configuration (allowed: %v)",
+			*pol, conf.AuthorizedPolicies)
+	}
+
+	if *template {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(workload.Template())
+	}
+
+	var spec workload.Spec
+	var err error
+	if *specPath != "" {
+		f, ferr := os.Open(*specPath)
+		if ferr != nil {
+			return ferr
+		}
+		spec, err = workload.LoadSpec(f)
+		f.Close()
+	} else {
+		spec, err = workload.Lookup(*wl)
+	}
+	if err != nil {
+		return err
+	}
+	cal, err := spec.Calibrate()
+	if err != nil {
+		return err
+	}
+
+	opt := sim.Options{
+		Policy:       *pol,
+		CPUTh:        *cpuTh,
+		UncTh:        *uncTh,
+		HWGuidedOff:  *notGuided,
+		Seed:         *seed,
+		Trace:        *tracePath != "",
+		MinWindowSec: conf.MinSignatureWindowSec,
+		SigChangeTh:  conf.SignatureChangeTh,
+	}
+	if *pinCPU >= 0 {
+		opt.FixedCPUPstate = pinCPU
+	}
+	if *pinUnc > 0 {
+		r := units.Freq(*pinUnc * 1e9).Ratio(100 * units.MHz)
+		opt.FixedUncoreRatio = &r
+	}
+	if *pol != "none" && *pol != "" {
+		m, err := loadOrTrain(*modelPath, cal.Platform)
+		if err != nil {
+			return err
+		}
+		opt.Model = m
+	}
+
+	var res sim.Result
+	if *powercapW > 0 {
+		gm, err := eargm.New(eargm.Config{BudgetW: *powercapW, MaxCapPstate: 10})
+		if err != nil {
+			return err
+		}
+		res, err = sim.RunCoordinated(cal, opt, gm)
+		if err != nil {
+			return err
+		}
+		printResult(out, "run (powercapped)", res)
+		st := gm.Stats()
+		fmt.Fprintf(out, "  powercap   %9.2f W budget, peak %.2f W, over budget %.1f%% of intervals, final cap p%d\n",
+			*powercapW, st.PeakW, st.OverBudgetPct, st.FinalCap)
+	} else {
+		res, err = sim.RunAveraged(cal, opt, *runs)
+		if err != nil {
+			return err
+		}
+		printResult(out, "run", res)
+	}
+
+	if *compare {
+		base, err := sim.RunAveraged(cal, sim.Options{Policy: "none", Seed: 100}, *runs)
+		if err != nil {
+			return err
+		}
+		printResult(out, "baseline", base)
+		fmt.Fprintf(out, "\nvs nominal baseline:\n")
+		fmt.Fprintf(out, "  time penalty:  %+.2f%%\n", units.PercentChange(base.TimeSec, res.TimeSec))
+		fmt.Fprintf(out, "  power saving:  %+.2f%% (DC)  %+.2f%% (RAPL PCK)\n",
+			-units.PercentChange(base.AvgPowerW, res.AvgPowerW),
+			-units.PercentChange(base.AvgPkgPowerW, res.AvgPkgPowerW))
+		fmt.Fprintf(out, "  energy saving: %+.2f%%\n", -units.PercentChange(base.EnergyJ, res.EnergyJ))
+	}
+
+	if *acctPath != "" {
+		if err := appendAccounting(*acctPath, *jobID, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\naccounting: recorded %d node(s) under job %s in %s\n",
+			len(res.Nodes), *jobID, *acctPath)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, res.Nodes[0].Trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace: %d samples written to %s\n",
+			len(res.Nodes[0].Trace), *tracePath)
+	}
+	return nil
+}
+
+// writeTrace dumps a node time series as CSV for plotting.
+func writeTrace(path string, trace []sim.TracePoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "time_s,power_w,cpu_ghz,imc_ghz,cpi,gbs,cpu_pstate,unc_max_ratio"); err != nil {
+		return err
+	}
+	for _, p := range trace {
+		if _, err := fmt.Fprintf(f, "%.2f,%.2f,%.3f,%.3f,%.4f,%.3f,%d,%d\n",
+			p.TimeSec, p.PowerW, p.CPUGHz, p.IMCGHz, p.CPI, p.GBs, p.CPUPstate, p.UncMax); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadOrTrain(path string, pl workload.Platform) (*model.Model, error) {
+	if path == "" {
+		return model.TrainForCPU(pl.Machine, pl.Power)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m model.Model
+	if err := m.UnmarshalJSON(b); err != nil {
+		return nil, fmt.Errorf("parsing model %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func printResult(out io.Writer, label string, r sim.Result) {
+	fmt.Fprintf(out, "%s: %s under %s on %d node(s)\n", label, r.Workload, r.Policy, len(r.Nodes))
+	fmt.Fprintf(out, "  time       %9.2f s\n", r.TimeSec)
+	fmt.Fprintf(out, "  DC power   %9.2f W   (RAPL PCK %.2f W)\n", r.AvgPowerW, r.AvgPkgPowerW)
+	fmt.Fprintf(out, "  energy     %9.0f J per node\n", r.EnergyJ)
+	fmt.Fprintf(out, "  avg CPU    %9.2f GHz\n", r.AvgCPUGHz)
+	fmt.Fprintf(out, "  avg IMC    %9.2f GHz\n", r.AvgIMCGHz)
+	fmt.Fprintf(out, "  CPI %.3f   GB/s %.2f\n", r.AvgCPI, r.AvgGBs)
+}
+
+func appendAccounting(path, jobID string, r sim.Result) error {
+	db := eard.NewDB()
+	if f, err := os.Open(path); err == nil {
+		err = db.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	for i, n := range r.Nodes {
+		rec := eard.JobRecord{
+			JobID: jobID, StepID: "0", Node: fmt.Sprintf("node%03d", i),
+			App: r.Workload, Policy: r.Policy,
+			TimeSec: n.TimeSec, EnergyJ: n.EnergyJ, AvgPower: n.AvgPowerW,
+			AvgCPU: n.AvgCPUGHz, AvgIMC: n.AvgIMCGHz, AvgCPI: n.AvgCPI, AvgGBs: n.AvgGBs,
+		}
+		if err := db.Insert(rec); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.Save(f)
+}

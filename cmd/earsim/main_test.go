@@ -1,0 +1,215 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goear/internal/eard"
+)
+
+func TestBaselineRun(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-workload", "BT-MZ.C", "-runs", "1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"BT-MZ.C under none", "DC power", "avg IMC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPolicyRunWithCompare(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-workload", "BT-MZ.C", "-policy", "min_energy_eufs",
+		"-runs", "1", "-compare",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"vs nominal baseline", "energy saving", "RAPL PCK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestPinnedUncore(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-workload", "BT-MZ.C", "-pin-uncore", "1.5", "-pin-cpu-pstate", "1", "-runs", "1",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1.49 GHz") && !strings.Contains(b.String(), "1.50 GHz") {
+		t.Errorf("pinned IMC not reflected:\n%s", b.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-workload", "nope"}, &b); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	if err := run([]string{"-workload", "BT-MZ.C", "-policy", "bogus", "-runs", "1"}, &b); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+	if err := run([]string{"-model", "/does/not/exist", "-policy", "min_energy"}, &b); err == nil {
+		t.Error("expected error for missing model file")
+	}
+}
+
+func TestAccountingFlow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	var b strings.Builder
+	err := run([]string{
+		"-workload", "BT-MZ.C", "-runs", "1", "-acct", path, "-job", "j7",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db := eard.NewDB()
+	if err := db.Load(f); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := db.Summarize("j7", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Nodes != 1 || sum.EnergyJ <= 0 {
+		t.Errorf("accounting summary = %+v", sum)
+	}
+	// Appending a second job keeps the first.
+	if err := run([]string{
+		"-workload", "BT-MZ.C", "-runs", "1", "-acct", path, "-job", "j8",
+	}, &b); err != nil {
+		t.Fatal(err)
+	}
+	db2 := eard.NewDB()
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := db2.Load(f2); err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.Jobs()) != 2 {
+		t.Errorf("jobs = %v, want 2", db2.Jobs())
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	var b strings.Builder
+	err := run([]string{
+		"-workload", "BT-MZ.C", "-policy", "min_energy_eufs", "-runs", "1", "-trace", path,
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("trace lines = %d, want ~145", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_s,power_w,cpu_ghz,imc_ghz") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(b.String(), "trace:") {
+		t.Error("trace confirmation missing from output")
+	}
+}
+
+func TestSpecTemplateAndCustomSpec(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-spec-template"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"hw_uncore"`) {
+		t.Errorf("template missing curve: %s", b.String())
+	}
+	// The emitted template must run as a custom spec.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	if err := run([]string{"-spec", path, "-runs", "1"}, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "my-app under none on 2 node(s)") {
+		t.Errorf("custom spec output: %s", b2.String())
+	}
+	// Missing file errors.
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &b2); err == nil {
+		t.Error("expected error for missing spec file")
+	}
+}
+
+func TestPowercapFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-workload", "BT-MZ.C", "-powercap", "300", "-runs", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "powercapped") || !strings.Contains(out, "final cap p") {
+		t.Errorf("powercap output missing: %s", out)
+	}
+}
+
+func TestSiteConfiguration(t *testing.T) {
+	dir := t.TempDir()
+	conf := filepath.Join(dir, "ear.conf")
+	if err := os.WriteFile(conf, []byte(
+		"DefaultPolicy=min_energy_eufs\nDefaultCPUPolicyTh=0.03\nAuthorizedPolicies=monitoring,min_energy_eufs\n",
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The site default policy applies when no -policy flag is given.
+	var b strings.Builder
+	if err := run([]string{"-workload", "BT-MZ.C", "-runs", "1", "-conf", conf}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "under min_energy_eufs") {
+		t.Errorf("site default policy not applied:\n%s", b.String())
+	}
+	// Unauthorised policies are rejected.
+	if err := run([]string{"-workload", "BT-MZ.C", "-runs", "1", "-conf", conf, "-policy", "min_time"}, &b); err == nil {
+		t.Error("expected authorisation error")
+	}
+	// Explicit flags still win over site defaults when authorised.
+	var b2 strings.Builder
+	if err := run([]string{"-workload", "BT-MZ.C", "-runs", "1", "-conf", conf, "-policy", "monitoring"}, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "under monitoring") {
+		t.Errorf("explicit policy lost:\n%s", b2.String())
+	}
+	// A broken file errors.
+	bad := filepath.Join(dir, "bad.conf")
+	if err := os.WriteFile(bad, []byte("Nope=1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-conf", bad}, &b2); err == nil {
+		t.Error("expected parse error")
+	}
+}

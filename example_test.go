@@ -1,0 +1,62 @@
+package goear_test
+
+import (
+	"fmt"
+	"log"
+
+	"goear"
+)
+
+// Compare a policy against the nominal baseline on a catalogue
+// workload — the paper's central measurement.
+func ExampleSession_Compare() {
+	s := goear.NewSession()
+	cmp, err := s.Compare("BT-MZ.C", goear.Config{
+		Policy:      goear.PolicyMinEnergyEUFS,
+		CPUPolicyTh: 0.05,
+		UncPolicyTh: 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("energy saving %.1f%% at %.1f%% time penalty (IMC %.2f GHz)\n",
+		cmp.EnergySavingPct, cmp.TimePenaltyPct, cmp.Run.AvgIMCGHz)
+}
+
+// Pin the operating point to study one configuration, as the paper's
+// Fig. 1 sweeps do.
+func ExampleSession_Run_pinned() {
+	s := goear.NewQuickSession()
+	r, err := s.Run("SP-MZ.C", goear.Config{
+		FixedCPUPstate: 1,   // nominal
+		FixedUncoreGHz: 1.8, // pin MSR 0x620 min=max
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.1f W at IMC %.2f GHz\n", r.AvgPowerW, r.AvgIMCGHz)
+}
+
+// Regenerate one of the paper's artifacts as rendered text.
+func ExampleSession_Experiment() {
+	s := goear.NewSession()
+	table3, err := s.Experiment("table3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table3)
+}
+
+// Enforce a cluster power budget with the global manager (EAR's
+// energy-control service).
+func ExampleSession_RunPowercapped() {
+	s := goear.NewQuickSession()
+	r, err := s.RunPowercapped("BQCD", goear.Config{
+		Policy: goear.PolicyMinEnergy, CPUPolicyTh: 0.03,
+	}, 1150 /* watts for the whole 4-node job */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster fit under %.0fW with final cap p%d (%.1f%% intervals over budget)\n",
+		r.BudgetW, r.FinalCap, r.OverBudgetPct)
+}

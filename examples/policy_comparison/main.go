@@ -1,0 +1,45 @@
+// Policy comparison: every registered energy policy against the nominal
+// baseline, on one CPU-bound and one memory-bound application —
+// reproducing the paper's core observation that the two classes need
+// different levers (DVFS for memory-bound codes, explicit UFS for
+// CPU-bound ones).
+//
+// Run with: go run ./examples/policy_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goear"
+)
+
+func main() {
+	s := goear.NewQuickSession()
+	policies := []string{
+		goear.PolicyMinEnergy,
+		goear.PolicyMinEnergyEUFS,
+		goear.PolicyMinTime,
+		goear.PolicyMinTimeEUFS,
+	}
+	for _, wl := range []string{"BT-MZ.C", "HPCG"} {
+		base, err := s.Run(wl, goear.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (baseline %.1fs, %.1fW, CPU %.2fGHz, IMC %.2fGHz)\n",
+			wl, base.TimeSec, base.AvgPowerW, base.AvgCPUGHz, base.AvgIMCGHz)
+		fmt.Println("policy            time-pen  energy-save  CPU(GHz)  IMC(GHz)")
+		for _, p := range policies {
+			c, err := s.Compare(wl, goear.Config{Policy: p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-17s %7.2f%%  %10.2f%%  %8.2f  %8.2f\n",
+				p, c.TimePenaltyPct, c.EnergySavingPct, c.Run.AvgCPUGHz, c.Run.AvgIMCGHz)
+		}
+		fmt.Println()
+	}
+	fmt.Println("CPU-bound codes only save through the uncore; memory-bound codes")
+	fmt.Println("save through DVFS and tolerate little uncore reduction.")
+}

@@ -1,0 +1,43 @@
+// Powercap: EAR's third service — energy control. The global manager
+// (EARGM) watches cluster DC power and enforces a site budget by
+// imposing a CPU pstate ceiling under whatever the per-job policy
+// requests: the job slows down, the cluster stays inside its electrical
+// envelope, and the cap is released when headroom returns.
+//
+// Run with: go run ./examples/powercap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goear"
+)
+
+func main() {
+	s := goear.NewQuickSession()
+	const wl = "BQCD" // four nodes
+
+	free, err := s.Run(wl, goear.Config{Policy: goear.PolicyMinEnergy, CPUPolicyTh: 0.03})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterW := free.AvgPowerW * float64(free.Nodes)
+	fmt.Printf("%s on %d nodes, uncapped: %.0fW cluster, %.1fs\n\n", wl, free.Nodes, clusterW, free.TimeSec)
+
+	for _, frac := range []float64{1.10, 0.97, 0.90} {
+		budget := clusterW * frac
+		r, err := s.RunPowercapped(wl, goear.Config{
+			Policy: goear.PolicyMinEnergy, CPUPolicyTh: 0.03,
+		}, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := r.Run.AvgPowerW * float64(r.Run.Nodes)
+		slowdown := 100 * (r.Run.TimeSec - free.TimeSec) / free.TimeSec
+		fmt.Printf("budget %.0fW (%.0f%%): cluster %.0fW, peak %.0fW, over-budget %.1f%% of intervals, final cap p%d, slowdown %+.1f%%\n",
+			budget, frac*100, got, r.PeakW, r.OverBudgetPct, r.FinalCap, slowdown)
+	}
+	fmt.Println("\nA loose budget never engages; tight budgets ratchet the pstate")
+	fmt.Println("ceiling down until the cluster fits, trading time for power.")
+}

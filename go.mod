@@ -1,0 +1,3 @@
+module goear
+
+go 1.22

@@ -1,0 +1,313 @@
+// Package goear is a faithful reimplementation and simulation testbed
+// for EAR's explicit uncore frequency scaling (Corbalan et al., IEEE
+// CLUSTER 2021): the EAR runtime library (Dynais loop detection,
+// signature pipeline, AVX512-aware energy models, the policy plugin API)
+// running the min_energy_to_solution policy — with and without the
+// paper's explicit UFS extension — on a simulated Skylake-SP cluster
+// with bit-exact MSR interfaces, a hardware uncore-frequency controller,
+// RAPL and Intel Node Manager energy meters, and calibrated models of
+// all thirteen workloads the paper evaluates.
+//
+// The facade in this package covers the common cases: run a catalogue
+// workload under a policy, compare it against the nominal-frequency
+// baseline, and regenerate any of the paper's tables and figures. The
+// full machinery lives in the internal packages (see DESIGN.md for the
+// map).
+//
+// Quick start:
+//
+//	s := goear.NewSession()
+//	res, err := s.Compare("BT-MZ.C", goear.Config{Policy: goear.PolicyMinEnergyEUFS})
+//	// res.EnergySavingPct, res.TimePenaltyPct, res.Run.AvgIMCGHz ...
+package goear
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"goear/internal/eargm"
+	"goear/internal/experiments"
+	"goear/internal/model"
+	"goear/internal/policy"
+	"goear/internal/report"
+	"goear/internal/sim"
+	"goear/internal/units"
+	"goear/internal/workload"
+)
+
+// Policy names accepted in Config.Policy.
+const (
+	PolicyNone          = "none"
+	PolicyMonitoring    = policy.Monitoring
+	PolicyMinEnergy     = policy.MinEnergy
+	PolicyMinEnergyEUFS = policy.MinEnergyEUFS
+	PolicyMinTime       = policy.MinTime
+	PolicyMinTimeEUFS   = policy.MinTimeEUFS
+)
+
+// Config selects how a workload is executed.
+type Config struct {
+	// Policy is one of the Policy* constants; empty means "none"
+	// (nominal frequency, hardware UFS — the paper's baseline).
+	Policy string
+	// CPUPolicyTh is the allowed relative time penalty of the CPU
+	// frequency selection (default 0.05, the paper's usual setting).
+	CPUPolicyTh float64
+	// UncPolicyTh is the additional CPI/GB/s degradation allowed to the
+	// uncore selection (default 0.02).
+	UncPolicyTh float64
+	// NotGuided starts the uncore search from the hardware maximum
+	// instead of the hardware-selected frequency (the paper's ME+NG-U).
+	NotGuided bool
+	// Runs is the number of averaged runs (default 3, as the paper).
+	Runs int
+	// Seed drives measurement noise.
+	Seed int64
+	// FixedCPUPstate pins the CPU pstate when >= 0 (set -1 or leave the
+	// zero value's companion Fixed* fields unset to disable).
+	FixedCPUPstate int
+	// FixedUncoreGHz pins the uncore frequency when > 0.
+	FixedUncoreGHz float64
+}
+
+// Result summarises one execution.
+type Result struct {
+	Workload  string
+	Policy    string
+	Nodes     int
+	TimeSec   float64
+	EnergyJ   float64 // per-node average DC energy
+	AvgPowerW float64 // DC node power (Node Manager scope)
+	AvgPkgW   float64 // RAPL package scope
+	AvgCPUGHz float64
+	AvgIMCGHz float64
+	AvgCPI    float64
+	AvgGBs    float64
+}
+
+// Comparison is a policy run measured against the nominal baseline, in
+// the paper's reporting conventions (penalty positive when worse,
+// saving positive when better).
+type Comparison struct {
+	Run             Result
+	Baseline        Result
+	TimePenaltyPct  float64
+	PowerSavingPct  float64
+	EnergySavingPct float64
+}
+
+// WorkloadInfo describes one catalogue entry.
+type WorkloadInfo struct {
+	Name      string
+	Class     string
+	ProgModel string
+	Nodes     int
+}
+
+// Session caches trained energy models, workload calibrations and runs,
+// so repeated operations are cheap. A zero-value Session is not usable;
+// construct with NewSession.
+type Session struct {
+	ctx *experiments.Context
+}
+
+// NewSession returns a session using the paper's three-run protocol.
+func NewSession() *Session { return &Session{ctx: experiments.New()} }
+
+// NewQuickSession returns a single-run session (for tests and fast
+// previews).
+func NewQuickSession() *Session { return &Session{ctx: experiments.NewQuick()} }
+
+// Workloads lists the catalogue.
+func Workloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, s := range workload.Catalog() {
+		out = append(out, WorkloadInfo{
+			Name: s.Name, Class: string(s.Class), ProgModel: s.ProgModel, Nodes: s.Nodes,
+		})
+	}
+	return out
+}
+
+// Policies lists the registered policy plugins plus "none".
+func Policies() []string {
+	return append([]string{PolicyNone}, policy.Names()...)
+}
+
+// ExperimentIDs lists the paper experiments Experiment can regenerate.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// toOptions converts the facade config.
+func (c Config) toOptions() sim.Options {
+	opt := sim.Options{
+		Policy:      c.Policy,
+		CPUTh:       c.CPUPolicyTh,
+		UncTh:       c.UncPolicyTh,
+		HWGuidedOff: c.NotGuided,
+		Seed:        c.Seed,
+	}
+	if c.FixedCPUPstate > 0 || (c.FixedCPUPstate == 0 && c.FixedUncoreGHz > 0) {
+		p := c.FixedCPUPstate
+		if p == 0 {
+			p = 1
+		}
+		opt.FixedCPUPstate = &p
+	}
+	if c.FixedUncoreGHz > 0 {
+		r := units.Freq(c.FixedUncoreGHz * 1e9).Ratio(100 * units.MHz)
+		opt.FixedUncoreRatio = &r
+	}
+	return opt
+}
+
+// Run executes a catalogue workload under the configuration.
+func (s *Session) Run(name string, cfg Config) (Result, error) {
+	if s == nil || s.ctx == nil {
+		return Result{}, fmt.Errorf("goear: use NewSession")
+	}
+	if cfg.Runs != 0 && cfg.Runs != s.ctx.Runs {
+		return Result{}, fmt.Errorf("goear: per-call run counts are fixed by the session (%d)", s.ctx.Runs)
+	}
+	r, err := s.ctx.RunWorkload(name, cfg.toOptions())
+	if err != nil {
+		return Result{}, err
+	}
+	return fromSim(r), nil
+}
+
+// Compare runs a configuration and the nominal baseline, returning the
+// paper-style deltas.
+func (s *Session) Compare(name string, cfg Config) (Comparison, error) {
+	if cfg.Policy == "" || cfg.Policy == PolicyNone {
+		return Comparison{}, fmt.Errorf("goear: comparison needs a policy")
+	}
+	run, err := s.Run(name, cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	base, err := s.Run(name, Config{Policy: PolicyNone, Seed: 100})
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Run:             run,
+		Baseline:        base,
+		TimePenaltyPct:  units.PercentChange(base.TimeSec, run.TimeSec),
+		PowerSavingPct:  -units.PercentChange(base.AvgPowerW, run.AvgPowerW),
+		EnergySavingPct: -units.PercentChange(base.EnergyJ, run.EnergyJ),
+	}, nil
+}
+
+// RunSpecFile executes a user-defined workload (the JSON format of
+// `earsim -spec`, see `earsim -spec-template`) under the configuration.
+// Results are not cached across calls.
+func (s *Session) RunSpecFile(path string, cfg Config) (Result, error) {
+	if s == nil || s.ctx == nil {
+		return Result{}, fmt.Errorf("goear: use NewSession")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+	spec, err := workload.LoadSpec(f)
+	if err != nil {
+		return Result{}, err
+	}
+	opt := cfg.toOptions()
+	if opt.Policy != "" && opt.Policy != PolicyNone {
+		m, err := model.TrainForCPU(spec.Platform.Machine, spec.Platform.Power)
+		if err != nil {
+			return Result{}, err
+		}
+		opt.Model = m
+	}
+	r, err := sim.RunSpec(spec, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromSim(r), nil
+}
+
+// PowercapResult reports a run executed under a cluster power budget
+// (EAR's energy-control service, EARGM).
+type PowercapResult struct {
+	Run Result
+	// BudgetW is the enforced cluster budget.
+	BudgetW float64
+	// PeakW is the highest cluster power the manager observed.
+	PeakW float64
+	// OverBudgetPct is the share of control intervals above budget.
+	OverBudgetPct float64
+	// FinalCap is the pstate ceiling at job end (0 = released).
+	FinalCap int
+}
+
+// RunPowercapped executes a catalogue workload with the global manager
+// enforcing the given cluster DC power budget over all its nodes.
+func (s *Session) RunPowercapped(name string, cfg Config, budgetW float64) (PowercapResult, error) {
+	if s == nil || s.ctx == nil {
+		return PowercapResult{}, fmt.Errorf("goear: use NewSession")
+	}
+	r, st, err := s.ctx.RunPowercapped(name, cfg.toOptions(), eargm.Config{
+		BudgetW:      budgetW,
+		MaxCapPstate: 10,
+	})
+	if err != nil {
+		return PowercapResult{}, err
+	}
+	return PowercapResult{
+		Run:           fromSim(r),
+		BudgetW:       budgetW,
+		PeakW:         st.PeakW,
+		OverBudgetPct: st.OverBudgetPct,
+		FinalCap:      st.FinalCap,
+	}, nil
+}
+
+// Experiment regenerates one of the paper's tables or figures and
+// returns it rendered as text.
+func (s *Session) Experiment(id string) (string, error) {
+	if s == nil || s.ctx == nil {
+		return "", fmt.Errorf("goear: use NewSession")
+	}
+	tabs, err := s.ctx.Generate(id)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, t := range tabs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if err := t.Render(&b); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+// ExperimentTables regenerates an experiment as structured tables.
+func (s *Session) ExperimentTables(id string) ([]report.Table, error) {
+	if s == nil || s.ctx == nil {
+		return nil, fmt.Errorf("goear: use NewSession")
+	}
+	return s.ctx.Generate(id)
+}
+
+func fromSim(r sim.Result) Result {
+	return Result{
+		Workload:  r.Workload,
+		Policy:    r.Policy,
+		Nodes:     len(r.Nodes),
+		TimeSec:   r.TimeSec,
+		EnergyJ:   r.EnergyJ,
+		AvgPowerW: r.AvgPowerW,
+		AvgPkgW:   r.AvgPkgPowerW,
+		AvgCPUGHz: r.AvgCPUGHz,
+		AvgIMCGHz: r.AvgIMCGHz,
+		AvgCPI:    r.AvgCPI,
+		AvgGBs:    r.AvgGBs,
+	}
+}

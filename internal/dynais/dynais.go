@@ -1,0 +1,155 @@
+// Package dynais implements dynamic iterative-structure detection over a
+// stream of MPI call-site events, in the spirit of EAR's DynAIS
+// technology: without any user hints it discovers the outer loop of an
+// MPI application from the repetitive sequence of MPI calls, reporting
+// when a loop begins, when each new iteration starts, and when the loop
+// is lost.
+//
+// The detector keeps a sliding window of recent event identifiers. While
+// searching, it looks for the smallest period p such that the last
+// MinRepetitions·p events are p-periodic. Once locked, each incoming
+// event is checked against the event one period back; completing a
+// period reports a new iteration, and a mismatch drops back to search.
+package dynais
+
+import (
+	"fmt"
+)
+
+// State is the detector's report for one event.
+type State int
+
+// Detector states.
+const (
+	// NoLoop: no periodic structure currently detected.
+	NoLoop State = iota
+	// InLoop: inside a detected loop, mid-iteration.
+	InLoop
+	// NewIteration: this event completed one full period.
+	NewIteration
+	// NewLoop: a loop has just been detected (first lock).
+	NewLoop
+	// EndLoop: the previously detected loop broke on this event.
+	EndLoop
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case NoLoop:
+		return "NO_LOOP"
+	case InLoop:
+		return "IN_LOOP"
+	case NewIteration:
+		return "NEW_ITERATION"
+	case NewLoop:
+		return "NEW_LOOP"
+	case EndLoop:
+		return "END_LOOP"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// MinRepetitions is how many consecutive periods must match before the
+// detector locks onto a loop.
+const MinRepetitions = 3
+
+// Detector detects periodic event streams. Construct with New.
+type Detector struct {
+	maxPeriod int
+	window    []uint32 // most recent events, bounded
+	locked    bool
+	period    int
+	phase     int // events seen since the last iteration boundary
+}
+
+// New returns a detector able to find periods up to maxPeriod events.
+func New(maxPeriod int) (*Detector, error) {
+	if maxPeriod < 1 {
+		return nil, fmt.Errorf("dynais: max period must be >= 1, got %d", maxPeriod)
+	}
+	return &Detector{maxPeriod: maxPeriod}, nil
+}
+
+// Period returns the detected period length, or 0 when not locked.
+func (d *Detector) Period() int {
+	if !d.locked {
+		return 0
+	}
+	return d.period
+}
+
+// Locked reports whether a loop is currently detected.
+func (d *Detector) Locked() bool { return d.locked }
+
+// Push consumes one event and returns the resulting state.
+func (d *Detector) Push(ev uint32) State {
+	d.window = append(d.window, ev)
+	// Bound the window: we never need more than what detection of the
+	// largest period requires.
+	if maxLen := d.maxPeriod*(MinRepetitions+1) + 1; len(d.window) > maxLen {
+		d.window = d.window[len(d.window)-maxLen:]
+	}
+
+	if d.locked {
+		// The new event must match the event one period back.
+		idx := len(d.window) - 1 - d.period
+		if idx >= 0 && d.window[idx] == ev {
+			d.phase++
+			if d.phase == d.period {
+				d.phase = 0
+				return NewIteration
+			}
+			return InLoop
+		}
+		// Loop broken: drop the lock but keep the window so that a new
+		// structure can be found quickly.
+		d.locked = false
+		d.period = 0
+		d.phase = 0
+		return EndLoop
+	}
+
+	if p := d.findPeriod(); p > 0 {
+		d.locked = true
+		d.period = p
+		d.phase = 0
+		return NewLoop
+	}
+	return NoLoop
+}
+
+// findPeriod searches for the smallest period p whose last
+// MinRepetitions·p events are p-periodic. Periods of length 1 require a
+// run of identical events.
+func (d *Detector) findPeriod() int {
+	n := len(d.window)
+	for p := 1; p <= d.maxPeriod; p++ {
+		need := p * MinRepetitions
+		if n < need {
+			// Larger periods need even more history.
+			return 0
+		}
+		ok := true
+		base := n - need
+		for i := base + p; i < n; i++ {
+			if d.window[i] != d.window[i-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	return 0
+}
+
+// Reset clears all detector state.
+func (d *Detector) Reset() {
+	d.window = d.window[:0]
+	d.locked = false
+	d.period = 0
+	d.phase = 0
+}

@@ -1,0 +1,217 @@
+package dynais
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("expected error for zero max period")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("expected error for negative max period")
+	}
+}
+
+func TestDetectsSimpleLoop(t *testing.T) {
+	d, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := []uint32{10, 20, 30, 40}
+	var lockEvent, iterations int
+	for rep := 0; rep < 10; rep++ {
+		for i, ev := range pattern {
+			st := d.Push(ev)
+			switch st {
+			case NewLoop:
+				lockEvent = rep*len(pattern) + i
+			case NewIteration:
+				iterations++
+			}
+		}
+	}
+	if !d.Locked() {
+		t.Fatal("detector never locked")
+	}
+	if d.Period() != len(pattern) {
+		t.Errorf("period = %d, want %d", d.Period(), len(pattern))
+	}
+	// Lock must happen after MinRepetitions patterns.
+	if lockEvent >= 4*len(pattern) {
+		t.Errorf("locked too late: event %d", lockEvent)
+	}
+	// After locking, every full pattern yields one NewIteration.
+	if iterations < 5 {
+		t.Errorf("iterations = %d, want >= 5", iterations)
+	}
+}
+
+func TestPeriodOneRun(t *testing.T) {
+	d, _ := New(8)
+	var locked bool
+	for i := 0; i < 10; i++ {
+		st := d.Push(7)
+		if st == NewLoop {
+			locked = true
+		}
+	}
+	if !locked || d.Period() != 1 {
+		t.Errorf("run of identical events: locked=%v period=%d, want period 1", locked, d.Period())
+	}
+}
+
+func TestPrefersSmallestPeriod(t *testing.T) {
+	// 1,2,1,2,... is period 2, not 4.
+	d, _ := New(16)
+	for i := 0; i < 12; i++ {
+		d.Push(uint32(1 + i%2))
+	}
+	if d.Period() != 2 {
+		t.Errorf("period = %d, want 2", d.Period())
+	}
+}
+
+func TestLoopBreakAndRelock(t *testing.T) {
+	d, _ := New(8)
+	pattern := []uint32{1, 2, 3}
+	for rep := 0; rep < 5; rep++ {
+		for _, ev := range pattern {
+			d.Push(ev)
+		}
+	}
+	if !d.Locked() {
+		t.Fatal("not locked")
+	}
+	// Break the loop.
+	st := d.Push(99)
+	if st != EndLoop {
+		t.Errorf("state on break = %v, want END_LOOP", st)
+	}
+	if d.Locked() {
+		t.Error("still locked after break")
+	}
+	// A new structure locks again.
+	newPat := []uint32{5, 6}
+	var relocked bool
+	for rep := 0; rep < 6; rep++ {
+		for _, ev := range newPat {
+			if d.Push(ev) == NewLoop {
+				relocked = true
+			}
+		}
+	}
+	if !relocked || d.Period() != 2 {
+		t.Errorf("relock failed: locked=%v period=%d", d.Locked(), d.Period())
+	}
+}
+
+func TestNoFalseLockOnRandomStream(t *testing.T) {
+	// A stream of unique events must never lock.
+	d, _ := New(16)
+	for i := 0; i < 500; i++ {
+		if st := d.Push(uint32(i)); st != NoLoop {
+			t.Fatalf("event %d: state %v on strictly increasing stream", i, st)
+		}
+	}
+}
+
+func TestIterationCadenceExact(t *testing.T) {
+	// Once locked, NewIteration fires exactly once per period.
+	d, _ := New(32)
+	pattern := []uint32{11, 22, 33, 44, 55}
+	// Prime to lock.
+	for rep := 0; rep < MinRepetitions; rep++ {
+		for _, ev := range pattern {
+			d.Push(ev)
+		}
+	}
+	if !d.Locked() {
+		t.Fatal("not locked after priming")
+	}
+	iterations := 0
+	const reps = 20
+	for rep := 0; rep < reps; rep++ {
+		for _, ev := range pattern {
+			if d.Push(ev) == NewIteration {
+				iterations++
+			}
+		}
+	}
+	if iterations != reps {
+		t.Errorf("iterations = %d, want %d", iterations, reps)
+	}
+}
+
+func TestDetectsAnyPeriodProperty(t *testing.T) {
+	// For any period p in [1,12] and any event alphabet, a clean
+	// periodic stream must lock with the right period (or a divisor
+	// when the random pattern is itself periodic).
+	fn := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		pattern := make([]uint32, p)
+		for i := range pattern {
+			pattern[i] = rng.Uint32()
+		}
+		d, err := New(16)
+		if err != nil {
+			return false
+		}
+		for rep := 0; rep < MinRepetitions+4; rep++ {
+			for _, ev := range pattern {
+				d.Push(ev)
+			}
+		}
+		if !d.Locked() {
+			return false
+		}
+		// Detected period must divide the true period (the random
+		// pattern may repeat internally).
+		return p%d.Period() == 0
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d, _ := New(8)
+	for i := 0; i < 10; i++ {
+		d.Push(uint32(1 + i%2))
+	}
+	if !d.Locked() {
+		t.Fatal("not locked")
+	}
+	d.Reset()
+	if d.Locked() || d.Period() != 0 {
+		t.Error("reset did not clear lock")
+	}
+	if st := d.Push(1); st != NoLoop {
+		t.Errorf("state after reset = %v, want NO_LOOP", st)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		NoLoop: "NO_LOOP", InLoop: "IN_LOOP", NewIteration: "NEW_ITERATION",
+		NewLoop: "NEW_LOOP", EndLoop: "END_LOOP", State(42): "State(42)",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestWindowBounded(t *testing.T) {
+	d, _ := New(4)
+	for i := 0; i < 10000; i++ {
+		d.Push(uint32(i % 3))
+	}
+	if len(d.window) > 4*(MinRepetitions+1)+1 {
+		t.Errorf("window grew to %d events", len(d.window))
+	}
+}

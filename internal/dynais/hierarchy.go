@@ -1,0 +1,127 @@
+package dynais
+
+import (
+	"fmt"
+)
+
+// Hierarchy stacks detectors the way DynAIS's multi-level windows do:
+// level 0 consumes raw MPI events; whenever level k completes an
+// iteration, a token summarising that iteration (a hash of its event
+// pattern) is fed to level k+1. Nested application structure — inner
+// solver loops inside outer time steps — then surfaces as a lock at a
+// higher level, whose period counts inner-loop iterations per outer
+// iteration.
+type Hierarchy struct {
+	levels []*Detector
+	// ring of recent events per level, for pattern hashing.
+	recent [][]uint32
+}
+
+// NewHierarchy builds a detector stack. levels must be at least 1;
+// maxPeriod bounds period detection at every level.
+func NewHierarchy(levels, maxPeriod int) (*Hierarchy, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("dynais: hierarchy needs at least one level, got %d", levels)
+	}
+	h := &Hierarchy{
+		levels: make([]*Detector, levels),
+		recent: make([][]uint32, levels),
+	}
+	for i := range h.levels {
+		d, err := New(maxPeriod)
+		if err != nil {
+			return nil, err
+		}
+		h.levels[i] = d
+	}
+	return h, nil
+}
+
+// Levels returns the number of stacked detectors.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// Push consumes one raw event and returns the state of every level
+// after propagation (index 0 = raw level).
+func (h *Hierarchy) Push(ev uint32) []State {
+	out := make([]State, len(h.levels))
+	for i := range out {
+		out[i] = NoLoop
+		if h.levels[i].Locked() {
+			out[i] = InLoop
+		}
+	}
+	h.push(0, ev, out)
+	return out
+}
+
+// push feeds one event into the given level, propagating iteration
+// completions upward.
+func (h *Hierarchy) push(level int, ev uint32, out []State) {
+	d := h.levels[level]
+	h.recent[level] = append(h.recent[level], ev)
+	if max := cap(h.recent[level]); len(h.recent[level]) > 4*64 && max > 0 {
+		h.recent[level] = h.recent[level][len(h.recent[level])-4*64:]
+	}
+	st := d.Push(ev)
+	out[level] = st
+	if st != NewIteration {
+		return
+	}
+	if level+1 >= len(h.levels) {
+		return
+	}
+	// Token: hash of the completed iteration's event pattern, so two
+	// different inner loops of equal length produce distinct tokens.
+	h.push(level+1, h.patternToken(level, d.Period()), out)
+}
+
+// patternToken hashes the last period events of a level.
+func (h *Hierarchy) patternToken(level, period int) uint32 {
+	buf := h.recent[level]
+	if period > len(buf) {
+		period = len(buf)
+	}
+	hash := uint32(2166136261)
+	for _, e := range buf[len(buf)-period:] {
+		hash = (hash ^ e) * 16777619
+	}
+	return hash
+}
+
+// Locked reports whether the given level currently has a lock.
+func (h *Hierarchy) Locked(level int) bool {
+	if level < 0 || level >= len(h.levels) {
+		return false
+	}
+	return h.levels[level].Locked()
+}
+
+// Period returns the detected period at a level (0 when unlocked or
+// out of range).
+func (h *Hierarchy) Period(level int) int {
+	if level < 0 || level >= len(h.levels) {
+		return 0
+	}
+	return h.levels[level].Period()
+}
+
+// TopLocked returns the highest locked level and its period, or (-1, 0)
+// when nothing is locked. Policies prefer the highest level: it tracks
+// the outermost repetitive structure, whose iterations are the natural
+// signature boundary.
+func (h *Hierarchy) TopLocked() (level, period int) {
+	for i := len(h.levels) - 1; i >= 0; i-- {
+		if h.levels[i].Locked() {
+			return i, h.levels[i].Period()
+		}
+	}
+	return -1, 0
+}
+
+// Reset clears every level.
+func (h *Hierarchy) Reset() {
+	for i, d := range h.levels {
+		d.Reset()
+		h.recent[i] = h.recent[i][:0]
+	}
+}

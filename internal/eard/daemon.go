@@ -1,0 +1,116 @@
+package eard
+
+import (
+	"fmt"
+	"sync"
+
+	"goear/internal/earl"
+	"goear/internal/metrics"
+)
+
+// Limits is the site policy the daemon enforces on actuation requests:
+// EARL runs unprivileged inside the job, so every frequency change goes
+// through the node daemon, which clamps it to what the sysadmin allows.
+type Limits struct {
+	// MaxPstate is the deepest CPU pstate a job may request (the
+	// lowest frequency); 0 disables the bound.
+	MaxPstate int
+	// MinPstate is the shallowest pstate a job may request (e.g. 1
+	// forbids turbo); 0 disables the bound.
+	MinPstate int
+	// UncoreFloorRatio is the lowest uncore ceiling a job may program;
+	// 0 disables the bound. It protects co-located services from a job
+	// starving the mesh.
+	UncoreFloorRatio uint64
+}
+
+// Validate reports whether the limits are coherent.
+func (l Limits) Validate() error {
+	if l.MaxPstate < 0 || l.MinPstate < 0 {
+		return fmt.Errorf("eard: pstate limits must be non-negative")
+	}
+	if l.MaxPstate != 0 && l.MinPstate != 0 && l.MinPstate > l.MaxPstate {
+		return fmt.Errorf("eard: min pstate %d above max %d", l.MinPstate, l.MaxPstate)
+	}
+	return nil
+}
+
+// Daemon mediates privileged node actuation. It implements earl.Ctl by
+// wrapping the real control path and clamping requests to the limits,
+// while counting what it had to clamp (surfaced to accounting and
+// diagnostics).
+type Daemon struct {
+	raw    earl.Ctl
+	limits Limits
+
+	mu             sync.Mutex
+	clampedPstates int
+	clampedUncore  int
+}
+
+// NewDaemon wraps a raw control path with enforcement.
+func NewDaemon(raw earl.Ctl, limits Limits) (*Daemon, error) {
+	if raw == nil {
+		return nil, fmt.Errorf("eard: nil control path")
+	}
+	if err := limits.Validate(); err != nil {
+		return nil, err
+	}
+	return &Daemon{raw: raw, limits: limits}, nil
+}
+
+// SetCPUPstate clamps the request into the allowed pstate range.
+func (d *Daemon) SetCPUPstate(p int) error {
+	orig := p
+	if d.limits.MaxPstate != 0 && p > d.limits.MaxPstate {
+		p = d.limits.MaxPstate
+	}
+	if d.limits.MinPstate != 0 && p < d.limits.MinPstate {
+		p = d.limits.MinPstate
+	}
+	if p != orig {
+		d.mu.Lock()
+		d.clampedPstates++
+		d.mu.Unlock()
+	}
+	return d.raw.SetCPUPstate(p)
+}
+
+// SetUncoreLimits clamps the requested window above the site floor.
+func (d *Daemon) SetUncoreLimits(minRatio, maxRatio uint64) error {
+	clamped := false
+	if f := d.limits.UncoreFloorRatio; f != 0 {
+		if maxRatio < f {
+			maxRatio = f
+			clamped = true
+		}
+		if minRatio < f {
+			minRatio = f
+		}
+	}
+	if clamped {
+		d.mu.Lock()
+		d.clampedUncore++
+		d.mu.Unlock()
+	}
+	return d.raw.SetUncoreLimits(minRatio, maxRatio)
+}
+
+// CurrentPstate forwards to the raw path.
+func (d *Daemon) CurrentPstate() (int, error) { return d.raw.CurrentPstate() }
+
+// CurrentUncoreRatio forwards to the raw path.
+func (d *Daemon) CurrentUncoreRatio() (uint64, error) { return d.raw.CurrentUncoreRatio() }
+
+// Counters forwards to the raw path.
+func (d *Daemon) Counters() (metrics.Sample, error) { return d.raw.Counters() }
+
+// Clamped reports how many pstate and uncore requests were reduced to
+// the site limits.
+func (d *Daemon) Clamped() (pstates, uncore int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clampedPstates, d.clampedUncore
+}
+
+var _ earl.Ctl = (*Daemon)(nil)

@@ -1,0 +1,136 @@
+package eard
+
+import (
+	"testing"
+
+	"goear/internal/metrics"
+)
+
+// recorderCtl records the actuation that reached the "hardware".
+type recorderCtl struct {
+	pstate int
+	uncMin uint64
+	uncMax uint64
+}
+
+func (r *recorderCtl) SetCPUPstate(p int) error { r.pstate = p; return nil }
+func (r *recorderCtl) SetUncoreLimits(minR, maxR uint64) error {
+	r.uncMin, r.uncMax = minR, maxR
+	return nil
+}
+func (r *recorderCtl) CurrentPstate() (int, error)         { return r.pstate, nil }
+func (r *recorderCtl) CurrentUncoreRatio() (uint64, error) { return r.uncMax, nil }
+func (r *recorderCtl) Counters() (metrics.Sample, error) {
+	return metrics.Sample{TimeSec: 1, Instructions: 1}, nil
+}
+
+func TestNewDaemonValidation(t *testing.T) {
+	if _, err := NewDaemon(nil, Limits{}); err == nil {
+		t.Error("expected error for nil control path")
+	}
+	if _, err := NewDaemon(&recorderCtl{}, Limits{MinPstate: 5, MaxPstate: 2}); err == nil {
+		t.Error("expected error for inverted pstate limits")
+	}
+	if _, err := NewDaemon(&recorderCtl{}, Limits{MaxPstate: -1}); err == nil {
+		t.Error("expected error for negative limit")
+	}
+}
+
+func TestPstateClamping(t *testing.T) {
+	raw := &recorderCtl{}
+	d, err := NewDaemon(raw, Limits{MinPstate: 1, MaxPstate: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In range: forwarded untouched.
+	if err := d.SetCPUPstate(4); err != nil {
+		t.Fatal(err)
+	}
+	if raw.pstate != 4 {
+		t.Errorf("pstate = %d, want 4", raw.pstate)
+	}
+	// Too deep: clamped to the max.
+	if err := d.SetCPUPstate(12); err != nil {
+		t.Fatal(err)
+	}
+	if raw.pstate != 6 {
+		t.Errorf("pstate = %d, want clamp 6", raw.pstate)
+	}
+	// Turbo request: clamped up to min pstate 1.
+	if err := d.SetCPUPstate(0); err != nil {
+		t.Fatal(err)
+	}
+	if raw.pstate != 1 {
+		t.Errorf("pstate = %d, want clamp 1", raw.pstate)
+	}
+	ps, unc := d.Clamped()
+	if ps != 2 || unc != 0 {
+		t.Errorf("clamped = (%d,%d), want (2,0)", ps, unc)
+	}
+}
+
+func TestUncoreFloor(t *testing.T) {
+	raw := &recorderCtl{}
+	d, err := NewDaemon(raw, Limits{UncoreFloorRatio: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Above the floor: untouched.
+	if err := d.SetUncoreLimits(12, 20); err != nil {
+		t.Fatal(err)
+	}
+	if raw.uncMax != 20 || raw.uncMin != 16 {
+		t.Errorf("window = %d..%d, want 16..20 (min raised to floor)", raw.uncMin, raw.uncMax)
+	}
+	// Ceiling below the floor: raised.
+	if err := d.SetUncoreLimits(12, 13); err != nil {
+		t.Fatal(err)
+	}
+	if raw.uncMax != 16 {
+		t.Errorf("max = %d, want floor 16", raw.uncMax)
+	}
+	_, unc := d.Clamped()
+	if unc != 1 {
+		t.Errorf("uncore clamps = %d, want 1", unc)
+	}
+}
+
+func TestNoLimitsForwardsEverything(t *testing.T) {
+	raw := &recorderCtl{}
+	d, err := NewDaemon(raw, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetCPUPstate(15); err != nil {
+		t.Fatal(err)
+	}
+	if raw.pstate != 15 {
+		t.Errorf("pstate = %d, want 15", raw.pstate)
+	}
+	if err := d.SetUncoreLimits(12, 12); err != nil {
+		t.Fatal(err)
+	}
+	if raw.uncMax != 12 {
+		t.Errorf("max = %d, want 12", raw.uncMax)
+	}
+	if ps, unc := d.Clamped(); ps != 0 || unc != 0 {
+		t.Errorf("clamped = (%d,%d), want none", ps, unc)
+	}
+}
+
+func TestForwardReads(t *testing.T) {
+	raw := &recorderCtl{pstate: 3, uncMax: 20}
+	d, err := NewDaemon(raw, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := d.CurrentPstate(); p != 3 {
+		t.Errorf("pstate = %d", p)
+	}
+	if u, _ := d.CurrentUncoreRatio(); u != 20 {
+		t.Errorf("uncore = %d", u)
+	}
+	if s, _ := d.Counters(); s.Instructions != 1 {
+		t.Errorf("counters = %+v", s)
+	}
+}

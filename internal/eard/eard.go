@@ -1,0 +1,183 @@
+// Package eard implements the node-daemon side of EAR: the energy
+// accounting service. EAR's architecture splits responsibilities between
+// the per-application runtime library (EARL, package earl) and a
+// privileged node daemon that records per-job energy accounting and
+// serves it to the cluster database. This package provides that
+// accounting: job records keyed by (job, step, node), aggregation across
+// nodes, and JSON persistence.
+package eard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// JobRecord is one node's accounting entry for one job step, the unit
+// EAR's eacct tool reports.
+type JobRecord struct {
+	JobID    string  `json:"job_id"`
+	StepID   string  `json:"step_id"`
+	Node     string  `json:"node"`
+	App      string  `json:"app"`
+	Policy   string  `json:"policy"`
+	TimeSec  float64 `json:"time_sec"`
+	EnergyJ  float64 `json:"energy_j"`
+	AvgPower float64 `json:"avg_power_w"`
+	AvgCPU   float64 `json:"avg_cpu_ghz"`
+	AvgIMC   float64 `json:"avg_imc_ghz"`
+	AvgCPI   float64 `json:"avg_cpi"`
+	AvgGBs   float64 `json:"avg_gbs"`
+}
+
+// Validate reports whether the record is storable.
+func (r JobRecord) Validate() error {
+	switch {
+	case r.JobID == "" || r.Node == "":
+		return fmt.Errorf("eard: record needs job id and node")
+	case r.TimeSec <= 0:
+		return fmt.Errorf("eard: record time must be positive")
+	case r.EnergyJ < 0:
+		return fmt.Errorf("eard: record energy must be non-negative")
+	}
+	return nil
+}
+
+// key identifies a record uniquely.
+type key struct{ job, step, node string }
+
+// DB is an in-memory accounting database with JSON persistence.
+type DB struct {
+	mu   sync.RWMutex
+	recs map[key]JobRecord
+}
+
+// NewDB returns an empty accounting database.
+func NewDB() *DB { return &DB{recs: map[key]JobRecord{}} }
+
+// Insert stores (or replaces) a record.
+func (db *DB) Insert(r JobRecord) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.recs[key{r.JobID, r.StepID, r.Node}] = r
+	return nil
+}
+
+// Len returns the number of records.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.recs)
+}
+
+// Job returns all node records of one job step, sorted by node.
+func (db *DB) Job(jobID, stepID string) []JobRecord {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []JobRecord
+	for k, r := range db.recs {
+		if k.job == jobID && k.step == stepID {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// JobSummary aggregates a job step across nodes: total energy, the
+// longest node time, and power-weighted averages.
+type JobSummary struct {
+	JobID    string  `json:"job_id"`
+	StepID   string  `json:"step_id"`
+	Nodes    int     `json:"nodes"`
+	TimeSec  float64 `json:"time_sec"`    // slowest node
+	EnergyJ  float64 `json:"energy_j"`    // sum across nodes
+	AvgPower float64 `json:"avg_power_w"` // mean node power
+}
+
+// Summarize aggregates one job step. It returns an error when the job
+// has no records.
+func (db *DB) Summarize(jobID, stepID string) (JobSummary, error) {
+	recs := db.Job(jobID, stepID)
+	if len(recs) == 0 {
+		return JobSummary{}, fmt.Errorf("eard: no records for job %s step %s", jobID, stepID)
+	}
+	s := JobSummary{JobID: jobID, StepID: stepID, Nodes: len(recs)}
+	for _, r := range recs {
+		if r.TimeSec > s.TimeSec {
+			s.TimeSec = r.TimeSec
+		}
+		s.EnergyJ += r.EnergyJ
+		s.AvgPower += r.AvgPower
+	}
+	s.AvgPower /= float64(len(recs))
+	return s, nil
+}
+
+// Jobs lists distinct (job, step) pairs, sorted.
+func (db *DB) Jobs() [][2]string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	seen := map[[2]string]bool{}
+	for k := range db.recs {
+		seen[[2]string{k.job, k.step}] = true
+	}
+	out := make([][2]string, 0, len(seen))
+	for js := range seen {
+		out = append(out, js)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Save writes the database as JSON.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	recs := make([]JobRecord, 0, len(db.recs))
+	for _, r := range db.recs {
+		recs = append(recs, r)
+	}
+	db.mu.RUnlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.JobID != b.JobID {
+			return a.JobID < b.JobID
+		}
+		if a.StepID != b.StepID {
+			return a.StepID < b.StepID
+		}
+		return a.Node < b.Node
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// Load replaces the database contents from JSON produced by Save.
+func (db *DB) Load(r io.Reader) error {
+	var recs []JobRecord
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return fmt.Errorf("eard: decode: %w", err)
+	}
+	fresh := map[key]JobRecord{}
+	for _, rec := range recs {
+		if err := rec.Validate(); err != nil {
+			return err
+		}
+		fresh[key{rec.JobID, rec.StepID, rec.Node}] = rec
+	}
+	db.mu.Lock()
+	db.recs = fresh
+	db.mu.Unlock()
+	return nil
+}

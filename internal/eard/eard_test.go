@@ -1,0 +1,243 @@
+package eard
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func rec(job, step, node string, energy float64) JobRecord {
+	return JobRecord{
+		JobID: job, StepID: step, Node: node, App: "HPCG", Policy: "min_energy_eufs",
+		TimeSec: 100, EnergyJ: energy, AvgPower: energy / 100,
+	}
+}
+
+func TestInsertAndQuery(t *testing.T) {
+	db := NewDB()
+	for i := 0; i < 4; i++ {
+		if err := db.Insert(rec("j1", "s0", fmt.Sprintf("node%d", i), 1000+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert(rec("j2", "s0", "node0", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 5 {
+		t.Errorf("Len = %d, want 5", db.Len())
+	}
+	recs := db.Job("j1", "s0")
+	if len(recs) != 4 {
+		t.Fatalf("job records = %d, want 4", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Node < recs[i-1].Node {
+			t.Error("records not sorted by node")
+		}
+	}
+}
+
+func TestInsertReplacesDuplicate(t *testing.T) {
+	db := NewDB()
+	if err := db.Insert(rec("j", "s", "n", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(rec("j", "s", "n", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (replacement)", db.Len())
+	}
+	if got := db.Job("j", "s")[0].EnergyJ; got != 200 {
+		t.Errorf("energy = %v, want replacement 200", got)
+	}
+}
+
+func TestInsertValidates(t *testing.T) {
+	db := NewDB()
+	bads := []JobRecord{
+		{},
+		{JobID: "j", Node: "n", TimeSec: 0},
+		{JobID: "j", Node: "n", TimeSec: 1, EnergyJ: -5},
+		{JobID: "j", TimeSec: 1},
+	}
+	for i, b := range bads {
+		if err := db.Insert(b); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	db := NewDB()
+	if err := db.Insert(JobRecord{JobID: "j", StepID: "s", Node: "a", TimeSec: 100, EnergyJ: 30000, AvgPower: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(JobRecord{JobID: "j", StepID: "s", Node: "b", TimeSec: 102, EnergyJ: 31000, AvgPower: 304}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Summarize("j", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 2 {
+		t.Errorf("nodes = %d", s.Nodes)
+	}
+	if s.TimeSec != 102 {
+		t.Errorf("time = %v, want slowest 102", s.TimeSec)
+	}
+	if s.EnergyJ != 61000 {
+		t.Errorf("energy = %v, want 61000", s.EnergyJ)
+	}
+	if s.AvgPower != 302 {
+		t.Errorf("avg power = %v, want 302", s.AvgPower)
+	}
+	if _, err := db.Summarize("missing", ""); err == nil {
+		t.Error("expected error for missing job")
+	}
+}
+
+func TestJobsSorted(t *testing.T) {
+	db := NewDB()
+	for _, js := range [][2]string{{"j2", "s0"}, {"j1", "s1"}, {"j1", "s0"}} {
+		if err := db.Insert(rec(js[0], js[1], "n", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := db.Jobs()
+	want := [][2]string{{"j1", "s0"}, {"j1", "s1"}, {"j2", "s0"}}
+	if len(jobs) != len(want) {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	for i := range want {
+		if jobs[i] != want[i] {
+			t.Errorf("jobs[%d] = %v, want %v", i, jobs[i], want[i])
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := NewDB()
+	for i := 0; i < 3; i++ {
+		if err := db.Insert(rec("j1", "s0", fmt.Sprintf("n%d", i), float64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := NewDB()
+	if err := back.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Errorf("loaded %d records, want 3", back.Len())
+	}
+	if got := back.Job("j1", "s0")[1].EnergyJ; got != 1001 {
+		t.Errorf("loaded energy = %v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if err := db.Load(strings.NewReader(`[{"job_id":"","node":"","time_sec":0}]`)); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestConcurrentInsertAndRead(t *testing.T) {
+	db := NewDB()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = db.Insert(rec("j", "s", fmt.Sprintf("w%d-n%d", w, i), 1))
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		db.Len()
+		db.Jobs()
+	}
+	wg.Wait()
+	if db.Len() != 200 {
+		t.Errorf("Len = %d, want 200", db.Len())
+	}
+}
+
+func TestByAppAggregation(t *testing.T) {
+	db := NewDB()
+	// HPCG job on two nodes; BT job on one node, twice the energy.
+	for i, e := range []float64{30000, 31000} {
+		if err := db.Insert(JobRecord{
+			JobID: "j1", StepID: "0", Node: fmt.Sprintf("n%d", i),
+			App: "HPCG", Policy: "min_energy", TimeSec: 100, EnergyJ: e, AvgPower: e / 100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert(JobRecord{
+		JobID: "j2", StepID: "0", Node: "n0",
+		App: "BT-MZ", Policy: "min_energy_eufs", TimeSec: 200, EnergyJ: 120000, AvgPower: 600,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	apps := db.ByApp()
+	if len(apps) != 2 {
+		t.Fatalf("apps = %v", apps)
+	}
+	// Sorted by energy descending: BT-MZ (120 kJ) first.
+	if apps[0].App != "BT-MZ" || apps[1].App != "HPCG" {
+		t.Errorf("order = %s, %s", apps[0].App, apps[1].App)
+	}
+	hpcg := apps[1]
+	if hpcg.Jobs != 1 {
+		t.Errorf("HPCG jobs = %d, want 1 (two nodes, one job)", hpcg.Jobs)
+	}
+	if math.Abs(hpcg.EnergyKJ-61) > 1e-9 {
+		t.Errorf("HPCG energy = %v kJ", hpcg.EnergyKJ)
+	}
+	if math.Abs(hpcg.NodeHours-200.0/3600) > 1e-12 {
+		t.Errorf("HPCG node hours = %v", hpcg.NodeHours)
+	}
+	if math.Abs(hpcg.AvgPowerW-305) > 1e-9 {
+		t.Errorf("HPCG avg power = %v, want 305", hpcg.AvgPowerW)
+	}
+}
+
+func TestByPolicyAggregation(t *testing.T) {
+	db := NewDB()
+	for i := 0; i < 3; i++ {
+		if err := db.Insert(JobRecord{
+			JobID: fmt.Sprintf("j%d", i), StepID: "0", Node: "n0",
+			App: "X", Policy: "min_energy_eufs", TimeSec: 100, EnergyJ: 10000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert(JobRecord{
+		JobID: "j9", StepID: "0", Node: "n0",
+		App: "X", Policy: "monitoring", TimeSec: 100, EnergyJ: 11000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pols := db.ByPolicy()
+	if len(pols) != 2 {
+		t.Fatalf("policies = %v", pols)
+	}
+	if pols[0].Policy != "min_energy_eufs" || pols[0].Jobs != 3 {
+		t.Errorf("first = %+v", pols[0])
+	}
+	if pols[1].Policy != "monitoring" || math.Abs(pols[1].EnergyKJ-11) > 1e-9 {
+		t.Errorf("second = %+v", pols[1])
+	}
+}

@@ -1,0 +1,185 @@
+// Package eargm implements EAR's global manager: the cluster-level
+// energy-control service (the "energy control" pillar of the EAR
+// framework alongside accounting and optimisation). It watches total
+// cluster DC power at a fixed period and enforces a site power budget
+// by raising or releasing a CPU pstate ceiling that the node daemons
+// apply under whatever the per-job energy policies request.
+//
+// The controller is a bounded ratchet with hysteresis: each interval
+// over budget deepens the cap one pstate (down to a configured floor);
+// the cap is released one step at a time only after the cluster has
+// stayed below the release watermark, preventing oscillation around the
+// budget.
+package eargm
+
+import (
+	"fmt"
+)
+
+// Config parameterises the manager.
+type Config struct {
+	// BudgetW is the cluster DC power budget in watts.
+	BudgetW float64
+	// ReleaseMark is the fraction of the budget below which the cap is
+	// relaxed one step (default 0.92). Hysteresis between BudgetW and
+	// ReleaseMark·BudgetW keeps the controller from oscillating.
+	ReleaseMark float64
+	// IntervalSec is the control period (default 5 s; EARGM's real
+	// period is seconds to minutes).
+	IntervalSec float64
+	// MaxCapPstate is the deepest ceiling the manager may impose.
+	MaxCapPstate int
+	// MinCapPstate is the shallowest non-released ceiling (default 1,
+	// the nominal frequency: the first action is disabling turbo-level
+	// requests).
+	MinCapPstate int
+	// SettleIntervals is how many consecutive below-release intervals
+	// are required before relaxing (default 2).
+	SettleIntervals int
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.ReleaseMark == 0 {
+		c.ReleaseMark = 0.92
+	}
+	if c.IntervalSec == 0 {
+		c.IntervalSec = 5
+	}
+	if c.MinCapPstate == 0 {
+		c.MinCapPstate = 1
+	}
+	if c.SettleIntervals == 0 {
+		c.SettleIntervals = 2
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.BudgetW <= 0:
+		return fmt.Errorf("eargm: budget must be positive, got %g", c.BudgetW)
+	case c.ReleaseMark <= 0 || c.ReleaseMark >= 1:
+		return fmt.Errorf("eargm: release mark %g outside (0,1)", c.ReleaseMark)
+	case c.IntervalSec <= 0:
+		return fmt.Errorf("eargm: interval must be positive")
+	case c.MaxCapPstate < c.MinCapPstate:
+		return fmt.Errorf("eargm: max cap pstate %d below min %d", c.MaxCapPstate, c.MinCapPstate)
+	case c.MinCapPstate < 1:
+		return fmt.Errorf("eargm: min cap pstate must be >= 1")
+	case c.SettleIntervals < 1:
+		return fmt.Errorf("eargm: settle intervals must be >= 1")
+	}
+	return nil
+}
+
+// Event records one control decision for inspection.
+type Event struct {
+	TimeSec  float64
+	TotalW   float64
+	Cap      int // 0 = uncapped
+	Deepened bool
+	Relaxed  bool
+}
+
+// Manager is the global power manager. It implements sim.PowerManager.
+type Manager struct {
+	cfg Config
+
+	cap        int // 0 = released
+	belowCount int
+	events     []Event
+	peakW      float64
+	overs      int
+	intervals  int
+}
+
+// New builds a manager.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg}, nil
+}
+
+// Interval implements sim.PowerManager.
+func (m *Manager) Interval() float64 { return m.cfg.IntervalSec }
+
+// Update implements sim.PowerManager: ratchet logic over the summed
+// node powers.
+func (m *Manager) Update(now float64, nodePowerW []float64) (int, error) {
+	total := 0.0
+	for _, p := range nodePowerW {
+		if p < 0 {
+			return 0, fmt.Errorf("eargm: negative node power %g", p)
+		}
+		total += p
+	}
+	m.intervals++
+	if total > m.peakW {
+		m.peakW = total
+	}
+	ev := Event{TimeSec: now, TotalW: total, Cap: m.cap}
+
+	switch {
+	case total > m.cfg.BudgetW:
+		m.overs++
+		m.belowCount = 0
+		switch {
+		case m.cap == 0:
+			m.cap = m.cfg.MinCapPstate
+			ev.Deepened = true
+		case m.cap < m.cfg.MaxCapPstate:
+			m.cap++
+			ev.Deepened = true
+		}
+	case total < m.cfg.ReleaseMark*m.cfg.BudgetW && m.cap != 0:
+		m.belowCount++
+		if m.belowCount >= m.cfg.SettleIntervals {
+			m.belowCount = 0
+			if m.cap > m.cfg.MinCapPstate {
+				m.cap--
+			} else {
+				m.cap = 0
+			}
+			ev.Relaxed = true
+		}
+	default:
+		m.belowCount = 0
+	}
+
+	ev.Cap = m.cap
+	m.events = append(m.events, ev)
+	return m.cap, nil
+}
+
+// Cap returns the current ceiling (0 = released).
+func (m *Manager) Cap() int { return m.cap }
+
+// Events returns the decision trace.
+func (m *Manager) Events() []Event { return m.events }
+
+// Stats summarises the run for reporting.
+type Stats struct {
+	Intervals     int
+	OverBudget    int
+	PeakW         float64
+	FinalCap      int
+	OverBudgetPct float64
+}
+
+// Stats returns run statistics.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Intervals:  m.intervals,
+		OverBudget: m.overs,
+		PeakW:      m.peakW,
+		FinalCap:   m.cap,
+	}
+	if m.intervals > 0 {
+		s.OverBudgetPct = 100 * float64(m.overs) / float64(m.intervals)
+	}
+	return s
+}

@@ -1,0 +1,330 @@
+// Package earl implements the EAR Library runtime: the dynamic,
+// transparent component that attaches to a running application,
+// discovers its iterative structure (Dynais for MPI codes, time-guided
+// otherwise), computes loop signatures every ten or more seconds, and
+// drives the configured energy policy through the paper's Code 1 state
+// machine:
+//
+//	NODE_POLICY    — apply the policy on each new signature until it
+//	                 reports READY, actuating the frequencies it picks;
+//	VALIDATE_POLICY — check subsequent signatures against the policy's
+//	                 expectations; on failure restore defaults and
+//	                 re-enter NODE_POLICY.
+//
+// While validated-stable, EARL watches for application signature changes
+// (15 % on CPI or GB/s by default) and re-applies the policy when the
+// behaviour shifts.
+package earl
+
+import (
+	"fmt"
+
+	"goear/internal/dynais"
+	"goear/internal/metrics"
+	"goear/internal/policy"
+)
+
+// Ctl is EARL's view of the node: counter access and frequency
+// actuation. The simulator's node implements it; on real hardware it
+// would be backed by msr/cpufreq.
+type Ctl interface {
+	// SetCPUPstate requests the pstate on every socket.
+	SetCPUPstate(p int) error
+	// SetUncoreLimits programs MSR 0x620 on every socket.
+	SetUncoreLimits(minRatio, maxRatio uint64) error
+	// CurrentPstate returns the currently requested pstate.
+	CurrentPstate() (int, error)
+	// CurrentUncoreRatio returns the operating uncore ratio (MSR 0x621).
+	CurrentUncoreRatio() (uint64, error)
+	// Counters snapshots the node's cumulative counters; EARL fills in
+	// the iteration count itself.
+	Counters() (metrics.Sample, error)
+}
+
+// State is the Code 1 runtime state.
+type State int
+
+// Runtime states.
+const (
+	NodePolicy State = iota
+	ValidatePolicy
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case NodePolicy:
+		return "NODE_POLICY"
+	case ValidatePolicy:
+		return "VALIDATE_POLICY"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config parameterises the library.
+type Config struct {
+	// Policy is the energy policy plugin to drive.
+	Policy policy.Policy
+	// MinWindowSec is the minimum signature window (>= the DC energy
+	// meter's resolution; the paper uses 10 s).
+	MinWindowSec float64
+	// SigChangeTh re-applies the policy when a stable signature drifts
+	// beyond this relative threshold (the paper accepts 15 %).
+	SigChangeTh float64
+	// MaxLoopPeriod bounds Dynais period detection.
+	MaxLoopPeriod int
+	// NestingLevels is how many Dynais levels are stacked (default 2:
+	// inner loop plus one nesting level, enough for the outer time-step
+	// structure of the paper's applications).
+	NestingLevels int
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.MinWindowSec == 0 {
+		c.MinWindowSec = metrics.MinWindowSeconds
+	}
+	if c.SigChangeTh == 0 {
+		c.SigChangeTh = 0.15
+	}
+	if c.MaxLoopPeriod == 0 {
+		c.MaxLoopPeriod = 64
+	}
+	if c.NestingLevels == 0 {
+		c.NestingLevels = 2
+	}
+	return c
+}
+
+// Event records one signature-handling decision for tracing.
+type Event struct {
+	TimeSec     float64
+	Sig         metrics.Signature
+	State       State
+	PolicyState policy.State
+	Freqs       policy.NodeFreqs
+	Applied     bool
+	Validated   bool
+	SigChange   bool
+}
+
+// Library is one node's EARL instance.
+type Library struct {
+	cfg Config
+	ctl Ctl
+	dyn *dynais.Hierarchy
+
+	state      State
+	last       metrics.Sample
+	haveLast   bool
+	lastSigAt  float64
+	iterations int
+
+	stable     metrics.Signature
+	haveStable bool
+
+	events []Event
+	// signatures counted, for introspection
+	sigCount int
+}
+
+// New builds a library instance. Call Start before feeding events.
+func New(cfg Config, ctl Ctl) (*Library, error) {
+	cfg = cfg.Defaults()
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("earl: missing policy")
+	}
+	if ctl == nil {
+		return nil, fmt.Errorf("earl: missing node control")
+	}
+	d, err := dynais.NewHierarchy(cfg.NestingLevels, cfg.MaxLoopPeriod)
+	if err != nil {
+		return nil, err
+	}
+	return &Library{cfg: cfg, ctl: ctl, dyn: d, state: NodePolicy}, nil
+}
+
+// Start records the baseline counter sample at application begin.
+func (l *Library) Start(now float64) error {
+	s, err := l.ctl.Counters()
+	if err != nil {
+		return err
+	}
+	s.TimeSec = now
+	s.Iterations = 0
+	l.last, l.haveLast = s, true
+	l.lastSigAt = now
+	return nil
+}
+
+// OnMPICall feeds one intercepted MPI event (the PMPI path). When
+// Dynais completes an iteration and at least MinWindowSec elapsed since
+// the last signature, a new signature is computed and processed.
+func (l *Library) OnMPICall(ev uint32, now float64) error {
+	sts := l.dyn.Push(ev)
+	switch sts[0] {
+	case dynais.NewIteration:
+		l.iterations++
+		if now-l.lastSigAt >= l.cfg.MinWindowSec {
+			return l.computeSignature(now, false)
+		}
+	case dynais.EndLoop:
+		// Structure lost: next signature will be time-guided until a
+		// new loop locks.
+	}
+	return nil
+}
+
+// OnTick drives time-guided mode for applications without detected MPI
+// structure. It is a no-op while Dynais is locked.
+func (l *Library) OnTick(now float64) error {
+	if l.dyn.Locked(0) {
+		return nil
+	}
+	if now-l.lastSigAt >= l.cfg.MinWindowSec {
+		return l.computeSignature(now, true)
+	}
+	return nil
+}
+
+// computeSignature builds the window signature and runs the Code 1
+// state machine.
+func (l *Library) computeSignature(now float64, timeGuided bool) error {
+	cur, err := l.ctl.Counters()
+	if err != nil {
+		return err
+	}
+	cur.TimeSec = now
+	cur.Iterations = l.iterations
+	if !l.haveLast {
+		l.last, l.haveLast = cur, true
+		l.lastSigAt = now
+		return nil
+	}
+	sig, err := metrics.Compute(l.last, cur)
+	if err != nil {
+		// Counter anomalies (e.g. an energy reading not yet published)
+		// skip this window rather than failing the application.
+		l.last = cur
+		l.lastSigAt = now
+		return nil
+	}
+	l.last = cur
+	l.lastSigAt = now
+	l.sigCount++
+	return l.newSignature(sig, now, timeGuided)
+}
+
+// newSignature is the paper's state_new_signature.
+func (l *Library) newSignature(sig metrics.Signature, now float64, timeGuided bool) error {
+	in, err := l.inputs(sig, timeGuided)
+	if err != nil {
+		return err
+	}
+	ev := Event{TimeSec: now, Sig: sig, State: l.state}
+
+	switch l.state {
+	case NodePolicy:
+		nf, pst, err := l.cfg.Policy.Apply(in)
+		if err != nil {
+			return fmt.Errorf("earl: policy apply: %w", err)
+		}
+		if err := l.applyFreqs(nf); err != nil {
+			return err
+		}
+		ev.PolicyState, ev.Freqs, ev.Applied = pst, nf, true
+		if pst == policy.Ready {
+			l.state = ValidatePolicy
+			l.haveStable = false
+		}
+
+	case ValidatePolicy:
+		ok := l.cfg.Policy.Validate(in)
+		ev.Validated = ok
+		if !ok {
+			// set_def: restore defaults and re-run the policy.
+			def := l.cfg.Policy.Default()
+			l.cfg.Policy.Reset()
+			if err := l.applyFreqs(def); err != nil {
+				return err
+			}
+			ev.Freqs, ev.Applied = def, true
+			l.state = NodePolicy
+			l.haveStable = false
+			break
+		}
+		if !l.haveStable {
+			l.stable, l.haveStable = sig, true
+			break
+		}
+		if metrics.Changed(l.stable, sig, l.cfg.SigChangeTh) {
+			ev.SigChange = true
+			def := l.cfg.Policy.Default()
+			l.cfg.Policy.Reset()
+			if err := l.applyFreqs(def); err != nil {
+				return err
+			}
+			ev.Freqs, ev.Applied = def, true
+			l.state = NodePolicy
+			l.haveStable = false
+		}
+	}
+
+	l.events = append(l.events, ev)
+	return nil
+}
+
+// inputs assembles the policy inputs from the node state.
+func (l *Library) inputs(sig metrics.Signature, timeGuided bool) (policy.Inputs, error) {
+	ps, err := l.ctl.CurrentPstate()
+	if err != nil {
+		return policy.Inputs{}, err
+	}
+	unc, err := l.ctl.CurrentUncoreRatio()
+	if err != nil {
+		return policy.Inputs{}, err
+	}
+	return policy.Inputs{
+		Sig:                sig,
+		CurrentPstate:      ps,
+		CurrentUncoreRatio: unc,
+		TimeGuided:         timeGuided,
+	}, nil
+}
+
+// applyFreqs actuates a policy frequency selection.
+func (l *Library) applyFreqs(nf policy.NodeFreqs) error {
+	if err := l.ctl.SetCPUPstate(nf.CPUPstate); err != nil {
+		return err
+	}
+	if nf.SetIMC {
+		if err := l.ctl.SetUncoreLimits(nf.IMCMinRatio, nf.IMCMaxRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// State returns the current runtime state.
+func (l *Library) State() State { return l.state }
+
+// Iterations returns the Dynais-detected iteration count.
+func (l *Library) Iterations() int { return l.iterations }
+
+// Signatures returns how many signatures have been processed.
+func (l *Library) Signatures() int { return l.sigCount }
+
+// Events returns the decision trace.
+func (l *Library) Events() []Event { return l.events }
+
+// LoopDetected reports whether Dynais currently has a lock.
+func (l *Library) LoopDetected() bool { return l.dyn.Locked(0) }
+
+// NestedStructure returns the highest locked Dynais level and its
+// period: level 0 is the innermost MPI loop; higher levels describe
+// outer (time-step) structure. It returns (-1, 0) when nothing is
+// locked.
+func (l *Library) NestedStructure() (level, period int) {
+	return l.dyn.TopLocked()
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"goear/internal/report"
+	"goear/internal/sim"
+	"goear/internal/workload"
+)
+
+// Ablations regenerates the design-choice ablations listed in DESIGN.md
+// (A1-A5): each varies one decision the paper's §V-B fixes.
+func (c *Context) Ablations() ([]report.Table, error) {
+	var out []report.Table
+	for _, g := range []func() (report.Table, error){
+		c.ablationSearch,
+		c.ablationAVX512,
+		c.ablationRatioMode,
+		c.ablationUncTh,
+		c.ablationSigChange,
+	} {
+		t, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ablationSearch (A1): HW-guided vs linear (from-maximum) IMC search on
+// a workload where the hardware settles well below the maximum
+// (BT.CUDA), so the starting points genuinely differ. The settle column
+// (from the run trace: the last change of the programmed uncore
+// ceiling) shows the guided search converging faster — the paper's
+// stated reason for preferring it.
+func (c *Context) ablationSearch() (report.Table, error) {
+	t := report.Table{
+		Title: "Ablation A1: HW-guided vs not-guided IMC search start (BT.CUDA)",
+		Columns: []string{"configuration", "time penalty", "DC power saving",
+			"energy saving", "settle (s)", "avg IMC (GHz)"},
+	}
+	name := workload.BTCUDA
+	base, err := c.baseline(name)
+	if err != nil {
+		return report.Table{}, err
+	}
+	for _, cfgr := range []struct {
+		label string
+		opt   sim.Options
+	}{
+		{"ME+eU (HW-guided)", sim.Options{Policy: "min_energy_eufs", Seed: 40, Trace: true}},
+		{"ME+NG-U (from max)", sim.Options{Policy: "min_energy_eufs", HWGuidedOff: true, Seed: 40, Trace: true}},
+	} {
+		r, err := c.run(name, cfgr.opt)
+		if err != nil {
+			return report.Table{}, err
+		}
+		d := deltaOf(base, r)
+		if err := t.AddRow(cfgr.label,
+			report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
+			report.Pct(d.EnergySavingPct),
+			report.F(settleTime(r.Nodes[0].Trace), 0),
+			report.GHz(d.AvgIMCGHz)); err != nil {
+			return report.Table{}, err
+		}
+	}
+	return t, nil
+}
+
+// settleTime returns the simulated time of the last change of the
+// programmed uncore ceiling, i.e. when the search stopped moving.
+func settleTime(trace []sim.TracePoint) float64 {
+	last := 0.0
+	for i := 1; i < len(trace); i++ {
+		if trace[i].UncMax != trace[i-1].UncMax {
+			last = trace[i].TimeSec
+		}
+	}
+	return last
+}
+
+// ablationAVX512 (A2): the AVX512-aware model vs the pre-extension
+// default model on DGEMM (VPI = 1).
+func (c *Context) ablationAVX512() (report.Table, error) {
+	t := report.Table{
+		Title:   "Ablation A2: AVX512 model on/off (DGEMM, min_energy)",
+		Columns: figColumns(),
+	}
+	name := workload.DGEMM
+	if err := c.configRow(&t, "AVX512 model", name,
+		sim.Options{Policy: "min_energy", Seed: 40}); err != nil {
+		return report.Table{}, err
+	}
+	if err := c.configRow(&t, "default model", name,
+		sim.Options{Policy: "min_energy", NoAVX512Model: true, Seed: 40}); err != nil {
+		return report.Table{}, err
+	}
+	return t, nil
+}
+
+// ablationRatioMode (A3): moving only the maximum uncore ratio (the
+// paper's choice) vs pinning min=max during the search.
+func (c *Context) ablationRatioMode() (report.Table, error) {
+	t := report.Table{
+		Title:   "Ablation A3: move-max-only vs pin min=max uncore window (BT-MZ.C, ME+eU)",
+		Columns: figColumns(),
+	}
+	name := workload.BTMZC
+	if err := c.configRow(&t, "move max only", name,
+		sim.Options{Policy: "min_energy_eufs", Seed: 40}); err != nil {
+		return report.Table{}, err
+	}
+	if err := c.configRow(&t, "pin min=max", name,
+		sim.Options{Policy: "min_energy_eufs", PinBothUncoreLimits: true, Seed: 40}); err != nil {
+		return report.Table{}, err
+	}
+	return t, nil
+}
+
+// ablationUncTh (A4): unc_policy_th sensitivity on SP-MZ.
+func (c *Context) ablationUncTh() (report.Table, error) {
+	t := report.Table{
+		Title:   "Ablation A4: unc_policy_th sensitivity (SP-MZ.C, ME+eU)",
+		Columns: figColumns(),
+	}
+	name := workload.SPMZC
+	for _, unc := range []float64{0.005, 0.01, 0.02, 0.03, 0.05} {
+		label := "unc_th " + report.F(unc*100, 1) + "%"
+		if err := c.configRow(&t, label, name, sim.Options{
+			Policy: "min_energy_eufs", UncTh: unc, Seed: 40,
+		}); err != nil {
+			return report.Table{}, err
+		}
+	}
+	return t, nil
+}
+
+// ablationSigChange (A5): EARL's signature-change threshold. The mild
+// two-phase workload shifts CPI by ~13% mid-run, so a 10% threshold
+// re-applies the policy on the shift while 15% and 20% ride through it;
+// the drastic PhaseChange workload is caught by every threshold.
+func (c *Context) ablationSigChange() (report.Table, error) {
+	t := report.Table{
+		Title: "Ablation A5: signature-change threshold (min_energy_eufs)",
+		Columns: []string{"workload", "sig_th", "policy applies",
+			"time penalty", "energy saving"},
+	}
+	for _, name := range []string{workload.PhaseChangeMild, workload.PhaseChange} {
+		base, err := c.baseline(name)
+		if err != nil {
+			return report.Table{}, err
+		}
+		for _, th := range []float64{0.10, 0.15, 0.20} {
+			r, err := c.run(name, sim.Options{
+				Policy: "min_energy_eufs", SigChangeTh: th, Seed: 40,
+			})
+			if err != nil {
+				return report.Table{}, err
+			}
+			d := deltaOf(base, r)
+			if err := t.AddRow(name, report.F(th*100, 0)+"%",
+				report.F(float64(r.Nodes[0].PolicyApplies), 0),
+				report.Pct(d.TimePenaltyPct), report.Pct(d.EnergySavingPct)); err != nil {
+				return report.Table{}, err
+			}
+		}
+	}
+	return t, nil
+}

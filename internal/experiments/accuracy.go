@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"goear/internal/metrics"
+	"goear/internal/perf"
+	"goear/internal/power"
+	"goear/internal/report"
+	"goear/internal/workload"
+)
+
+func init() {
+	generators["model_accuracy"] = (*Context).ModelAccuracy
+}
+
+// accuracyProbes are held-out phases (not in the training grid),
+// spanning the catalogue's behaviour space.
+func accuracyProbes(cores int) []perf.Phase {
+	return []perf.Phase{
+		{BaseCPI: 0.38, BytesPerInstr: 0.11, Overlap: 0.7, ActiveCores: cores},  // BT-like
+		{BaseCPI: 0.42, BytesPerInstr: 0.45, Overlap: 0.82, ActiveCores: cores}, // SP-like
+		{BaseCPI: 0.55, BytesPerInstr: 1.7, Overlap: 0.9, ActiveCores: cores},   // mixed
+		{BaseCPI: 0.31, BytesPerInstr: 2.4, Overlap: 0.96, ActiveCores: cores},  // POP-like
+		{BaseCPI: 0.85, BytesPerInstr: 5.8, Overlap: 0.993, ActiveCores: cores}, // HPCG-like
+	}
+}
+
+// ModelAccuracy reports the trained energy model's held-out prediction
+// error (mean and maximum absolute relative CPI error, which equals the
+// relative time error under the projection identity) as a function of
+// projection distance, per platform — the fidelity evidence behind the
+// policies' decisions.
+func (c *Context) ModelAccuracy() ([]report.Table, error) {
+	var out []report.Table
+	for _, pl := range []workload.Platform{workload.SD530(), workload.CascadeLake()} {
+		m, err := c.modelFor(pl)
+		if err != nil {
+			return nil, err
+		}
+		t := report.Table{
+			Title: fmt.Sprintf("Model accuracy (%s): held-out projection error from the nominal pstate", pl.Name),
+			Columns: []string{"target pstate", "target freq (GHz)",
+				"mean |CPI err|", "max |CPI err|", "mean |power err|"},
+		}
+		cpuM := pl.Machine.CPU
+		fromRatio, err := cpuM.PstateRatio(1)
+		if err != nil {
+			return nil, err
+		}
+		for to := 2; to < cpuM.PstateCount(); to += 2 {
+			toRatio, err := cpuM.PstateRatio(to)
+			if err != nil {
+				return nil, err
+			}
+			var cpiErrs, powErrs []float64
+			for _, ph := range accuracyProbes(cpuM.TotalCores()) {
+				src, err := perf.Evaluate(pl.Machine, ph, perf.Operating{
+					CoreRatio: fromRatio, UncoreRatio: cpuM.UncoreMaxRatio,
+				})
+				if err != nil {
+					return nil, err
+				}
+				dst, err := perf.Evaluate(pl.Machine, ph, perf.Operating{
+					CoreRatio: toRatio, UncoreRatio: cpuM.UncoreMaxRatio,
+				})
+				if err != nil {
+					return nil, err
+				}
+				srcPow, err := pl.Power.Node(powerInput(pl, ph, src))
+				if err != nil {
+					return nil, err
+				}
+				dstPow, err := pl.Power.Node(powerInput(pl, ph, dst))
+				if err != nil {
+					return nil, err
+				}
+				sig := metrics.Signature{
+					IterTimeSec: 1, CPI: src.CPI,
+					TPI: ph.BytesPerInstr / perf.CacheLineBytes,
+					GBs: src.NodeGBs, DCPowerW: srcPow.Total,
+				}
+				pred, err := m.Predict(sig, 1, to)
+				if err != nil {
+					return nil, err
+				}
+				cpiErrs = append(cpiErrs, math.Abs(pred.CPI-dst.CPI)/dst.CPI)
+				powErrs = append(powErrs, math.Abs(pred.PowerW-dstPow.Total)/dstPow.Total)
+			}
+			f, err := cpuM.PstateFreq(to)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.AddRow(fmt.Sprint(to), report.GHz(f.GHzF()),
+				report.Pct(100*mean(cpiErrs)), report.Pct(100*maxOf(cpiErrs)),
+				report.Pct(100*mean(powErrs))); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func powerInput(pl workload.Platform, ph perf.Phase, r perf.Result) power.Input {
+	return power.Input{
+		CoreFreqGHz:   r.EffCoreFreq.GHzF(),
+		UncoreFreqGHz: r.UncoreFreq.GHzF(),
+		Sockets:       pl.Machine.CPU.Sockets,
+		ActiveCores:   ph.ActiveCores,
+		Activity:      1.0,
+		GBs:           r.NodeGBs,
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

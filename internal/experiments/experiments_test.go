@@ -1,0 +1,463 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"goear/internal/sim"
+	"goear/internal/workload"
+)
+
+// parsePct converts a "12.34%" cell back to a float.
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestIDsAndUnknown(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 19 {
+		t.Errorf("IDs = %v (%d), want 19 experiments", ids, len(ids))
+	}
+	c := NewQuick()
+	if _, err := c.Generate("nope"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 kernels", len(tab.Rows))
+	}
+	// First row is BT-MZ.C with the published characteristics.
+	r := tab.Rows[0]
+	if r[0] != workload.BTMZC {
+		t.Errorf("row 0 kernel = %q", r[0])
+	}
+	if tm := parseF(t, r[2]); tm < 140 || tm > 150 {
+		t.Errorf("BT-MZ.C time = %v, want ~145", tm)
+	}
+	if p := parseF(t, r[5]); p < 325 || p > 340 {
+		t.Errorf("BT-MZ.C power = %v, want ~332", p)
+	}
+}
+
+func TestTable3ShapeMatchesPaper(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	for _, row := range tab.Rows {
+		me := parsePct(t, row[5])   // energy saving ME
+		eu := parsePct(t, row[6])   // energy saving ME+eU
+		tpEU := parsePct(t, row[2]) // time penalty ME+eU
+		// Explicit UFS must add savings over ME on every kernel
+		// except DGEMM, where the paper also reports ~1% vs 0%.
+		if row[0] != workload.DGEMM && eu < me {
+			t.Errorf("%s: eUFS saving %.2f%% below ME %.2f%%", row[0], eu, me)
+		}
+		if tpEU > 3 {
+			t.Errorf("%s: eUFS time penalty %.2f%%, want <= 3%% (paper max 1%%)", row[0], tpEU)
+		}
+	}
+	// BT.CUDA: both configurations save ~10% (busy-wait host).
+	for _, row := range tab.Rows {
+		if row[0] == workload.BTCUDA {
+			if me := parsePct(t, row[5]); me < 7 {
+				t.Errorf("BT.CUDA ME saving = %.2f%%, want ~10%%", me)
+			}
+		}
+	}
+}
+
+func TestTable4FrequencyDomains(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (5 kernels x 2 domains)", len(tab.Rows))
+	}
+	byKernelDom := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKernelDom[row[0]+"/"+row[1]] = row
+	}
+	// BT-MZ.C: CPU untouched everywhere; IMC lowered only by eUFS
+	// (paper: 2.39 / 2.39 / 1.98).
+	r := byKernelDom[workload.BTMZC+"/IMC"]
+	if base, eu := parseF(t, r[2]), parseF(t, r[4]); !(base > 2.3 && eu < 2.15 && eu > 1.8) {
+		t.Errorf("BT-MZ.C IMC row = %v, want 2.39 -> ~1.98", r)
+	}
+	// DGEMM: the AVX512 licence keeps CPU at ~2.2 in all configs.
+	r = byKernelDom[workload.DGEMM+"/CPU"]
+	for i := 2; i <= 4; i++ {
+		if f := parseF(t, r[i]); f < 2.1 || f > 2.25 {
+			t.Errorf("DGEMM CPU col %d = %v, want ~2.18", i, f)
+		}
+	}
+	// BT.CUDA: hardware collapses the uncore under ME (paper 1.51).
+	r = byKernelDom[workload.BTCUDA+"/IMC"]
+	if me := parseF(t, r[3]); me > 1.8 {
+		t.Errorf("BT.CUDA ME IMC = %v, want ~1.5", me)
+	}
+}
+
+func TestFig1SweepShape(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d, want 2 (BT-MZ and LU)", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 13 {
+			t.Errorf("%s: rows = %d, want 13 (2.4..1.2 GHz)", tab.Title, len(tab.Rows))
+		}
+		// Power saving grows monotonically as the uncore drops.
+		prev := -100.0
+		for _, row := range tab.Rows {
+			ps := parsePct(t, row[1])
+			if ps < prev-0.3 { // small tolerance for noise
+				t.Errorf("%s: power saving not monotone at %s GHz (%v after %v)",
+					tab.Title, row[0], ps, prev)
+			}
+			prev = ps
+		}
+		// At the lowest uncore, the memory-dependent kernel pays real
+		// time; and for LU the GB/s penalty must be visible.
+		last := tab.Rows[len(tab.Rows)-1]
+		if strings.Contains(tab.Title, workload.LUDMotiv) {
+			if tp := parsePct(t, last[3]); tp < 3 {
+				t.Errorf("LU at 1.2GHz: time penalty %.2f%%, want substantial", tp)
+			}
+			if gp := parsePct(t, last[4]); gp < 3 {
+				t.Errorf("LU at 1.2GHz: GB/s penalty %.2f%%, want substantial", gp)
+			}
+		}
+	}
+}
+
+func TestFig4ThresholdMonotonicity(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Larger unc_policy_th must not reduce power savings.
+	s0 := parsePct(t, tab.Rows[1][2])
+	s2 := parsePct(t, tab.Rows[3][2])
+	if s2 < s0-0.3 {
+		t.Errorf("power saving at 2%% (%v) below 0%% threshold (%v)", s2, s0)
+	}
+	// Even at 0% threshold some saving remains (the paper's point —
+	// though the magnitude is smaller here; see EXPERIMENTS.md on the
+	// missing "free region" of the real silicon's latency response).
+	if s0 < 0.3 {
+		t.Errorf("unc_th 0%%: power saving %.2f%%, want > 0.3%%", s0)
+	}
+}
+
+func TestRunCacheReuse(t *testing.T) {
+	c := NewQuick()
+	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "none", Seed: 100}); err != nil {
+		t.Fatal(err)
+	}
+	n := len(c.runs)
+	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "none", Seed: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.runs) != n {
+		t.Errorf("cache grew on identical run: %d -> %d", n, len(c.runs))
+	}
+	// Different thresholds are distinct entries.
+	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "min_energy", CPUTh: 0.05, Seed: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.runs) != n+2 {
+		t.Errorf("distinct options not cached separately: %d", len(c.runs))
+	}
+}
+
+func TestSummaryBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-application sweep in short mode")
+	}
+	c := NewQuick()
+	tabs, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	avgE := parsePct(t, tab.Rows[0][1])
+	maxE := parsePct(t, tab.Rows[0][2])
+	avgT := parsePct(t, tab.Rows[1][1])
+	maxT := parsePct(t, tab.Rows[1][2])
+	// Paper: avg energy ~8.75%, max 13.77%; avg penalty 2.91%, max 4.95%.
+	if avgE < 4 || avgE > 13 {
+		t.Errorf("avg energy saving = %.2f%%, want near the paper's ~9%%", avgE)
+	}
+	if maxE < 8 || maxE > 20 {
+		t.Errorf("max energy saving = %.2f%%, want near the paper's ~14%%", maxE)
+	}
+	if avgT < 0 || avgT > 6 {
+		t.Errorf("avg time penalty = %.2f%%, want near the paper's ~3%%", avgT)
+	}
+	if maxT > 9 {
+		t.Errorf("max time penalty = %.2f%%, want bounded like the paper's ~5%%", maxT)
+	}
+}
+
+func TestTable7ScopeGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-application sweep in short mode")
+	}
+	c := NewQuick()
+	tabs, err := c.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 applications", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		dc := parsePct(t, row[1])
+		pck := parsePct(t, row[2])
+		// The paper's point: PCK-relative savings always look larger
+		// than DC-relative savings, and the gap is not constant.
+		if pck <= dc {
+			t.Errorf("%s: PCK saving %.2f%% not above DC %.2f%%", row[0], pck, dc)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep in short mode")
+	}
+	c := NewQuick()
+	tabs, err := c.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 5 {
+		t.Fatalf("ablation tables = %d, want 5 (A1-A5)", len(tabs))
+	}
+	// A2: without the AVX512 model, DGEMM saves less energy.
+	a2 := tabs[1]
+	with := parsePct(t, a2.Rows[0][3])
+	without := parsePct(t, a2.Rows[1][3])
+	if without > with+0.3 {
+		t.Errorf("A2: default model saving %.2f%% above AVX512 model %.2f%%", without, with)
+	}
+}
+
+func TestFig3ThresholdProgression(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want ME + three thresholds", len(tab.Rows))
+	}
+	// ME alone saves nothing on BQCD (CPU held at nominal by the 3%
+	// threshold); savings grow monotonically with unc_policy_th.
+	if me := parsePct(t, tab.Rows[0][3]); me > 1 {
+		t.Errorf("ME energy saving = %v%%, want ~0", me)
+	}
+	prev := -1.0
+	for _, row := range tab.Rows[1:] {
+		s := parsePct(t, row[3])
+		if s < prev-0.2 {
+			t.Errorf("energy saving regressed at %s: %v after %v", row[0], s, prev)
+		}
+		prev = s
+	}
+	// Power must scale faster than time penalty (the paper's note).
+	last := tab.Rows[len(tab.Rows)-1]
+	if ps, tp := parsePct(t, last[2]), parsePct(t, last[1]); ps <= tp {
+		t.Errorf("power saving %v%% not above time penalty %v%%", ps, tp)
+	}
+}
+
+func TestFig5GuidedColumns(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 2 thresholds x 3 configs", len(tab.Rows))
+	}
+	// eUFS adds real savings over ME for GROMACS(I) at both thresholds.
+	for _, idx := range [][2]int{{0, 2}, {3, 5}} {
+		me := parsePct(t, tab.Rows[idx[0]][3])
+		eu := parsePct(t, tab.Rows[idx[1]][3])
+		if eu < me+2 {
+			t.Errorf("rows %v: eUFS %v%% not clearly above ME %v%%", idx, eu, me)
+		}
+	}
+}
+
+func TestFig6EUFSBeatsME(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	me := parsePct(t, tab.Rows[0][3])
+	eu := parsePct(t, tab.Rows[1][3])
+	// Paper: ~14% for ME+eU on GROMACS(II), ME near zero.
+	if eu < 8 || me > 2 {
+		t.Errorf("GROMACS(II): ME %v%%, ME+eU %v%%, want ~0 and ~13", me, eu)
+	}
+}
+
+func TestFig8ThresholdTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-application sweep in short mode")
+	}
+	c := NewQuick()
+	tabs, err := c.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d (DUMSES, AFiD)", len(tabs))
+	}
+	for _, tab := range tabs {
+		// cpu_th 5% saves at least as much energy as 3%, at higher
+		// penalty — the user-facing trade-off of the figure.
+		e3 := parsePct(t, tab.Rows[1][3]) // ME+eU at 3%
+		e5 := parsePct(t, tab.Rows[3][3]) // ME+eU at 5%
+		t3 := parsePct(t, tab.Rows[1][1])
+		t5 := parsePct(t, tab.Rows[3][1])
+		if e5 < e3-0.3 {
+			t.Errorf("%s: 5%% saving %v below 3%% saving %v", tab.Title, e5, e3)
+		}
+		if t5 < t3-0.3 {
+			t.Errorf("%s: 5%% penalty %v below 3%% penalty %v", tab.Title, t5, t3)
+		}
+	}
+}
+
+func TestBaselinesStory(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.Baselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// On HPCG the feedback controller (uncore only) leaves the DVFS
+	// saving on the table.
+	var hpcgEU, hpcgDUF float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case workload.HPCG + " / ME+eU":
+			hpcgEU = parsePct(t, row[3])
+		case workload.HPCG + " / duf":
+			hpcgDUF = parsePct(t, row[3])
+		}
+	}
+	if hpcgEU < hpcgDUF+5 {
+		t.Errorf("HPCG: ME+eU %v%% not clearly above duf %v%%", hpcgEU, hpcgDUF)
+	}
+}
+
+func TestFutureWorkStory(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.FutureWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	// min_time on the CPU-bound kernel climbs to nominal and saves
+	// ~nothing; the eUFS stage adds the uncore saving.
+	mt := parsePct(t, tab.Rows[0][3])
+	mteu := parsePct(t, tab.Rows[1][3])
+	if mt > 1 {
+		t.Errorf("min_time on BT-MZ saves %v%%, want ~0", mt)
+	}
+	if mteu < 3 {
+		t.Errorf("min_time+eU on BT-MZ saves %v%%, want the uncore saving", mteu)
+	}
+}
+
+func TestA1SettleTimeShowsGuidedAdvantage(t *testing.T) {
+	c := NewQuick()
+	tab, err := c.ablationSearch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided := parseF(t, tab.Rows[0][4])
+	fromMax := parseF(t, tab.Rows[1][4])
+	if guided >= fromMax {
+		t.Errorf("guided settle %vs not below from-max %vs", guided, fromMax)
+	}
+}
+
+func TestModelAccuracyExperiment(t *testing.T) {
+	c := NewQuick()
+	tabs, err := c.ModelAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d (SD530, CascadeLake)", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) < 5 {
+			t.Fatalf("%s: rows = %d", tab.Title, len(tab.Rows))
+		}
+		// Near projections must be accurate (< 5% mean CPI error at the
+		// first sampled pstate).
+		if e := parsePct(t, tab.Rows[0][2]); e > 5 {
+			t.Errorf("%s: near-projection error %v%%", tab.Title, e)
+		}
+		// Error generally grows with distance but stays bounded.
+		last := tab.Rows[len(tab.Rows)-1]
+		if e := parsePct(t, last[3]); e > 40 {
+			t.Errorf("%s: far-projection max error %v%%", tab.Title, e)
+		}
+	}
+}

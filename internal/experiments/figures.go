@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+
+	"goear/internal/report"
+	"goear/internal/sim"
+	"goear/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: the motivation uncore sweep. For each
+// motivation kernel, the CPU frequency the policy selects is pinned and
+// the uncore frequency is fixed from 2.4 GHz down to 1.2 GHz in 100 MHz
+// steps; each row reports average DC power saving, energy saving, time
+// penalty and GB/s penalty against the run with hardware UFS, plus the
+// average IMC frequency (the figure's second y-axis).
+func (c *Context) Fig1() ([]report.Table, error) {
+	var out []report.Table
+	for _, name := range []string{workload.BTMZMotiv, workload.LUDMotiv} {
+		// Stage 1: let the policy pick the CPU frequency.
+		me, err := c.run(name, sim.Options{Policy: "min_energy", Seed: 10})
+		if err != nil {
+			return nil, err
+		}
+		pinned := me.Nodes[0].FinalCPUPstate
+
+		// Stage 2: reference run at that CPU frequency with hardware
+		// UFS (default uncore range).
+		ref, err := c.run(name, sim.Options{Policy: "none", Seed: 10, FixedCPUPstate: &pinned})
+		if err != nil {
+			return nil, err
+		}
+
+		t := report.Table{
+			Title: fmt.Sprintf("Fig 1 (%s): fixed-uncore sweep at policy-selected CPU frequency (pstate %d); reference avg IMC %s GHz",
+				name, pinned, report.GHz(ref.AvgIMCGHz)),
+			Columns: []string{"uncore (GHz)", "power saving", "energy saving",
+				"time penalty", "GB/s penalty", "avg IMC (GHz)"},
+		}
+		cal, err := c.cal(name)
+		if err != nil {
+			return nil, err
+		}
+		maxR := cal.Platform.Machine.CPU.UncoreMaxRatio
+		minR := cal.Platform.Machine.CPU.UncoreMinRatio
+		for r := maxR; ; r-- {
+			ratio := r
+			run, err := c.run(name, sim.Options{
+				Policy: "none", Seed: 10,
+				FixedCPUPstate: &pinned, FixedUncoreRatio: &ratio,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d := deltaOf(ref, run)
+			if err := t.AddRow(report.GHz(float64(r)/10),
+				report.Pct(d.PowerSavingPct), report.Pct(d.EnergySavingPct),
+				report.Pct(d.TimePenaltyPct), report.Pct(d.GBsPenaltyPct),
+				report.GHz(run.AvgIMCGHz)); err != nil {
+				return nil, err
+			}
+			if r == minR {
+				break
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// configRow renders one ME-variant configuration against baseline.
+func (c *Context) configRow(t *report.Table, label, name string, opt sim.Options) error {
+	d, err := c.compare(name, opt)
+	if err != nil {
+		return err
+	}
+	return t.AddRow(label,
+		report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
+		report.Pct(d.EnergySavingPct), report.GHz(d.AvgCPUGHz), report.GHz(d.AvgIMCGHz))
+}
+
+// figColumns is the shared column layout of the bar figures.
+func figColumns() []string {
+	return []string{"configuration", "time penalty", "DC power saving",
+		"energy saving", "avg CPU (GHz)", "avg IMC (GHz)"}
+}
+
+// Fig3 reproduces Figure 3: BQCD under ME and ME+eU with
+// unc_policy_th 1%, 2% and 3% (cpu_policy_th 3%).
+func (c *Context) Fig3() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Fig 3: BQCD, min_energy configurations (cpu_th 3%)",
+		Columns: figColumns(),
+	}
+	name := workload.BQCD
+	if err := c.configRow(&t, "ME", name,
+		sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 30}); err != nil {
+		return nil, err
+	}
+	for _, unc := range []float64{0.01, 0.02, 0.03} {
+		label := fmt.Sprintf("ME+eU %d%%", int(unc*100))
+		if err := c.configRow(&t, label, name, sim.Options{
+			Policy: "min_energy_eufs", CPUTh: 0.03, UncTh: unc, Seed: 30,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// Fig4 reproduces Figure 4: BT-MZ under ME and ME+eU with
+// unc_policy_th 0%, 1% and 2% (cpu_policy_th 3%).
+func (c *Context) Fig4() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Fig 4: BT-MZ, min_energy configurations (cpu_th 3%)",
+		Columns: figColumns(),
+	}
+	name := workload.BTMZD
+	if err := c.configRow(&t, "ME", name,
+		sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 30}); err != nil {
+		return nil, err
+	}
+	for _, unc := range []float64{0.001, 0.01, 0.02} {
+		label := fmt.Sprintf("ME+eU %g%%", unc*100)
+		if unc == 0.001 {
+			label = "ME+eU 0%"
+		}
+		if err := c.configRow(&t, label, name, sim.Options{
+			Policy: "min_energy_eufs", CPUTh: 0.03, UncTh: unc, Seed: 30,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// Fig5 reproduces Figure 5: GROMACS(I) with cpu_policy_th 3% and 5%,
+// comparing ME, the not-guided uncore search (ME+NG-U) and the
+// HW-guided search (ME+eU), all with unc_policy_th 2%.
+func (c *Context) Fig5() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Fig 5: GROMACS(I), HW-guided vs not-guided uncore search (unc_th 2%)",
+		Columns: figColumns(),
+	}
+	name := workload.GromacsI
+	for _, th := range []float64{0.03, 0.05} {
+		pct := int(th * 100)
+		if err := c.configRow(&t, fmt.Sprintf("ME (cpu_th %d%%)", pct), name,
+			sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30}); err != nil {
+			return nil, err
+		}
+		if err := c.configRow(&t, fmt.Sprintf("ME+NG-U (cpu_th %d%%)", pct), name,
+			sim.Options{Policy: "min_energy_eufs", CPUTh: th, HWGuidedOff: true, Seed: 30}); err != nil {
+			return nil, err
+		}
+		if err := c.configRow(&t, fmt.Sprintf("ME+eU (cpu_th %d%%)", pct), name,
+			sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30}); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// Fig6 reproduces Figure 6: GROMACS(II) under ME and ME+eU
+// (cpu_policy_th 5%, unc_policy_th 2%).
+func (c *Context) Fig6() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Fig 6: GROMACS(II), min_energy configurations (cpu_th 5%)",
+		Columns: figColumns(),
+	}
+	name := workload.GromacsII
+	if err := c.configRow(&t, "ME", name,
+		sim.Options{Policy: "min_energy", Seed: 30}); err != nil {
+		return nil, err
+	}
+	if err := c.configRow(&t, "ME+eU", name,
+		sim.Options{Policy: "min_energy_eufs", Seed: 30}); err != nil {
+		return nil, err
+	}
+	return []report.Table{t}, nil
+}
+
+// ratioRow renders a configuration including the efficiency ratio
+// (energy saving over time penalty) Figs. 7-8 discuss.
+func (c *Context) ratioRow(t *report.Table, label, name string, opt sim.Options) error {
+	d, err := c.compare(name, opt)
+	if err != nil {
+		return err
+	}
+	ratio := "-"
+	if d.EfficiencyRatio != 0 {
+		ratio = report.F(d.EfficiencyRatio, 2)
+	}
+	return t.AddRow(label,
+		report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
+		report.Pct(d.EnergySavingPct), ratio)
+}
+
+func ratioColumns() []string {
+	return []string{"configuration", "time penalty", "DC power saving",
+		"energy saving", "eff. ratio"}
+}
+
+// Fig7 reproduces Figure 7: HPCG (a) and POP (b) under ME and ME+eU
+// (cpu_policy_th 5%, unc_policy_th 2%), with the efficiency ratio.
+func (c *Context) Fig7() ([]report.Table, error) {
+	var out []report.Table
+	for _, name := range []string{workload.HPCG, workload.POP} {
+		t := report.Table{
+			Title:   fmt.Sprintf("Fig 7 (%s): min_energy configurations (cpu_th 5%%)", name),
+			Columns: ratioColumns(),
+		}
+		if err := c.ratioRow(&t, "ME", name,
+			sim.Options{Policy: "min_energy", Seed: 30}); err != nil {
+			return nil, err
+		}
+		if err := c.ratioRow(&t, "ME+eU", name,
+			sim.Options{Policy: "min_energy_eufs", Seed: 30}); err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig8 reproduces Figure 8: DUMSES (a) and AFiD (b) with
+// cpu_policy_th 3% and 5% (unc_policy_th 2%).
+func (c *Context) Fig8() ([]report.Table, error) {
+	var out []report.Table
+	for _, name := range []string{workload.DUMSES, workload.AFiD} {
+		t := report.Table{
+			Title:   fmt.Sprintf("Fig 8 (%s): cpu_th 3%% vs 5%% (unc_th 2%%)", name),
+			Columns: ratioColumns(),
+		}
+		for _, th := range []float64{0.03, 0.05} {
+			pct := int(th * 100)
+			if err := c.ratioRow(&t, fmt.Sprintf("ME (cpu_th %d%%)", pct), name,
+				sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30}); err != nil {
+				return nil, err
+			}
+			if err := c.ratioRow(&t, fmt.Sprintf("ME+eU (cpu_th %d%%)", pct), name,
+				sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30}); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

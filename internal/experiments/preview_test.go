@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPreview prints selected experiments for development inspection.
+// Run with: go test ./internal/experiments -run TestPreview -v -preview
+func TestPreview(t *testing.T) {
+	if os.Getenv("GOEAR_PREVIEW") == "" {
+		t.Skip("set GOEAR_PREVIEW=ids to print experiment previews")
+	}
+	c := NewQuick()
+	for _, id := range []string{"table3", "table4", "fig7", "table7", "summary"} {
+		tabs, err := c.Generate(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, tb := range tabs {
+			if err := tb.Render(os.Stdout); err != nil {
+				t.Fatal(err)
+			}
+			os.Stdout.WriteString("\n")
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"goear/internal/report"
+	"goear/internal/sim"
+	"goear/internal/workload"
+)
+
+// Table1 reproduces Table I: kernel metrics under min_energy_to_solution
+// with hardware IMC selection, for the motivation kernels (BT-MZ.C over
+// 4 nodes, LU.D over 2 nodes).
+func (c *Context) Table1() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Table I: kernel metrics under min_energy with hardware IMC selection",
+		Columns: []string{"kernel", "CPI", "GB/s", "CPU freq (GHz)", "IMC freq (GHz)"},
+	}
+	for _, name := range []string{workload.BTMZMotiv, workload.LUDMotiv} {
+		r, err := c.run(name, sim.Options{Policy: "min_energy", Seed: 10})
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name, report.F(r.AvgCPI, 2), report.F(r.AvgGBs, 2),
+			report.GHz(r.AvgCPUGHz), report.GHz(r.AvgIMCGHz)); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// Table2 reproduces Table II: single-node kernel characteristics at
+// nominal frequency.
+func (c *Context) Table2() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Table II: single node kernels",
+		Columns: []string{"kernel", "prog. model", "time (s)", "CPI", "GB/s", "avg DC power (W)"},
+	}
+	for _, name := range workload.Kernels() {
+		spec, err := workload.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name, spec.ProgModel, report.F(r.TimeSec, 0),
+			report.F(r.AvgCPI, 2), report.F(r.AvgGBs, 2), report.F(r.AvgPowerW, 0)); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// Table3 reproduces Table III: kernel time penalty / power saving /
+// energy saving for ME and ME+eU (cpu_policy_th 5%, unc_policy_th 2%).
+func (c *Context) Table3() ([]report.Table, error) {
+	t := report.Table{
+		Title: "Table III: single node kernels evaluation (cpu_th 5%, unc_th 2%)",
+		Columns: []string{"kernel",
+			"time penalty ME", "time penalty ME+eU",
+			"power saving ME", "power saving ME+eU",
+			"energy saving ME", "energy saving ME+eU"},
+	}
+	for _, name := range workload.Kernels() {
+		me, err := c.compare(name, sim.Options{Policy: "min_energy", Seed: 20})
+		if err != nil {
+			return nil, err
+		}
+		eu, err := c.compare(name, sim.Options{Policy: "min_energy_eufs", Seed: 20})
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name,
+			report.Pct(me.TimePenaltyPct), report.Pct(eu.TimePenaltyPct),
+			report.Pct(me.PowerSavingPct), report.Pct(eu.PowerSavingPct),
+			report.Pct(me.EnergySavingPct), report.Pct(eu.EnergySavingPct)); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// Table4 reproduces Table IV: average CPU and IMC frequency for the
+// kernels under No policy / ME / ME+eU.
+func (c *Context) Table4() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Table IV: avg CPU and IMC frequency domains (kernels)",
+		Columns: []string{"kernel", "dom", "No policy", "ME", "ME+eU"},
+	}
+	for _, name := range workload.Kernels() {
+		base, err := c.baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		me, err := c.run(name, sim.Options{Policy: "min_energy", Seed: 20})
+		if err != nil {
+			return nil, err
+		}
+		eu, err := c.run(name, sim.Options{Policy: "min_energy_eufs", Seed: 20})
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name, "CPU", report.GHz(base.AvgCPUGHz),
+			report.GHz(me.AvgCPUGHz), report.GHz(eu.AvgCPUGHz)); err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name, "IMC", report.GHz(base.AvgIMCGHz),
+			report.GHz(me.AvgIMCGHz), report.GHz(eu.AvgIMCGHz)); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// Table5 reproduces Table V: MPI application characteristics at nominal
+// frequency.
+func (c *Context) Table5() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Table V: MPI applications",
+		Columns: []string{"application", "time (s)", "CPI", "GB/s", "avg DC power (W)"},
+	}
+	for _, name := range workload.Applications() {
+		r, err := c.baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name, report.F(r.TimeSec, 2), report.F(r.AvgCPI, 2),
+			report.F(r.AvgGBs, 2), report.F(r.AvgPowerW, 2)); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// appCPUTh returns the paper's per-application cpu_policy_th: 3% for
+// BQCD, 5% elsewhere.
+func appCPUTh(name string) float64 {
+	if name == workload.BQCD {
+		return 0.03
+	}
+	return 0.05
+}
+
+// Table6 reproduces Table VI: average CPU and IMC frequency per
+// application under No policy / ME / ME+eU.
+func (c *Context) Table6() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Table VI: avg CPU and IMC frequency domains (applications)",
+		Columns: []string{"application", "dom", "No policy", "ME", "ME+eU"},
+	}
+	for _, name := range workload.Applications() {
+		th := appCPUTh(name)
+		base, err := c.baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		me, err := c.run(name, sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30})
+		if err != nil {
+			return nil, err
+		}
+		eu, err := c.run(name, sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30})
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name, "CPU", report.GHz(base.AvgCPUGHz),
+			report.GHz(me.AvgCPUGHz), report.GHz(eu.AvgCPUGHz)); err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name, "IMC", report.GHz(base.AvgIMCGHz),
+			report.GHz(me.AvgIMCGHz), report.GHz(eu.AvgIMCGHz)); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// table7Apps is the application list of Table VII (GROMACS(I) omitted,
+// as in the paper).
+func table7Apps() []string {
+	return []string{
+		workload.BQCD, workload.BTMZD, workload.GromacsII, workload.HPCG,
+		workload.POP, workload.DUMSES, workload.AFiD,
+	}
+}
+
+// Table7 reproduces Table VII: DC node power savings vs RAPL PCK power
+// savings under ME+eU.
+func (c *Context) Table7() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Table VII: DC node power savings vs RAPL PCK power savings (ME+eU)",
+		Columns: []string{"application", "DC node power", "RAPL PCK power"},
+	}
+	for _, name := range table7Apps() {
+		d, err := c.compare(name, sim.Options{
+			Policy: "min_energy_eufs", CPUTh: appCPUTh(name), Seed: 30,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(name, report.Pct(d.PowerSavingPct), report.Pct(d.PkgSavingPct)); err != nil {
+			return nil, err
+		}
+	}
+	return []report.Table{t}, nil
+}
+
+// Summary reproduces the headline numbers of the abstract and §VIII:
+// average and maximum energy saving and time penalty of ME+eU across
+// the applications.
+func (c *Context) Summary() ([]report.Table, error) {
+	t := report.Table{
+		Title:   "Summary: ME+eU across MPI applications (paper: avg energy save ~9%, avg time penalty ~3%)",
+		Columns: []string{"metric", "average", "maximum"},
+	}
+	var eSum, tSum, eMax, tMax float64
+	n := 0
+	for _, name := range workload.Applications() {
+		d, err := c.compare(name, sim.Options{
+			Policy: "min_energy_eufs", CPUTh: appCPUTh(name), Seed: 30,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eSum += d.EnergySavingPct
+		tSum += d.TimePenaltyPct
+		if d.EnergySavingPct > eMax {
+			eMax = d.EnergySavingPct
+		}
+		if d.TimePenaltyPct > tMax {
+			tMax = d.TimePenaltyPct
+		}
+		n++
+	}
+	if err := t.AddRow("energy saving", report.Pct(eSum/float64(n)), report.Pct(eMax)); err != nil {
+		return nil, err
+	}
+	if err := t.AddRow("time penalty", report.Pct(tSum/float64(n)), report.Pct(tMax)); err != nil {
+		return nil, err
+	}
+	return []report.Table{t}, nil
+}

@@ -1,0 +1,224 @@
+// Package msr emulates the Intel Model Specific Registers that EAR uses
+// to observe and steer a Skylake-SP socket. The register addresses and
+// bit layouts match the Intel SDM so that the policy and actuation code
+// in this repository is written exactly as it would be against /dev/msr.
+//
+// The package distinguishes two roles:
+//
+//   - software (EARL, the policies) reads and writes registers through
+//     Read and Write, subject to the same writability rules as real
+//     hardware (performance counters and energy counters are read-only);
+//   - the simulated hardware updates counters through the *Hw methods,
+//     which bypass the writability check.
+package msr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Architectural and model-specific register addresses (Intel SDM vol. 4).
+const (
+	IA32MPerf           uint32 = 0xE7  // TSC-rate reference cycles while unhalted
+	IA32APerf           uint32 = 0xE8  // actual cycles while unhalted
+	IA32PerfStatus      uint32 = 0x198 // current core ratio in bits 15:8
+	IA32PerfCtl         uint32 = 0x199 // requested core ratio in bits 15:8
+	IA32EnergyPerfBias  uint32 = 0x1B0 // EPB hint, 0 (perf) .. 15 (powersave)
+	IA32FixedCtr0       uint32 = 0x309 // instructions retired
+	IA32FixedCtr1       uint32 = 0x30A // core clock cycles unhalted
+	IA32FixedCtr2       uint32 = 0x30B // reference clock cycles unhalted
+	MSRRaplPowerUnit    uint32 = 0x606 // energy status units in bits 12:8
+	MSRPkgEnergyStatus  uint32 = 0x611 // package energy, 32-bit accumulator
+	MSRDramEnergyStatus uint32 = 0x619 // DRAM energy, 32-bit accumulator
+	MSRUncoreRatioLimit uint32 = 0x620 // max ratio bits 6:0, min ratio bits 14:8
+	MSRUncorePerfStatus uint32 = 0x621 // current uncore ratio in bits 6:0
+)
+
+// RatioUnitMHz is the granularity of core and uncore frequency ratios:
+// one ratio step is 100 MHz.
+const RatioUnitMHz = 100
+
+// DefaultEnergyStatusUnit is the power-of-two divisor exponent for RAPL
+// energy counters: one count is 2^-14 J (= 61 µJ), the Skylake-SP value.
+const DefaultEnergyStatusUnit = 14
+
+// ErrUnknownRegister is returned when reading or writing an address the
+// socket does not implement.
+type ErrUnknownRegister struct{ Addr uint32 }
+
+func (e ErrUnknownRegister) Error() string {
+	return fmt.Sprintf("msr: unknown register 0x%X", e.Addr)
+}
+
+// ErrReadOnly is returned when software writes a register only hardware
+// may update.
+type ErrReadOnly struct{ Addr uint32 }
+
+func (e ErrReadOnly) Error() string {
+	return fmt.Sprintf("msr: register 0x%X is read-only", e.Addr)
+}
+
+// File is the register file of one socket. The zero value is not usable;
+// construct with NewFile.
+type File struct {
+	mu   sync.Mutex
+	regs map[uint32]uint64
+}
+
+// writableBySoftware lists the registers EARL may write.
+var writableBySoftware = map[uint32]bool{
+	IA32PerfCtl:         true,
+	IA32EnergyPerfBias:  true,
+	MSRUncoreRatioLimit: true,
+}
+
+// NewFile returns a register file with power-on defaults: uncore ratio
+// limits set to the given hardware range, RAPL units programmed, and all
+// counters zero.
+func NewFile(uncoreMinRatio, uncoreMaxRatio uint64) *File {
+	f := &File{regs: map[uint32]uint64{
+		IA32MPerf:           0,
+		IA32APerf:           0,
+		IA32PerfStatus:      0,
+		IA32PerfCtl:         0,
+		IA32EnergyPerfBias:  6, // BIOS default: balanced
+		IA32FixedCtr0:       0,
+		IA32FixedCtr1:       0,
+		IA32FixedCtr2:       0,
+		MSRRaplPowerUnit:    DefaultEnergyStatusUnit << 8,
+		MSRPkgEnergyStatus:  0,
+		MSRDramEnergyStatus: 0,
+		MSRUncorePerfStatus: 0,
+	}}
+	f.regs[MSRUncoreRatioLimit] = EncodeUncoreRatioLimit(UncoreRatioLimit{
+		MinRatio: uncoreMinRatio,
+		MaxRatio: uncoreMaxRatio,
+	})
+	return f
+}
+
+// Read returns the value of the register at addr.
+func (f *File) Read(addr uint32) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.regs[addr]
+	if !ok {
+		return 0, ErrUnknownRegister{addr}
+	}
+	return v, nil
+}
+
+// Write stores v into the register at addr, enforcing software
+// writability rules.
+func (f *File) Write(addr uint32, v uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.regs[addr]; !ok {
+		return ErrUnknownRegister{addr}
+	}
+	if !writableBySoftware[addr] {
+		return ErrReadOnly{addr}
+	}
+	f.regs[addr] = v
+	return nil
+}
+
+// WriteHw stores v into any implemented register, bypassing software
+// writability. It is the hardware-side update path used by the simulator.
+func (f *File) WriteHw(addr uint32, v uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.regs[addr]; !ok {
+		return ErrUnknownRegister{addr}
+	}
+	f.regs[addr] = v
+	return nil
+}
+
+// AddHw adds delta to a counter register with 64-bit wraparound,
+// returning the new value. RAPL energy counters wrap at 32 bits; callers
+// must use AddEnergyHw for those.
+func (f *File) AddHw(addr uint32, delta uint64) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.regs[addr]
+	if !ok {
+		return 0, ErrUnknownRegister{addr}
+	}
+	v += delta
+	f.regs[addr] = v
+	return v, nil
+}
+
+// AddEnergyHw accumulates joules into a RAPL energy-status register,
+// converting through the programmed energy unit and wrapping at 32 bits
+// as real counters do. Fractional counts are carried by the caller; this
+// method truncates, so callers should accumulate joules and convert once
+// per update tick. It returns the new raw counter value.
+func (f *File) AddEnergyHw(addr uint32, joules float64) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.regs[addr]; !ok {
+		return 0, ErrUnknownRegister{addr}
+	}
+	esu := (f.regs[MSRRaplPowerUnit] >> 8) & 0x1F
+	counts := uint64(joules * float64(uint64(1)<<esu))
+	v := (f.regs[addr] + counts) & 0xFFFFFFFF
+	f.regs[addr] = v
+	return v, nil
+}
+
+// EnergyJoules converts a raw energy-status delta (already unwrapped) to
+// joules using the programmed energy unit.
+func (f *File) EnergyJoules(rawDelta uint64) float64 {
+	f.mu.Lock()
+	esu := (f.regs[MSRRaplPowerUnit] >> 8) & 0x1F
+	f.mu.Unlock()
+	return float64(rawDelta) / float64(uint64(1)<<esu)
+}
+
+// EnergyDelta computes the counter advance from prev to cur accounting
+// for 32-bit wraparound, as RAPL readers must.
+func EnergyDelta(prev, cur uint64) uint64 {
+	prev &= 0xFFFFFFFF
+	cur &= 0xFFFFFFFF
+	if cur >= prev {
+		return cur - prev
+	}
+	return cur + (1 << 32) - prev
+}
+
+// UncoreRatioLimit is the decoded form of MSR 0x620. Ratios are in
+// 100 MHz units; MaxRatio occupies bits 6:0 and MinRatio bits 14:8.
+type UncoreRatioLimit struct {
+	MaxRatio uint64
+	MinRatio uint64
+}
+
+// EncodeUncoreRatioLimit packs the limit into the register layout.
+// Ratios are masked to their 7-bit fields.
+func EncodeUncoreRatioLimit(u UncoreRatioLimit) uint64 {
+	return (u.MaxRatio & 0x7F) | ((u.MinRatio & 0x7F) << 8)
+}
+
+// DecodeUncoreRatioLimit unpacks MSR 0x620.
+func DecodeUncoreRatioLimit(v uint64) UncoreRatioLimit {
+	return UncoreRatioLimit{
+		MaxRatio: v & 0x7F,
+		MinRatio: (v >> 8) & 0x7F,
+	}
+}
+
+// EncodePerfCtl packs a requested core ratio into IA32_PERF_CTL layout
+// (ratio in bits 15:8).
+func EncodePerfCtl(ratio uint64) uint64 { return (ratio & 0xFF) << 8 }
+
+// DecodePerfCtl extracts the requested core ratio from IA32_PERF_CTL.
+func DecodePerfCtl(v uint64) uint64 { return (v >> 8) & 0xFF }
+
+// EncodeUncorePerfStatus packs the current uncore ratio into MSR 0x621
+// layout (bits 6:0).
+func EncodeUncorePerfStatus(ratio uint64) uint64 { return ratio & 0x7F }
+
+// DecodeUncorePerfStatus extracts the current uncore ratio from MSR 0x621.
+func DecodeUncorePerfStatus(v uint64) uint64 { return v & 0x7F }

@@ -1,0 +1,196 @@
+package policy
+
+import (
+	"testing"
+)
+
+func TestDUFRegistered(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == DUF {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("duf not registered")
+	}
+}
+
+func TestDUFProbesDownFromHWPoint(t *testing.T) {
+	p, err := New(DUF, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := cpuBoundSig()
+	// Hardware sits at 24; the controller starts probing below it.
+	nf, st, err := p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Continue || !nf.SetIMC || nf.IMCMaxRatio != 23 {
+		t.Fatalf("first step = %+v %v, want probe to 23", nf, st)
+	}
+	if nf.CPUPstate != 1 {
+		t.Errorf("DUF must not touch the CPU pstate, got %d", nf.CPUPstate)
+	}
+	// Feedback unchanged: keep probing.
+	nf, st, err = p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Continue || nf.IMCMaxRatio != 22 {
+		t.Errorf("second step = %+v %v", nf, st)
+	}
+}
+
+func TestDUFBacksOffOnIPCLoss(t *testing.T) {
+	p, err := New(DUF, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := cpuBoundSig()
+	if _, _, err := p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 24}); err != nil {
+		t.Fatal(err)
+	}
+	// IPC drops 4% (CPI rises): back off and hold.
+	worse := sig
+	worse.CPI = sig.CPI * 1.04
+	nf, st, err := p.Apply(Inputs{Sig: worse, CurrentPstate: 1, CurrentUncoreRatio: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Ready || nf.IMCMaxRatio != 24 {
+		t.Errorf("backoff = %+v %v, want hold at 24", nf, st)
+	}
+	// While holding, the same feedback keeps it settled.
+	nf, st, err = p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Ready || nf.IMCMaxRatio != 24 {
+		t.Errorf("hold = %+v %v", nf, st)
+	}
+}
+
+func TestDUFBacksOffOnBandwidthLoss(t *testing.T) {
+	p, err := New(DUF, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := memBoundSig()
+	if _, _, err := p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 24}); err != nil {
+		t.Fatal(err)
+	}
+	worse := sig
+	worse.GBs = sig.GBs * 0.95
+	_, st, err := p.Apply(Inputs{Sig: worse, CurrentPstate: 1, CurrentUncoreRatio: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Ready {
+		t.Errorf("state = %v, want backoff READY", st)
+	}
+}
+
+func TestDUFReleasesOnPhaseImprovement(t *testing.T) {
+	p, err := New(DUF, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := cpuBoundSig()
+	if _, _, err := p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 24}); err != nil {
+		t.Fatal(err)
+	}
+	// A new phase with much higher IPC: release the uncore.
+	better := sig
+	better.CPI = sig.CPI * 0.7
+	nf, st, err := p.Apply(Inputs{Sig: better, CurrentPstate: 1, CurrentUncoreRatio: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Continue {
+		t.Errorf("state = %v, want CONTINUE (restart)", st)
+	}
+	if nf.IMCMaxRatio != 24 {
+		t.Errorf("release freqs = %+v, want full window", nf)
+	}
+}
+
+func TestDUFFloorHolds(t *testing.T) {
+	p, err := New(DUF, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := cpuBoundSig()
+	in := Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 24}
+	nf, st, err := p.Apply(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20 && st == Continue; i++ {
+		in.CurrentUncoreRatio = nf.IMCMaxRatio
+		nf, st, err = p.Apply(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st != Ready || nf.IMCMaxRatio != 12 {
+		t.Errorf("floor = %+v %v, want hold at 12", nf, st)
+	}
+}
+
+func TestDUFValidate(t *testing.T) {
+	p, err := New(DUF, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := cpuBoundSig()
+	if !p.Validate(Inputs{Sig: sig}) {
+		t.Error("validate before any reference must pass")
+	}
+	if _, _, err := p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 24}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Validate(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 23}) {
+		t.Error("unchanged feedback must validate")
+	}
+	bad := sig
+	bad.CPI = sig.CPI * 1.10
+	if p.Validate(Inputs{Sig: bad, CurrentPstate: 1, CurrentUncoreRatio: 23}) {
+		t.Error("10% IPC loss must fail validation")
+	}
+}
+
+func TestDUFInvalidSignature(t *testing.T) {
+	p, err := New(DUF, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Apply(Inputs{CurrentPstate: 1}); err == nil {
+		t.Error("expected error for invalid signature")
+	}
+}
+
+func TestDUFResetAndDefault(t *testing.T) {
+	p, err := New(DUF, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := cpuBoundSig()
+	if _, _, err := p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 24}); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	def := p.Default()
+	if !def.SetIMC || def.IMCMaxRatio != 24 || def.IMCMinRatio != 12 {
+		t.Errorf("default = %+v, want full window", def)
+	}
+	// After reset the probe restarts from the hardware point.
+	nf, st, err := p.Apply(Inputs{Sig: sig, CurrentPstate: 1, CurrentUncoreRatio: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Continue || nf.IMCMaxRatio != 19 {
+		t.Errorf("restart = %+v %v, want probe from 20", nf, st)
+	}
+}

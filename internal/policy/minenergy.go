@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"fmt"
+
+	"goear/internal/metrics"
+	"goear/internal/model"
+)
+
+func init() {
+	Register(Monitoring, func(cfg Config) (Policy, error) {
+		return &monitoring{cfg: cfg}, nil
+	})
+	Register(MinEnergy, func(cfg Config) (Policy, error) {
+		return newMinEnergy(cfg), nil
+	})
+}
+
+// monitoring is the no-optimisation policy: it observes signatures and
+// never moves frequencies away from the defaults.
+type monitoring struct{ cfg Config }
+
+func (m *monitoring) Name() string { return Monitoring }
+
+func (m *monitoring) Apply(in Inputs) (NodeFreqs, State, error) {
+	return NodeFreqs{CPUPstate: in.CurrentPstate}, Ready, nil
+}
+
+func (m *monitoring) Validate(Inputs) bool { return true }
+
+func (m *monitoring) Default() NodeFreqs {
+	return NodeFreqs{CPUPstate: m.cfg.DefaultPstate}
+}
+
+func (m *monitoring) Reset() {}
+
+// minEnergy is the basic min_energy_to_solution algorithm: a linear
+// search over pstates selecting the minimum predicted energy whose
+// predicted time stays below time·(1+cpu_policy_th), where time is the
+// projection onto the default pstate (§V-B).
+type minEnergy struct {
+	cfg Config
+
+	selected   int
+	havePred   bool
+	predTime   float64 // predicted iteration time at the selection
+	predCPI    float64
+	predPower  float64
+	isBusyWait bool
+}
+
+func newMinEnergy(cfg Config) *minEnergy {
+	return &minEnergy{cfg: cfg, selected: cfg.DefaultPstate}
+}
+
+func (p *minEnergy) Name() string { return MinEnergy }
+
+// predict dispatches between the AVX512-aware and the default model.
+func (p *minEnergy) predict(sig metrics.Signature, from, to int) (model.Prediction, error) {
+	if p.cfg.UseAVX512Model {
+		return p.cfg.Model.Predict(sig, from, to)
+	}
+	return p.cfg.Model.PredictDefault(sig, from, to)
+}
+
+// selectPstate runs the linear search and returns the chosen pstate
+// together with its prediction.
+func (p *minEnergy) selectPstate(in Inputs) (int, model.Prediction, error) {
+	sig := in.Sig
+	from := in.CurrentPstate
+	def := p.cfg.DefaultPstate
+
+	// Busy-waiting phases make no observable progress per cycle, so the
+	// prediction-based search does not apply: EAR drops a bounded
+	// number of pstates to harvest the idle host core.
+	if IsBusyWaiting(sig) {
+		sel := def + p.cfg.BusyWaitPstateDrop
+		if max := p.cfg.Model.PstateCount() - 1; sel > max {
+			sel = max
+		}
+		pred, err := p.predict(sig, from, sel)
+		if err != nil {
+			return 0, model.Prediction{}, err
+		}
+		// The host core's spinning does not gate the accelerator:
+		// expected time is unchanged.
+		pred.TimeSec = sig.IterTimeSec
+		return sel, pred, nil
+	}
+
+	// Reference time: the projection of the current signature onto the
+	// default pstate (the penalty budget is relative to default).
+	refPred, err := p.predict(sig, from, def)
+	if err != nil {
+		return 0, model.Prediction{}, err
+	}
+	limit := refPred.TimeSec * (1 + p.cfg.CPUPolicyTh)
+
+	best := def
+	bestPred := refPred
+	bestEnergy := refPred.TimeSec * refPred.PowerW
+	for ps := def; ps < p.cfg.Model.PstateCount(); ps++ {
+		pred, err := p.predict(sig, from, ps)
+		if err != nil {
+			return 0, model.Prediction{}, err
+		}
+		if pred.TimeSec > limit {
+			continue
+		}
+		// On ties, the lower frequency wins: the AVX512 model produces
+		// an exact energy plateau above the licence pstate, and the
+		// licence pstate is the honest request there.
+		if e := pred.TimeSec * pred.PowerW; e <= bestEnergy {
+			best, bestPred, bestEnergy = ps, pred, e
+		}
+	}
+	return best, bestPred, nil
+}
+
+func (p *minEnergy) Apply(in Inputs) (NodeFreqs, State, error) {
+	if !in.Sig.Valid() {
+		return NodeFreqs{}, Ready, fmt.Errorf("policy %s: invalid signature", p.Name())
+	}
+	sel, pred, err := p.selectPstate(in)
+	if err != nil {
+		return NodeFreqs{}, Ready, err
+	}
+	p.selected = sel
+	p.predTime = pred.TimeSec
+	p.predCPI = pred.CPI
+	p.predPower = pred.PowerW
+	p.havePred = true
+	p.isBusyWait = IsBusyWaiting(in.Sig)
+	return NodeFreqs{CPUPstate: sel}, Ready, nil
+}
+
+// Validate checks the post-selection signature against the prediction:
+// the measured CPI must not exceed the predicted CPI beyond the policy
+// threshold plus model-accuracy margin.
+func (p *minEnergy) Validate(in Inputs) bool {
+	if !p.havePred || p.isBusyWait {
+		return true
+	}
+	margin := p.cfg.SigChangeTh + p.cfg.CPUPolicyTh
+	if p.predCPI > 0 && in.Sig.CPI > p.predCPI*(1+margin) {
+		return false
+	}
+	return true
+}
+
+func (p *minEnergy) Default() NodeFreqs {
+	return NodeFreqs{CPUPstate: p.cfg.DefaultPstate}
+}
+
+func (p *minEnergy) Reset() {
+	p.selected = p.cfg.DefaultPstate
+	p.havePred = false
+	p.predTime, p.predCPI, p.predPower = 0, 0, 0
+	p.isBusyWait = false
+}

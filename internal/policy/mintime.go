@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"fmt"
+)
+
+func init() {
+	Register(MinTime, func(cfg Config) (Policy, error) {
+		return newMinTime(cfg), nil
+	})
+}
+
+// minTimeDefaultDrop is how many pstates below nominal min_time's
+// default frequency sits: the policy starts from a moderate frequency
+// and *raises* it while the application proves it benefits.
+const minTimeDefaultDrop = 4
+
+// minTime is min_time_to_solution: starting from its (lower) default
+// frequency, it raises the CPU frequency one pstate at a time while the
+// predicted time gain per step stays above MinTimeMinGain — applications
+// that do not scale with frequency stay low, frequency-sensitive ones
+// climb to nominal. The paper lists this policy's eUFS integration as
+// ongoing work; it is provided here with the same uncore stage as
+// min_energy (via the shared eufs wrapper).
+type minTime struct {
+	cfg      Config
+	defPst   int
+	selected int
+	havePred bool
+	predCPI  float64
+}
+
+func newMinTime(cfg Config) *minTime {
+	def := cfg.DefaultPstate + minTimeDefaultDrop
+	if max := cfg.Model.PstateCount() - 1; def > max {
+		def = max
+	}
+	return &minTime{cfg: cfg, defPst: def, selected: def}
+}
+
+func (p *minTime) Name() string { return MinTime }
+
+func (p *minTime) Apply(in Inputs) (NodeFreqs, State, error) {
+	if !in.Sig.Valid() {
+		return NodeFreqs{}, Ready, fmt.Errorf("policy %s: invalid signature", p.Name())
+	}
+	sig := in.Sig
+	from := in.CurrentPstate
+
+	if IsBusyWaiting(sig) {
+		// No benefit from frequency for a spinning host core.
+		sel := p.defPst
+		p.selected = sel
+		p.havePred = false
+		return NodeFreqs{CPUPstate: sel}, Ready, nil
+	}
+
+	predict := p.cfg.Model.Predict
+	if !p.cfg.UseAVX512Model {
+		predict = p.cfg.Model.PredictDefault
+	}
+
+	sel := p.defPst
+	cur, err := predict(sig, from, sel)
+	if err != nil {
+		return NodeFreqs{}, Ready, err
+	}
+	// Climb toward pstate 1 (nominal) while each step still buys at
+	// least MinTimeMinGain of relative time.
+	for ps := sel - 1; ps >= 1; ps-- {
+		next, err := predict(sig, from, ps)
+		if err != nil {
+			return NodeFreqs{}, Ready, err
+		}
+		gain := (cur.TimeSec - next.TimeSec) / cur.TimeSec
+		if gain < p.cfg.MinTimeMinGain {
+			break
+		}
+		sel, cur = ps, next
+	}
+	p.selected = sel
+	p.predCPI = cur.CPI
+	p.havePred = true
+	return NodeFreqs{CPUPstate: sel}, Ready, nil
+}
+
+func (p *minTime) Validate(in Inputs) bool {
+	if !p.havePred {
+		return true
+	}
+	margin := p.cfg.SigChangeTh + p.cfg.MinTimeMinGain
+	return p.predCPI <= 0 || in.Sig.CPI <= p.predCPI*(1+margin)
+}
+
+func (p *minTime) Default() NodeFreqs {
+	return NodeFreqs{CPUPstate: p.defPst}
+}
+
+func (p *minTime) Reset() {
+	p.selected = p.defPst
+	p.havePred = false
+	p.predCPI = 0
+}

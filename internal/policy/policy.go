@@ -1,0 +1,242 @@
+// Package policy implements EAR's energy-policy API and the policies the
+// paper evaluates.
+//
+// Policies are plugins: they are registered by name in a global registry
+// (mirroring EAR's dlopen-based plugin mechanism) and constructed from a
+// Config. The EAR Library drives them through the same three entry
+// points as the paper's Code 1: apply on a new signature (node_policy),
+// validate once the policy reported READY, and default frequencies when
+// validation fails (set_def).
+//
+// A policy returns Ready when it has settled on an operating point and
+// Continue when it wants to be re-applied on the next signature — the
+// mechanism that makes the explicit-UFS extension iterative.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"goear/internal/metrics"
+	"goear/internal/model"
+)
+
+// State is the policy return state of the paper's state diagram.
+type State int
+
+// Policy states.
+const (
+	// Ready: the policy settled; EARL moves to validation/stable.
+	Ready State = iota
+	// Continue: re-apply the policy on the next signature.
+	Continue
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "READY"
+	case Continue:
+		return "CONTINUE"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// NodeFreqs is the frequency selection a policy hands back to EARL
+// (the paper's node_freqs_t).
+type NodeFreqs struct {
+	// CPUPstate is the requested CPU pstate.
+	CPUPstate int
+	// SetIMC indicates the IMC window below should be programmed; when
+	// false EARL leaves MSR 0x620 alone (hardware UFS stays in charge).
+	SetIMC      bool
+	IMCMaxRatio uint64
+	IMCMinRatio uint64
+}
+
+// Inputs is what EARL passes on each invocation.
+type Inputs struct {
+	// Sig is the freshly computed signature.
+	Sig metrics.Signature
+	// CurrentPstate is the pstate the node currently requests.
+	CurrentPstate int
+	// CurrentUncoreRatio is the operating uncore ratio read from MSR
+	// 0x621 — the hardware's current selection, which the HW-guided
+	// search uses as its starting point.
+	CurrentUncoreRatio uint64
+	// TimeGuided is true when no loop structure was detected and the
+	// signature window is the iteration (non-MPI applications).
+	TimeGuided bool
+}
+
+// Policy is the plugin interface (the paper's policy_operations).
+type Policy interface {
+	// Name returns the registered policy name.
+	Name() string
+	// Apply implements node_policy: examine the signature, decide
+	// frequencies, and report whether the policy settled.
+	Apply(in Inputs) (NodeFreqs, State, error)
+	// Validate checks, on a signature measured *after* the selection
+	// was applied, that the behaviour matches the policy's
+	// expectations.
+	Validate(in Inputs) bool
+	// Default returns the safe frequencies EARL applies when
+	// validation fails (set_def).
+	Default() NodeFreqs
+	// Reset clears internal state so the policy can be re-applied from
+	// scratch (used on application phase changes).
+	Reset()
+}
+
+// Config parameterises policy construction.
+type Config struct {
+	// Model is the trained energy model used for predictions.
+	Model *model.Model
+	// CPUPolicyTh is the allowed relative time penalty for the CPU
+	// frequency selection (the paper uses 0.03 and 0.05).
+	CPUPolicyTh float64
+	// UncPolicyTh is the additional penalty allowed for the uncore
+	// selection, applied to CPI and GB/s (the paper uses 0.00-0.03).
+	UncPolicyTh float64
+	// HWGuided starts the IMC search from the hardware-selected uncore
+	// frequency instead of the maximum (the paper's default strategy).
+	HWGuided bool
+	// UseAVX512Model selects the paper's extended model; disabling it
+	// reproduces the pre-extension behaviour (ablation A2).
+	UseAVX512Model bool
+	// DefaultPstate is the policy's default CPU pstate (nominal = 1
+	// for min_energy_to_solution).
+	DefaultPstate int
+	// UncoreMinRatio/UncoreMaxRatio is the hardware uncore window.
+	UncoreMinRatio uint64
+	UncoreMaxRatio uint64
+	// SigChangeTh is the relative signature variation treated as an
+	// application phase change (the paper accepts 15 %).
+	SigChangeTh float64
+	// UncoreStep is the search step in ratio units (1 = 0.1 GHz).
+	UncoreStep uint64
+	// PinBothLimits sets min=max during the IMC search instead of the
+	// paper's chosen move-max-only strategy (§V-B item 3); kept as an
+	// ablation of that design decision.
+	PinBothLimits bool
+	// BusyWaitPstateDrop is how many pstates below default the policy
+	// selects for busy-waiting (GPU offload) phases.
+	BusyWaitPstateDrop int
+	// MinTimeMinGain is min_time_to_solution's required relative time
+	// gain per frequency step.
+	MinTimeMinGain float64
+}
+
+// Defaults fills unset fields with the paper's defaults.
+func (c Config) Defaults() Config {
+	if c.CPUPolicyTh == 0 {
+		c.CPUPolicyTh = 0.05
+	}
+	if c.UncPolicyTh == 0 {
+		c.UncPolicyTh = 0.02
+	}
+	if c.DefaultPstate == 0 {
+		c.DefaultPstate = 1
+	}
+	if c.SigChangeTh == 0 {
+		c.SigChangeTh = 0.15
+	}
+	if c.UncoreStep == 0 {
+		c.UncoreStep = 1
+	}
+	if c.BusyWaitPstateDrop == 0 {
+		c.BusyWaitPstateDrop = 2
+	}
+	if c.MinTimeMinGain == 0 {
+		// Just below one 100 MHz step's ideal gain at nominal (4.2%),
+		// so frequency-sensitive code climbs all the way.
+		c.MinTimeMinGain = 0.03
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Model == nil:
+		return fmt.Errorf("policy: missing energy model")
+	case c.CPUPolicyTh < 0 || c.CPUPolicyTh > 1:
+		return fmt.Errorf("policy: cpu_policy_th %g outside [0,1]", c.CPUPolicyTh)
+	case c.UncPolicyTh < 0 || c.UncPolicyTh > 1:
+		return fmt.Errorf("policy: unc_policy_th %g outside [0,1]", c.UncPolicyTh)
+	case c.DefaultPstate < 0 || c.DefaultPstate >= c.Model.PstateCount():
+		return fmt.Errorf("policy: default pstate %d outside model", c.DefaultPstate)
+	case c.UncoreMinRatio == 0 || c.UncoreMinRatio > c.UncoreMaxRatio:
+		return fmt.Errorf("policy: uncore window [%d,%d] invalid", c.UncoreMinRatio, c.UncoreMaxRatio)
+	case c.SigChangeTh <= 0:
+		return fmt.Errorf("policy: signature change threshold must be positive")
+	case c.UncoreStep == 0:
+		return fmt.Errorf("policy: uncore step must be positive")
+	}
+	return c.Model.Validate()
+}
+
+// Factory constructs a policy from a config.
+type Factory func(Config) (Policy, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a policy factory under name; registering a duplicate
+// name panics (programming error at init time).
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs the named policy.
+func New(name string, cfg Config) (Policy, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (have %v)", name, Names())
+	}
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return f(cfg)
+}
+
+// Names lists registered policies, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registered policy names.
+const (
+	Monitoring    = "monitoring"
+	MinEnergy     = "min_energy"
+	MinEnergyEUFS = "min_energy_eufs"
+	MinTime       = "min_time"
+	MinTimeEUFS   = "min_time_eufs"
+)
+
+// IsBusyWaiting classifies a signature as a busy-wait (accelerator
+// offload) phase: negligible main-memory traffic with low CPI, the
+// pattern EAR detects for CUDA kernels whose host core only spins.
+func IsBusyWaiting(sig metrics.Signature) bool {
+	return metrics.Classify(sig) == metrics.BusyWaiting
+}

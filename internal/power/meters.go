@@ -1,0 +1,129 @@
+package power
+
+import (
+	"fmt"
+	"sync"
+
+	"goear/internal/msr"
+)
+
+// Rapl feeds per-socket RAPL energy counters from the node power model.
+// Package energy is split evenly across sockets; DRAM energy goes to
+// socket 0's DRAM counter (matching how single-controller readings are
+// aggregated by EAR).
+type Rapl struct {
+	sockets []*msr.File
+	// carry accumulates fractional joules between MSR updates so the
+	// truncating counter conversion loses nothing over time.
+	carryPkg  []float64
+	carryDram float64
+}
+
+// NewRapl wires the RAPL emulation to the given per-socket MSR files.
+func NewRapl(sockets []*msr.File) (*Rapl, error) {
+	if len(sockets) == 0 {
+		return nil, fmt.Errorf("power: RAPL needs at least one socket")
+	}
+	return &Rapl{sockets: sockets, carryPkg: make([]float64, len(sockets))}, nil
+}
+
+// Advance accounts dt seconds of the given breakdown into the counters.
+func (r *Rapl) Advance(b Breakdown, dt float64) error {
+	if dt < 0 {
+		return fmt.Errorf("power: negative time step %g", dt)
+	}
+	perSocketPkg := b.Pkg / float64(len(r.sockets)) * dt
+	for i, s := range r.sockets {
+		j := perSocketPkg + r.carryPkg[i]
+		// AddEnergyHw truncates to whole counter units; keep the
+		// remainder for the next tick.
+		whole := float64(int64(j*1e6)) / 1e6 // limit carry drift
+		if _, err := s.AddEnergyHw(msr.MSRPkgEnergyStatus, whole); err != nil {
+			return err
+		}
+		r.carryPkg[i] = j - whole
+	}
+	j := b.Dram*dt + r.carryDram
+	whole := float64(int64(j*1e6)) / 1e6
+	if _, err := r.sockets[0].AddEnergyHw(msr.MSRDramEnergyStatus, whole); err != nil {
+		return err
+	}
+	r.carryDram = j - whole
+	return nil
+}
+
+// PkgEnergy reads the accumulated package energy in joules across all
+// sockets, handling 32-bit counter wraparound relative to prev (the raw
+// values returned by a previous call). It returns the new raw values.
+func (r *Rapl) PkgEnergy(prev []uint64) (joules float64, raw []uint64, err error) {
+	raw = make([]uint64, len(r.sockets))
+	for i, s := range r.sockets {
+		v, err := s.Read(msr.MSRPkgEnergyStatus)
+		if err != nil {
+			return 0, nil, err
+		}
+		raw[i] = v
+		var delta uint64
+		if prev != nil && i < len(prev) {
+			delta = msr.EnergyDelta(prev[i], v)
+		} else {
+			delta = v
+		}
+		joules += s.EnergyJoules(delta)
+	}
+	return joules, raw, nil
+}
+
+// NodeManager emulates the Intel Node Manager DC energy meter: the true
+// energy integral is internal; the published counter only changes once
+// per second of simulated time, which is what IPMI readers observe.
+type NodeManager struct {
+	mu        sync.Mutex
+	trueJ     float64
+	published float64
+	lastPub   float64 // simulated time of last publication, seconds
+	now       float64
+}
+
+// NewNodeManager returns a meter starting at time zero with zero energy.
+func NewNodeManager() *NodeManager { return &NodeManager{} }
+
+// Advance integrates power over dt simulated seconds and publishes the
+// counter at every whole-second boundary crossed.
+func (nm *NodeManager) Advance(powerW, dt float64) error {
+	if dt < 0 {
+		return fmt.Errorf("power: negative time step %g", dt)
+	}
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	nm.trueJ += powerW * dt
+	nm.now += dt
+	if nm.now-nm.lastPub >= 1.0 {
+		nm.published = nm.trueJ
+		nm.lastPub = float64(int64(nm.now)) // snap to the boundary
+	}
+	return nil
+}
+
+// ReadEnergy returns the last published accumulated DC energy in joules,
+// as an IPMI read of the INM counter would.
+func (nm *NodeManager) ReadEnergy() float64 {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return nm.published
+}
+
+// TrueEnergy returns the exact integral, used by the simulator's own
+// bookkeeping (not visible to EARL).
+func (nm *NodeManager) TrueEnergy() float64 {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return nm.trueJ
+}
+
+// Now returns the meter's notion of elapsed simulated time in seconds.
+func (nm *NodeManager) Now() float64 {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return nm.now
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+
+	"goear/internal/workload"
+)
+
+// PowerManager is the cluster-level energy-control hook of a
+// coordinated run: EAR's global manager (EARGM) implements it. At every
+// interval it receives each node's average DC power over the last
+// interval (0 for nodes whose job already ended) and returns the core
+// pstate ceiling it wants enforced (0 = uncapped).
+type PowerManager interface {
+	// Interval is the manager's control period in seconds.
+	Interval() float64
+	// Update processes one interval's readings and returns the pstate
+	// cap to enforce on every node (0 releases the cap).
+	Update(now float64, nodePowerW []float64) (capPstate int, err error)
+}
+
+// RunCoordinated executes the workload on all its nodes in lock-step
+// time slices under a cluster power manager, the way EAR's node daemons
+// advance jobs while EARGM enforces a site power budget over them.
+func RunCoordinated(cal workload.Calibrated, opt Options, gm PowerManager) (Result, error) {
+	opt = opt.withDefaults()
+	if gm == nil {
+		return Result{}, fmt.Errorf("sim: coordinated run needs a power manager")
+	}
+	if gm.Interval() <= 0 {
+		return Result{}, fmt.Errorf("sim: power manager interval must be positive")
+	}
+	if opt.Policy != "none" && opt.Model == nil {
+		return Result{}, fmt.Errorf("sim: policy %q needs a trained model", opt.Policy)
+	}
+
+	nodes := make([]*node, cal.Nodes)
+	for i := range nodes {
+		n, err := newNode(cal, i, opt)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %s node %d: %w", cal.Name, i, err)
+		}
+		nodes[i] = n
+	}
+
+	interval := gm.Interval()
+	prevE := make([]float64, len(nodes))
+	powers := make([]float64, len(nodes))
+	curCap := 0
+	for tick := interval; ; tick += interval {
+		alive := false
+		for _, n := range nodes {
+			if n.done {
+				continue
+			}
+			if err := n.stepUntil(tick); err != nil {
+				return Result{}, err
+			}
+			if !n.done {
+				alive = true
+			}
+		}
+		for i, n := range nodes {
+			e := n.inm.TrueEnergy()
+			powers[i] = (e - prevE[i]) / interval
+			prevE[i] = e
+		}
+		cap, err := gm.Update(tick, powers)
+		if err != nil {
+			return Result{}, err
+		}
+		if cap != curCap {
+			curCap = cap
+			for _, n := range nodes {
+				if cap == 0 {
+					n.setCapRatio(0)
+					continue
+				}
+				ratio, err := cal.Platform.Machine.CPU.PstateRatio(cap)
+				if err != nil {
+					return Result{}, err
+				}
+				n.setCapRatio(ratio)
+			}
+		}
+		if !alive {
+			break
+		}
+	}
+
+	res := Result{Workload: cal.Name, Policy: opt.Policy}
+	for i, n := range nodes {
+		nr, err := n.result()
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %s node %d: %w", cal.Name, i, err)
+		}
+		res.Nodes = append(res.Nodes, nr)
+	}
+	res.aggregate()
+	return res, nil
+}

@@ -1,0 +1,515 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"goear/internal/cpu"
+	"goear/internal/eard"
+	"goear/internal/earl"
+	"goear/internal/metrics"
+	"goear/internal/msr"
+	"goear/internal/perf"
+	"goear/internal/policy"
+	"goear/internal/power"
+	"goear/internal/uncore"
+	"goear/internal/workload"
+)
+
+// node is the state of one simulated compute node during a run.
+type node struct {
+	cal workload.Calibrated
+	opt Options
+
+	sockets []*cpu.Socket
+	ctls    []*uncore.Controller
+	rapl    *power.Rapl
+	inm     *power.NodeManager
+
+	now float64
+
+	// Cumulative node counters (what EARL samples).
+	instr, cycles, avx, bytes float64
+	coreFreqSec, imcFreqSec   float64
+	// True energy integrals by scope (simulator bookkeeping).
+	pkgJ, dramJ float64
+
+	cache map[cacheKey]evalEntry
+	rng   *rand.Rand
+	lib   *earl.Library
+
+	// capRatio, when non-zero, is a node-daemon-enforced ceiling on the
+	// core ratio (the EARGM powercap path); the policy's requests are
+	// clamped to it at actuation level.
+	capRatio uint64
+
+	// Trace sampling state.
+	trace      []TracePoint
+	lastTraceT float64
+	lastTraceE float64
+	lastTraceB float64
+
+	// Iteration progress, for resumable stepping (RunCoordinated).
+	segIdx, iterInSeg int
+	instrLeft         float64
+	wallLeft          float64
+	iterActive        bool
+	done              bool
+	tNoise, pNoise    float64
+}
+
+type cacheKey struct {
+	seg  int
+	core uint64
+	unc  uint64
+	cap  uint64
+}
+
+type evalEntry struct {
+	res perf.Result
+	brk power.Breakdown
+	// effRatio is the licence-resolved core ratio driving the HW
+	// uncore heuristic.
+	effRatio uint64
+}
+
+// runNode simulates the whole workload on one node.
+func runNode(cal workload.Calibrated, nodeID int, opt Options) (NodeResult, error) {
+	n, err := newNode(cal, nodeID, opt)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	for !n.done {
+		if err := n.stepOnce(); err != nil {
+			return NodeResult{}, err
+		}
+	}
+	return n.result()
+}
+
+// startIteration draws this iteration's noise and work budget.
+func (n *node) startIteration() {
+	n.tNoise = 1 + n.opt.NoiseSD*n.rng.NormFloat64()
+	n.pNoise = 1 + n.opt.NoiseSD*n.rng.NormFloat64()
+	if n.tNoise < 0.9 {
+		n.tNoise = 0.9
+	}
+	if n.pNoise < 0.9 {
+		n.pNoise = 0.9
+	}
+	if n.cal.Class == workload.Accelerator {
+		// Accelerator iterations are paced by the GPU: wall time is
+		// fixed, the host core spins for however many instructions fit.
+		n.wallLeft = n.cal.IterPeriodSec * n.tNoise
+		n.instrLeft = 0
+	} else {
+		n.instrLeft = n.cal.Segs[n.segIdx].InstrPerIter
+		n.wallLeft = 0
+	}
+	n.iterActive = true
+}
+
+// stepOnce advances the node by at most one simulation step, crossing
+// iteration and segment boundaries as needed. It is the resumable core
+// used both by full runs and by coordinated (powercapped) cluster runs.
+func (n *node) stepOnce() error {
+	if n.done {
+		return nil
+	}
+	if !n.iterActive {
+		n.startIteration()
+	}
+	e, err := n.evalAt(n.segIdx)
+	if err != nil {
+		return err
+	}
+	spi := e.res.SecPerInstr * n.tNoise
+	var dt, nInstr float64
+	if n.cal.Class == workload.Accelerator {
+		dt = math.Min(n.opt.StepSec, n.wallLeft)
+		nInstr = dt / spi
+		n.wallLeft -= dt
+	} else {
+		nInstr = n.opt.StepSec / spi
+		if nInstr > n.instrLeft {
+			nInstr = n.instrLeft
+		}
+		dt = nInstr * spi
+		n.instrLeft -= nInstr
+	}
+	if err := n.advance(n.segIdx, e, nInstr, dt, n.pNoise); err != nil {
+		return err
+	}
+
+	finished := n.instrLeft <= 1e-6 && n.wallLeft <= 1e-9
+	if !finished {
+		return nil
+	}
+	n.iterActive = false
+	if err := n.iterationBoundary(); err != nil {
+		return err
+	}
+	n.iterInSeg++
+	if n.iterInSeg >= n.cal.Segs[n.segIdx].Iterations {
+		n.iterInSeg = 0
+		n.segIdx++
+		if n.segIdx >= len(n.cal.Segs) {
+			n.done = true
+		}
+	}
+	return nil
+}
+
+// stepUntil advances the node to (at least) the given simulated time or
+// to completion, whichever comes first.
+func (n *node) stepUntil(t float64) error {
+	for !n.done && n.now < t {
+		if err := n.stepOnce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setCapRatio applies (or with 0 releases) the node-daemon core-ratio
+// ceiling used by cluster power management.
+func (n *node) setCapRatio(r uint64) {
+	n.capRatio = r
+}
+
+func newNode(cal workload.Calibrated, nodeID int, opt Options) (*node, error) {
+	m := cal.Platform.Machine
+	n := &node{
+		cal:   cal,
+		opt:   opt,
+		cache: map[cacheKey]evalEntry{},
+		rng:   rand.New(rand.NewSource(opt.Seed*1000003 + int64(nodeID)*7907 + 1)),
+	}
+	for s := 0; s < m.CPU.Sockets; s++ {
+		sock, err := cpu.NewSocket(m.CPU, s)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := uncore.NewController(sock.MSR, n.hwCurve())
+		if err != nil {
+			return nil, err
+		}
+		n.sockets = append(n.sockets, sock)
+		n.ctls = append(n.ctls, ctl)
+	}
+	files := make([]*msr.File, len(n.sockets))
+	for i, s := range n.sockets {
+		files[i] = s.MSR
+	}
+	rapl, err := power.NewRapl(files)
+	if err != nil {
+		return nil, err
+	}
+	n.rapl = rapl
+	n.inm = power.NewNodeManager()
+
+	// Initial operating point: the paper's baseline is the nominal
+	// frequency with the hardware uncore range wide open.
+	p0 := 1
+	if opt.FixedCPUPstate != nil {
+		p0 = *opt.FixedCPUPstate
+	}
+	nctl := &nodeCtl{n: n}
+	if err := nctl.SetCPUPstate(p0); err != nil {
+		return nil, err
+	}
+	if opt.FixedUncoreRatio != nil {
+		r := *opt.FixedUncoreRatio
+		if err := nctl.SetUncoreLimits(r, r); err != nil {
+			return nil, err
+		}
+	}
+
+	if opt.Policy != "none" {
+		var libCtl earl.Ctl = nctl
+		if opt.DaemonLimits != nil {
+			d, err := eard.NewDaemon(nctl, *opt.DaemonLimits)
+			if err != nil {
+				return nil, err
+			}
+			libCtl = d
+		}
+		pcfg := policy.Config{
+			Model:          opt.Model,
+			CPUPolicyTh:    opt.CPUTh,
+			UncPolicyTh:    opt.UncTh,
+			HWGuided:       !opt.HWGuidedOff,
+			UseAVX512Model: !opt.NoAVX512Model,
+			DefaultPstate:  1,
+			UncoreMinRatio: m.CPU.UncoreMinRatio,
+			UncoreMaxRatio: m.CPU.UncoreMaxRatio,
+			SigChangeTh:    opt.SigChangeTh,
+			PinBothLimits:  opt.PinBothUncoreLimits,
+		}
+		pol, err := policy.New(opt.Policy, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		lib, err := earl.New(earl.Config{
+			Policy:       pol,
+			MinWindowSec: opt.MinWindowSec,
+			SigChangeTh:  opt.SigChangeTh,
+		}, libCtl)
+		if err != nil {
+			return nil, err
+		}
+		if err := lib.Start(0); err != nil {
+			return nil, err
+		}
+		n.lib = lib
+	}
+	return n, nil
+}
+
+// hwCurve adapts the workload's heuristic-response curve; the paper's
+// per-workload curves were calibrated against effective core ratios.
+func (n *node) hwCurve() uncore.Curve {
+	return func(core uint64) uint64 { return n.cal.HWUncore(core) }
+}
+
+// evalAt returns the cached steady-state behaviour at the node's
+// current operating point, honouring any power-management core cap.
+func (n *node) evalAt(segIdx int) (evalEntry, error) {
+	coreRatio, err := n.sockets[0].RequestedRatio()
+	if err != nil {
+		return evalEntry{}, err
+	}
+	if n.capRatio != 0 && coreRatio > n.capRatio {
+		coreRatio = n.capRatio
+	}
+	uncRatio, err := n.sockets[0].CurrentUncoreRatio()
+	if err != nil {
+		return evalEntry{}, err
+	}
+	if uncRatio == 0 {
+		// Boot transient: the controller has not ticked yet.
+		uncRatio = n.cal.Platform.Machine.CPU.UncoreMinRatio
+	}
+	key := cacheKey{segIdx, coreRatio, uncRatio, n.capRatio}
+	if e, ok := n.cache[key]; ok {
+		return e, nil
+	}
+	seg := n.cal.Segs[segIdx]
+	m := n.cal.Platform.Machine
+	res, err := perf.Evaluate(m, seg.Phase, perf.Operating{CoreRatio: coreRatio, UncoreRatio: uncRatio})
+	if err != nil {
+		return evalEntry{}, err
+	}
+	brk, err := n.cal.Platform.Power.Node(power.Input{
+		CoreFreqGHz:   res.EffCoreFreq.GHzF(),
+		UncoreFreqGHz: res.UncoreFreq.GHzF(),
+		Sockets:       m.CPU.Sockets,
+		ActiveCores:   n.cal.ActiveCores,
+		Activity:      seg.Activity,
+		GBs:           res.NodeGBs,
+		GPUPower:      n.cal.GPUPowerW,
+	})
+	if err != nil {
+		return evalEntry{}, err
+	}
+	e := evalEntry{
+		res:      res,
+		brk:      brk,
+		effRatio: uint64(math.Round(res.EffCoreFreq.GHzF() * 10)),
+	}
+	n.cache[key] = e
+	return e, nil
+}
+
+// advance moves simulated time forward by dt with nInstr instructions
+// retiring per active core.
+func (n *node) advance(segIdx int, e evalEntry, nInstr, dt, pNoise float64) error {
+	seg := n.cal.Segs[segIdx]
+	nodeInstr := nInstr * float64(n.cal.ActiveCores)
+
+	n.instr += nodeInstr
+	// Unhalted cycles follow wall time at the effective clock, so
+	// iteration noise shows up in measured CPI as it does on hardware.
+	n.cycles += dt * e.res.EffCoreFreq.GHzF() * 1e9 * float64(n.cal.ActiveCores)
+	n.avx += seg.Phase.VPI * nodeInstr
+	n.bytes += nodeInstr * seg.Phase.BytesPerInstr
+
+	total := e.brk.Total * pNoise
+	if err := n.inm.Advance(total, dt); err != nil {
+		return err
+	}
+	scaled := e.brk
+	scaled.Pkg *= pNoise
+	scaled.Dram *= pNoise
+	if err := n.rapl.Advance(scaled, dt); err != nil {
+		return err
+	}
+	n.pkgJ += scaled.Pkg * dt
+	n.dramJ += scaled.Dram * dt
+
+	n.coreFreqSec += e.res.EffCoreFreq.GHzF() * n.cal.FreqBias * dt
+	n.imcFreqSec += e.res.UncoreFreq.GHzF() * n.cal.IMCBias * dt
+
+	for _, c := range n.ctls {
+		if err := c.Advance(dt, e.effRatio); err != nil {
+			return err
+		}
+	}
+	n.now += dt
+	if n.opt.Trace && n.now-n.lastTraceT >= n.opt.TraceStepSec {
+		if err := n.traceSample(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceSample appends one time-series point.
+func (n *node) traceSample(e evalEntry) error {
+	dt := n.now - n.lastTraceT
+	energy := n.inm.TrueEnergy()
+	bytes := n.bytes
+	nctl := &nodeCtl{n: n}
+	ps, err := nctl.CurrentPstate()
+	if err != nil {
+		return err
+	}
+	lim, err := n.sockets[0].UncoreLimits()
+	if err != nil {
+		return err
+	}
+	p := TracePoint{
+		TimeSec:   n.now,
+		PowerW:    (energy - n.lastTraceE) / dt,
+		CPUGHz:    e.res.EffCoreFreq.GHzF() * n.cal.FreqBias,
+		IMCGHz:    e.res.UncoreFreq.GHzF() * n.cal.IMCBias,
+		GBs:       (bytes - n.lastTraceB) / dt / 1e9,
+		CPUPstate: ps,
+		UncMax:    lim.MaxRatio,
+	}
+	if n.instr > 0 {
+		p.CPI = n.cycles / n.instr
+	}
+	n.trace = append(n.trace, p)
+	n.lastTraceT = n.now
+	n.lastTraceE = energy
+	n.lastTraceB = bytes
+	return nil
+}
+
+// iterationBoundary feeds EARL the iteration's MPI events (or a
+// time-guided tick for non-MPI workloads).
+func (n *node) iterationBoundary() error {
+	if n.lib == nil {
+		return nil
+	}
+	if evs := n.cal.MPIEvents(); len(evs) > 0 {
+		inner := n.cal.InnerLoopsPerIter
+		if inner < 1 {
+			inner = 1
+		}
+		for l := 0; l < inner; l++ {
+			for _, ev := range evs {
+				if err := n.lib.OnMPICall(ev, n.now); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return n.lib.OnTick(n.now)
+}
+
+// result assembles the node's run outcome.
+func (n *node) result() (NodeResult, error) {
+	if n.now <= 0 || n.instr <= 0 {
+		return NodeResult{}, fmt.Errorf("sim: empty run")
+	}
+	nctl := &nodeCtl{n: n}
+	ps, err := nctl.CurrentPstate()
+	if err != nil {
+		return NodeResult{}, err
+	}
+	lim, err := n.sockets[0].UncoreLimits()
+	if err != nil {
+		return NodeResult{}, err
+	}
+	r := NodeResult{
+		TimeSec:        n.now,
+		EnergyJ:        n.inm.TrueEnergy(),
+		PkgEnergyJ:     n.pkgJ,
+		DramEnergyJ:    n.dramJ,
+		AvgCPUGHz:      n.coreFreqSec / n.now,
+		AvgIMCGHz:      n.imcFreqSec / n.now,
+		AvgCPI:         n.cycles / n.instr,
+		AvgGBs:         n.bytes / n.now / 1e9,
+		FinalCPUPstate: ps,
+		FinalUncoreMax: lim.MaxRatio,
+	}
+	r.AvgPowerW = r.EnergyJ / r.TimeSec
+	r.AvgPkgPowerW = r.PkgEnergyJ / r.TimeSec
+	r.Trace = n.trace
+	if n.lib != nil {
+		r.Signatures = n.lib.Signatures()
+		r.LoopDetected = n.lib.LoopDetected()
+		r.NestedLevel, r.NestedPeriod = n.lib.NestedStructure()
+		for _, ev := range n.lib.Events() {
+			if ev.Applied {
+				r.PolicyApplies++
+			}
+		}
+	}
+	return r, nil
+}
+
+// nodeCtl implements earl.Ctl over the node.
+type nodeCtl struct{ n *node }
+
+func (c *nodeCtl) SetCPUPstate(p int) error {
+	ratio, err := c.n.cal.Platform.Machine.CPU.PstateRatio(p)
+	if err != nil {
+		return err
+	}
+	for _, s := range c.n.sockets {
+		if err := s.RequestRatio(ratio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *nodeCtl) SetUncoreLimits(minR, maxR uint64) error {
+	for _, s := range c.n.sockets {
+		if err := s.SetUncoreLimits(minR, maxR); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *nodeCtl) CurrentPstate() (int, error) {
+	ratio, err := c.n.sockets[0].RequestedRatio()
+	if err != nil {
+		return 0, err
+	}
+	return c.n.cal.Platform.Machine.CPU.RatioPstate(ratio)
+}
+
+func (c *nodeCtl) CurrentUncoreRatio() (uint64, error) {
+	return c.n.sockets[0].CurrentUncoreRatio()
+}
+
+func (c *nodeCtl) Counters() (metrics.Sample, error) {
+	n := c.n
+	return metrics.Sample{
+		TimeSec:         n.now,
+		Instructions:    n.instr,
+		CoreCycles:      n.cycles,
+		AVXInstructions: n.avx,
+		DRAMBytes:       n.bytes,
+		EnergyJ:         n.inm.ReadEnergy(),
+		CoreFreqSeconds: n.coreFreqSec,
+		IMCFreqSeconds:  n.imcFreqSec,
+	}, nil
+}

@@ -1,0 +1,227 @@
+// Package sim executes calibrated workloads on simulated cluster nodes:
+// sockets with MSR files, the hardware uncore controller, the RAPL and
+// Node Manager meters, and (optionally) an EARL instance driving an
+// energy policy. It is the test bench every experiment in the paper is
+// reproduced on.
+package sim
+
+import (
+	"fmt"
+
+	"goear/internal/eard"
+	"goear/internal/model"
+	"goear/internal/stats"
+	"goear/internal/workload"
+)
+
+// Options configures one run.
+type Options struct {
+	// Policy is a registered policy name, or "" / "none" to run without
+	// EARL (the paper's nominal-frequency baseline).
+	Policy string
+	// CPUTh and UncTh are the policy thresholds (defaults 5 % and 2 %).
+	CPUTh float64
+	UncTh float64
+	// HWGuidedOff disables the HW-guided IMC search start (Fig. 5's
+	// ME+NG-U configuration).
+	HWGuidedOff bool
+	// NoAVX512Model disables the paper's AVX512 model extension
+	// (ablation A2).
+	NoAVX512Model bool
+	// Model is the trained energy model; required when a policy runs.
+	Model *model.Model
+	// Seed drives the run's measurement noise.
+	Seed int64
+	// FixedCPUPstate pins the CPU pstate for the whole run (Fig. 1).
+	FixedCPUPstate *int
+	// FixedUncoreRatio pins MSR 0x620 min=max (Fig. 1 sweeps).
+	FixedUncoreRatio *uint64
+	// PinBothUncoreLimits makes the eUFS search pin min=max instead of
+	// moving only the maximum (ablation A3 of the paper's §V-B item 3).
+	PinBothUncoreLimits bool
+	// StepSec is the simulation step (default 10 ms, the uncore
+	// controller tick).
+	StepSec float64
+	// NoiseSD is the per-iteration multiplicative noise (default 0.3 %).
+	NoiseSD float64
+	// SigChangeTh overrides EARL's signature-change threshold.
+	SigChangeTh float64
+	// MinWindowSec overrides EARL's signature window.
+	MinWindowSec float64
+	// DaemonLimits, when set, routes EARL's actuation through the node
+	// daemon's enforcement (site pstate bounds, uncore floor).
+	DaemonLimits *eard.Limits
+	// Trace records a per-node time series (one point per TraceStepSec
+	// of simulated time) in NodeResult.Trace.
+	Trace bool
+	// TraceStepSec is the trace sampling period (default 1 s).
+	TraceStepSec float64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Policy == "" {
+		o.Policy = "none"
+	}
+	if o.CPUTh == 0 {
+		o.CPUTh = 0.05
+	}
+	if o.UncTh == 0 {
+		o.UncTh = 0.02
+	}
+	if o.StepSec == 0 {
+		o.StepSec = 0.01
+	}
+	if o.NoiseSD == 0 {
+		o.NoiseSD = 0.003
+	}
+	if o.TraceStepSec == 0 {
+		o.TraceStepSec = 1
+	}
+	return o
+}
+
+// TracePoint is one sample of a node's operating state.
+type TracePoint struct {
+	TimeSec   float64
+	PowerW    float64 // instantaneous DC power over the last trace step
+	CPUGHz    float64 // requested-effective core frequency (measured)
+	IMCGHz    float64 // operating uncore frequency (measured)
+	CPI       float64 // cumulative-average CPI at this point
+	GBs       float64 // bandwidth over the last trace step
+	CPUPstate int
+	UncMax    uint64 // programmed uncore ceiling (MSR 0x620 max)
+}
+
+// NodeResult is one node's run outcome.
+type NodeResult struct {
+	TimeSec      float64
+	EnergyJ      float64 // DC energy (Node Manager scope)
+	PkgEnergyJ   float64 // RAPL PCK scope
+	DramEnergyJ  float64 // RAPL DRAM scope
+	AvgPowerW    float64
+	AvgPkgPowerW float64
+	AvgCPUGHz    float64 // measured (bias-adjusted) average
+	AvgIMCGHz    float64
+	AvgCPI       float64
+	AvgGBs       float64
+	// FinalCPUPstate and FinalUncoreMax are the operating point at run
+	// end (what the policy settled on).
+	FinalCPUPstate int
+	FinalUncoreMax uint64
+	// Signatures and PolicyApplies count EARL activity.
+	Signatures    int
+	PolicyApplies int
+	LoopDetected  bool
+	// NestedLevel/NestedPeriod report Dynais's highest locked level
+	// (-1 when no loop was found).
+	NestedLevel  int
+	NestedPeriod int
+	// Trace is the sampled time series when Options.Trace is set.
+	Trace []TracePoint
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	Workload string
+	Policy   string
+	Nodes    []NodeResult
+
+	// Cluster-level aggregates: time is the slowest node (MPI
+	// semantics), the rest are per-node means.
+	TimeSec      float64
+	AvgPowerW    float64
+	AvgPkgPowerW float64
+	EnergyJ      float64 // mean per-node DC energy
+	AvgCPUGHz    float64
+	AvgIMCGHz    float64
+	AvgCPI       float64
+	AvgGBs       float64
+}
+
+// aggregate fills the cluster-level fields from Nodes.
+func (r *Result) aggregate() {
+	var times, pows, pkgs, energies, cpus, imcs, cpis, gbs []float64
+	for _, n := range r.Nodes {
+		times = append(times, n.TimeSec)
+		pows = append(pows, n.AvgPowerW)
+		pkgs = append(pkgs, n.AvgPkgPowerW)
+		energies = append(energies, n.EnergyJ)
+		cpus = append(cpus, n.AvgCPUGHz)
+		imcs = append(imcs, n.AvgIMCGHz)
+		cpis = append(cpis, n.AvgCPI)
+		gbs = append(gbs, n.AvgGBs)
+	}
+	r.TimeSec = stats.Max(times)
+	r.AvgPowerW = stats.Mean(pows)
+	r.AvgPkgPowerW = stats.Mean(pkgs)
+	r.EnergyJ = stats.Mean(energies)
+	r.AvgCPUGHz = stats.Mean(cpus)
+	r.AvgIMCGHz = stats.Mean(imcs)
+	r.AvgCPI = stats.Mean(cpis)
+	r.AvgGBs = stats.Mean(gbs)
+}
+
+// Run executes the workload on all its nodes under the given options.
+func Run(cal workload.Calibrated, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if opt.Policy != "none" && opt.Model == nil {
+		return Result{}, fmt.Errorf("sim: policy %q needs a trained model", opt.Policy)
+	}
+	res := Result{Workload: cal.Name, Policy: opt.Policy}
+	for nodeID := 0; nodeID < cal.Nodes; nodeID++ {
+		nr, err := runNode(cal, nodeID, opt)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %s node %d: %w", cal.Name, nodeID, err)
+		}
+		res.Nodes = append(res.Nodes, nr)
+	}
+	res.aggregate()
+	return res, nil
+}
+
+// RunSpec calibrates and runs a workload spec.
+func RunSpec(spec workload.Spec, opt Options) (Result, error) {
+	cal, err := spec.Calibrate()
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(cal, opt)
+}
+
+// RunAveraged performs the paper's measurement protocol: several runs
+// with different seeds, averaged. The per-node detail of the last run
+// is retained.
+func RunAveraged(cal workload.Calibrated, opt Options, runs int) (Result, error) {
+	if runs < 1 {
+		return Result{}, fmt.Errorf("sim: need at least one run")
+	}
+	var acc Result
+	var times, pows, pkgs, energies, cpus, imcs, cpis, gbs []float64
+	for i := 0; i < runs; i++ {
+		o := opt
+		o.Seed = opt.Seed + int64(i)*7919
+		r, err := Run(cal, o)
+		if err != nil {
+			return Result{}, err
+		}
+		acc = r
+		times = append(times, r.TimeSec)
+		pows = append(pows, r.AvgPowerW)
+		pkgs = append(pkgs, r.AvgPkgPowerW)
+		energies = append(energies, r.EnergyJ)
+		cpus = append(cpus, r.AvgCPUGHz)
+		imcs = append(imcs, r.AvgIMCGHz)
+		cpis = append(cpis, r.AvgCPI)
+		gbs = append(gbs, r.AvgGBs)
+	}
+	acc.TimeSec = stats.Mean(times)
+	acc.AvgPowerW = stats.Mean(pows)
+	acc.AvgPkgPowerW = stats.Mean(pkgs)
+	acc.EnergyJ = stats.Mean(energies)
+	acc.AvgCPUGHz = stats.Mean(cpus)
+	acc.AvgIMCGHz = stats.Mean(imcs)
+	acc.AvgCPI = stats.Mean(cpis)
+	acc.AvgGBs = stats.Mean(gbs)
+	return acc, nil
+}

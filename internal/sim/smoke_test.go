@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"goear/internal/model"
+	"goear/internal/workload"
+)
+
+var (
+	modelMu    sync.Mutex
+	modelCache = map[string]*model.Model{}
+)
+
+// platformModel trains (once per platform) the energy model used by
+// policy-driven test runs.
+func platformModel(t testing.TB, pl workload.Platform) *model.Model {
+	t.Helper()
+	modelMu.Lock()
+	defer modelMu.Unlock()
+	if m, ok := modelCache[pl.Name]; ok {
+		return m
+	}
+	m, err := model.TrainForCPU(pl.Machine, pl.Power)
+	if err != nil {
+		t.Fatalf("training model for %s: %v", pl.Name, err)
+	}
+	modelCache[pl.Name] = m
+	return m
+}
+
+func calibrated(t testing.TB, name string) workload.Calibrated {
+	t.Helper()
+	spec, err := workload.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := spec.Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+// TestSmokeThreeConfigs prints the three headline configurations for
+// BT-MZ.C; it is the development smoke check behind the paper's
+// Table III row.
+func TestSmokeThreeConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke output in short mode")
+	}
+	cal := calibrated(t, workload.BTMZC)
+	m := platformModel(t, cal.Platform)
+	for _, pol := range []string{"none", "min_energy", "min_energy_eufs"} {
+		r, err := Run(cal, Options{Policy: pol, Model: m, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		fmt.Printf("%-16s time=%7.2fs power=%7.2fW energy=%9.0fJ cpu=%5.3fGHz imc=%5.3fGHz cpi=%5.3f gbs=%6.2f sigs=%d final(p%d,u%d)\n",
+			pol, r.TimeSec, r.AvgPowerW, r.EnergyJ, r.AvgCPUGHz, r.AvgIMCGHz,
+			r.AvgCPI, r.AvgGBs, r.Nodes[0].Signatures, r.Nodes[0].FinalCPUPstate, r.Nodes[0].FinalUncoreMax)
+	}
+}

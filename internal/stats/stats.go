@@ -1,0 +1,212 @@
+// Package stats provides the small numerical toolbox used by goear:
+// descriptive statistics for averaging experiment runs, and dense linear
+// least squares used by the energy-model learning phase to fit projection
+// coefficients against simulator samples.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator).
+// It returns 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Clamp limits x to the inclusive range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ErrSingular is returned when a least-squares system has no unique
+// solution (rank-deficient design matrix).
+var ErrSingular = errors.New("stats: singular system")
+
+// LeastSquares solves min ||X·beta - y||² by normal equations with
+// partial-pivot Gaussian elimination. X is row-major: len(X) samples,
+// each with the same number of features. It returns the coefficient
+// vector beta with one entry per feature.
+func LeastSquares(X [][]float64, y []float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("stats: least squares needs matching, non-empty X and y")
+	}
+	p := len(X[0])
+	if p == 0 {
+		return nil, errors.New("stats: least squares needs at least one feature")
+	}
+	for i, row := range X {
+		if len(row) != p {
+			return nil, errors.New("stats: ragged design matrix")
+		}
+		_ = i
+	}
+	// Form A = XᵀX (p×p) and b = Xᵀy.
+	A := make([][]float64, p)
+	b := make([]float64, p)
+	for i := 0; i < p; i++ {
+		A[i] = make([]float64, p)
+	}
+	for _, row := range X {
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+	for k, row := range X {
+		for i := 0; i < p; i++ {
+			b[i] += row[i] * y[k]
+		}
+	}
+	return SolveLinear(A, b)
+}
+
+// SolveLinear solves the square system A·x = b in place using Gaussian
+// elimination with partial pivoting. A and b are copied, not mutated.
+func SolveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || n != len(b) {
+		return nil, errors.New("stats: solve needs square, non-empty system")
+	}
+	// Work on copies.
+	M := make([][]float64, n)
+	for i := range A {
+		if len(A[i]) != n {
+			return nil, errors.New("stats: non-square matrix")
+		}
+		M[i] = append([]float64(nil), A[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(M[col][col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(M[r][col]); a > best {
+				best, piv = a, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		M[col], M[piv] = M[piv], M[col]
+		x[col], x[piv] = x[piv], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := M[r][col] / M[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= M[col][c] * x[c]
+		}
+		x[col] = s / M[col][col]
+	}
+	return x, nil
+}
+
+// R2 returns the coefficient of determination of predictions yhat against
+// observations y. It returns 0 when y has no variance.
+func R2(y, yhat []float64) float64 {
+	if len(y) != len(yhat) || len(y) == 0 {
+		return 0
+	}
+	m := Mean(y)
+	ssTot, ssRes := 0.0, 0.0
+	for i := range y {
+		ssTot += (y[i] - m) * (y[i] - m)
+		ssRes += (y[i] - yhat[i]) * (y[i] - yhat[i])
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

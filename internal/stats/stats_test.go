@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", m)
+	}
+	if s := StdDev(xs); !almostEqual(s, 1.2909944487, 1e-9) {
+		t.Errorf("StdDev = %v", s)
+	}
+	if v := Min(xs); v != 1 {
+		t.Errorf("Min = %v", v)
+	}
+	if v := Max(xs); v != 4 {
+		t.Errorf("Max = %v", v)
+	}
+	if v := Median(xs); v != 2.5 {
+		t.Errorf("Median = %v", v)
+	}
+	if v := Median([]float64{3, 1, 2}); v != 2 {
+		t.Errorf("Median odd = %v", v)
+	}
+}
+
+func TestDescriptiveEmpty(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-slice statistics must be 0")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-sample stddev must be 0")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestSolveLinearExact(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Errorf("SolveLinear = %v, want [1 3]", x)
+	}
+	// Inputs untouched.
+	if A[0][0] != 2 || b[0] != 5 {
+		t.Error("SolveLinear mutated inputs")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	A := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(A, []float64{1, 2}); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestSolveLinearBadShape(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Error("expected error for empty system")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for mismatched b")
+	}
+}
+
+func TestLeastSquaresRecoversPlane(t *testing.T) {
+	// y = 3 + 2*x1 - 0.5*x2, noiseless: LS must recover coefficients.
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x1, x2 := rng.Float64()*10, rng.Float64()*10
+		X = append(X, []float64{1, x1, x2})
+		y = append(y, 3+2*x1-0.5*x2)
+	}
+	beta, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -0.5}
+	for i := range want {
+		if !almostEqual(beta[i], want[i], 1e-6) {
+			t.Errorf("beta[%d] = %v, want %v", i, beta[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var y, yhat []float64
+	for i := 0; i < 400; i++ {
+		x := rng.Float64() * 5
+		X = append(X, []float64{1, x})
+		y = append(y, 1+4*x+rng.NormFloat64()*0.1)
+	}
+	beta, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(beta[0], 1, 0.1) || !almostEqual(beta[1], 4, 0.05) {
+		t.Errorf("noisy fit beta = %v", beta)
+	}
+	for _, row := range X {
+		yhat = append(yhat, beta[0]+beta[1]*row[1])
+	}
+	if r2 := R2(y, yhat); r2 < 0.99 {
+		t.Errorf("R2 = %v, want >= 0.99", r2)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("expected error for empty system")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("expected error for zero features")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged matrix")
+	}
+	// Rank-deficient: duplicate column.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	if _, err := LeastSquares(X, []float64{1, 2, 3}); err == nil {
+		t.Error("expected singular error for collinear features")
+	}
+}
+
+func TestR2Bounds(t *testing.T) {
+	y := []float64{1, 2, 3}
+	if r := R2(y, y); !almostEqual(r, 1, 1e-12) {
+		t.Errorf("perfect R2 = %v", r)
+	}
+	if r := R2(y, []float64{2, 2, 2}); !almostEqual(r, 0, 1e-12) {
+		t.Errorf("mean-prediction R2 = %v", r)
+	}
+	if r := R2([]float64{5, 5}, []float64{5, 5}); r != 0 {
+		t.Errorf("zero-variance R2 = %v", r)
+	}
+	if r := R2(y, []float64{1, 2}); r != 0 {
+		t.Errorf("mismatched-length R2 = %v", r)
+	}
+}
+
+func TestSolveLinearRandomProperty(t *testing.T) {
+	// For random well-conditioned diagonally dominant systems,
+	// A·x must reproduce b.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(rng.Int31n(4))
+		A := make([][]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			A[i] = make([]float64, n)
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				A[i][j] = rng.Float64()*2 - 1
+				rowSum += math.Abs(A[i][j])
+			}
+			A[i][i] = rowSum + 1 // diagonal dominance => nonsingular
+			b[i] = rng.Float64() * 10
+		}
+		x, err := SolveLinear(A, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += A[i][j] * x[j]
+			}
+			if !almostEqual(s, b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

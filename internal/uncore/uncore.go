@@ -1,0 +1,182 @@
+// Package uncore implements the hardware uncore frequency scaling (UFS)
+// controller of a Skylake-SP socket, the mechanism EAR's explicit UFS
+// policy competes with and is guided by.
+//
+// Per Intel's patent (US9323316B2) and the measurements in Hackenberg et
+// al. and Schöne et al. that the paper cites, the silicon runs a control
+// loop with roughly 10 ms reaction time whose target depends on the
+// fastest active core frequency and the memory activity of the socket,
+// biased by the ENERGY_PERF_BIAS hint and always clamped to the limits
+// programmed in MSR 0x620 (UNCORE_RATIO_LIMIT).
+//
+// The exact heuristic is proprietary, and the paper's own measurements
+// (Tables IV and VI) show it is not a simple function of load — that is
+// precisely the motivation for explicit UFS. Each simulated workload
+// therefore carries a Curve describing the silicon's observed response
+// for that access pattern, calibrated from the paper's ME columns; the
+// controller mechanics around the curve (tick latency, one-step ramping,
+// MSR clamping, EPB bias) are faithful to the published behaviour.
+package uncore
+
+import (
+	"fmt"
+
+	"goear/internal/msr"
+)
+
+// TickSeconds is the controller reaction period: the ~10 ms Schöne et
+// al. measured for workload-change detection on Skylake-SP.
+const TickSeconds = 0.010
+
+// Curve maps the effective (licence-resolved) core ratio to the uncore
+// ratio the silicon heuristic aims for, before MSR clamping.
+type Curve func(coreRatio uint64) uint64
+
+// AlwaysMax returns a curve that always requests ratio max: the
+// behaviour the paper observed for every workload with appreciable
+// memory traffic ("the HW left the IMC up to the maximum").
+func AlwaysMax(max uint64) Curve {
+	return func(uint64) uint64 { return max }
+}
+
+// FollowCore returns a curve that tracks the fastest active core ratio
+// plus a constant offset (which may be negative): the patent's primary
+// input. DGEMM's AVX512-licensed cores dragging the uncore down is this
+// curve with offset -2.
+func FollowCore(offset int64) Curve {
+	return func(core uint64) uint64 {
+		t := int64(core) + offset
+		if t < 0 {
+			return 0
+		}
+		return uint64(t)
+	}
+}
+
+// Step returns a curve that requests hi while the core ratio is at least
+// threshold and lo below it: the observed cliff for the CUDA busy-wait
+// and GROMACS cases, where a small core-frequency reduction flipped the
+// heuristic into a much lower uncore target.
+func Step(threshold, hi, lo uint64) Curve {
+	return func(core uint64) uint64 {
+		if core >= threshold {
+			return hi
+		}
+		return lo
+	}
+}
+
+// Fixed returns a curve pinned to one ratio.
+func Fixed(r uint64) Curve { return func(uint64) uint64 { return r } }
+
+// Controller drives one socket's uncore ratio. It owns MSR 0x621
+// (UNCORE_PERF_STATUS) and respects MSR 0x620 (UNCORE_RATIO_LIMIT),
+// which software (EAR) writes to steer it.
+type Controller struct {
+	msrs  *msr.File
+	curve Curve
+	acc   float64 // time accumulated toward the next tick
+}
+
+// NewController attaches a controller to a socket's MSR file. The
+// controller starts from whatever MSR 0x621 currently holds (the
+// simulator boots sockets at the hardware minimum, so the ramp to the
+// workload's level is visible in averages, as it is in the paper's
+// 2.39-vs-2.40 GHz readings).
+func NewController(m *msr.File, curve Curve) (*Controller, error) {
+	if m == nil {
+		return nil, fmt.Errorf("uncore: nil MSR file")
+	}
+	if curve == nil {
+		return nil, fmt.Errorf("uncore: nil curve")
+	}
+	return &Controller{msrs: m, curve: curve}, nil
+}
+
+// SetCurve replaces the workload-response curve (used when the simulated
+// node switches to a different application phase).
+func (c *Controller) SetCurve(curve Curve) error {
+	if curve == nil {
+		return fmt.Errorf("uncore: nil curve")
+	}
+	c.curve = curve
+	return nil
+}
+
+// Advance runs the controller for dt seconds of simulated time with the
+// socket's effective core ratio. At each 10 ms tick the current uncore
+// ratio moves one step toward the clamped target.
+func (c *Controller) Advance(dt float64, coreRatio uint64) error {
+	if dt < 0 {
+		return fmt.Errorf("uncore: negative time step %g", dt)
+	}
+	c.acc += dt
+	// The epsilon absorbs float accumulation error so that e.g. five
+	// 10 ms advances yield exactly five ticks.
+	const eps = 1e-9
+	for c.acc >= TickSeconds-eps {
+		c.acc -= TickSeconds
+		if err := c.tick(coreRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tick performs one control step.
+func (c *Controller) tick(coreRatio uint64) error {
+	limV, err := c.msrs.Read(msr.MSRUncoreRatioLimit)
+	if err != nil {
+		return err
+	}
+	lim := msr.DecodeUncoreRatioLimit(limV)
+
+	target := c.curve(coreRatio)
+
+	// ENERGY_PERF_BIAS: a powersave hint lowers the target one step, a
+	// performance hint raises it one.
+	if epb, err := c.msrs.Read(msr.IA32EnergyPerfBias); err == nil {
+		switch {
+		case epb >= 9 && target > 0:
+			target--
+		case epb <= 3:
+			target++
+		}
+	}
+
+	if target > lim.MaxRatio {
+		target = lim.MaxRatio
+	}
+	if target < lim.MinRatio {
+		target = lim.MinRatio
+	}
+
+	curV, err := c.msrs.Read(msr.MSRUncorePerfStatus)
+	if err != nil {
+		return err
+	}
+	cur := msr.DecodeUncorePerfStatus(curV)
+
+	// Re-clamp the operating point immediately if software narrowed the
+	// window under it: the silicon honours 0x620 on the next tick.
+	switch {
+	case cur > lim.MaxRatio:
+		cur = lim.MaxRatio
+	case cur < lim.MinRatio:
+		cur = lim.MinRatio
+	case cur < target:
+		cur++
+	case cur > target:
+		cur--
+	}
+	return c.msrs.WriteHw(msr.MSRUncorePerfStatus, msr.EncodeUncorePerfStatus(cur))
+}
+
+// Current returns the operating uncore ratio.
+func (c *Controller) Current() (uint64, error) {
+	v, err := c.msrs.Read(msr.MSRUncorePerfStatus)
+	if err != nil {
+		return 0, err
+	}
+	return msr.DecodeUncorePerfStatus(v), nil
+}

@@ -1,0 +1,152 @@
+// Package units defines the physical quantities used throughout goear:
+// frequency, power, energy and time intervals, together with parsing and
+// formatting helpers.
+//
+// Frequencies are stored in hertz, powers in watts, energies in joules.
+// The types are plain float64 wrappers so that arithmetic stays cheap in
+// the simulator hot path while signatures remain self-documenting.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Freq is a frequency in hertz.
+type Freq float64
+
+// Common frequency units.
+const (
+	Hz  Freq = 1
+	KHz Freq = 1e3
+	MHz Freq = 1e6
+	GHz Freq = 1e9
+)
+
+// GHzF returns f expressed in gigahertz.
+func (f Freq) GHzF() float64 { return float64(f) / 1e9 }
+
+// MHzF returns f expressed in megahertz.
+func (f Freq) MHzF() float64 { return float64(f) / 1e6 }
+
+// Ratio returns the hardware ratio for f given a bus-clock granularity,
+// rounding to the nearest multiple. Intel uncore and core ratios use a
+// 100 MHz granularity.
+func (f Freq) Ratio(gran Freq) uint64 {
+	if gran <= 0 {
+		return 0
+	}
+	return uint64(math.Round(float64(f) / float64(gran)))
+}
+
+// FromRatio builds a frequency from a hardware ratio and granularity.
+func FromRatio(ratio uint64, gran Freq) Freq { return Freq(ratio) * gran }
+
+// String formats the frequency with an adaptive unit.
+func (f Freq) String() string {
+	switch {
+	case f >= GHz:
+		return trimZeros(strconv.FormatFloat(f.GHzF(), 'f', 2, 64)) + "GHz"
+	case f >= MHz:
+		return trimZeros(strconv.FormatFloat(f.MHzF(), 'f', 1, 64)) + "MHz"
+	case f >= KHz:
+		return trimZeros(strconv.FormatFloat(float64(f)/1e3, 'f', 1, 64)) + "kHz"
+	default:
+		return trimZeros(strconv.FormatFloat(float64(f), 'f', 1, 64)) + "Hz"
+	}
+}
+
+// ParseFreq parses strings such as "2.4GHz", "2400MHz" or "2400000000".
+// A bare number is interpreted as hertz.
+func ParseFreq(s string) (Freq, error) {
+	t := strings.TrimSpace(s)
+	unit := Hz
+	lower := strings.ToLower(t)
+	switch {
+	case strings.HasSuffix(lower, "ghz"):
+		unit, t = GHz, t[:len(t)-3]
+	case strings.HasSuffix(lower, "mhz"):
+		unit, t = MHz, t[:len(t)-3]
+	case strings.HasSuffix(lower, "khz"):
+		unit, t = KHz, t[:len(t)-3]
+	case strings.HasSuffix(lower, "hz"):
+		unit, t = Hz, t[:len(t)-2]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse frequency %q: %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative frequency %q", s)
+	}
+	return Freq(v) * unit, nil
+}
+
+// Power is an electrical power in watts.
+type Power float64
+
+// Watts returns the power as a float64 in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// String formats the power in watts with two decimals.
+func (p Power) String() string {
+	return trimZeros(strconv.FormatFloat(float64(p), 'f', 2, 64)) + "W"
+}
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Joules returns the energy as a float64 in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// WattSeconds constructs the energy dissipated by power p over d seconds.
+func WattSeconds(p Power, seconds float64) Energy {
+	return Energy(float64(p) * seconds)
+}
+
+// Over returns the average power of e dissipated over the given duration.
+// It returns 0 for non-positive durations.
+func (e Energy) Over(seconds float64) Power {
+	if seconds <= 0 {
+		return 0
+	}
+	return Power(float64(e) / seconds)
+}
+
+// String formats the energy in joules (or kJ above 10 kJ).
+func (e Energy) String() string {
+	if math.Abs(float64(e)) >= 1e4 {
+		return trimZeros(strconv.FormatFloat(float64(e)/1e3, 'f', 2, 64)) + "kJ"
+	}
+	return trimZeros(strconv.FormatFloat(float64(e), 'f', 2, 64)) + "J"
+}
+
+// Seconds is a duration expressed in seconds. The simulator uses float
+// seconds rather than time.Duration to avoid overflow and keep the math
+// transparent.
+type Seconds float64
+
+// String formats the duration.
+func (s Seconds) String() string {
+	return trimZeros(strconv.FormatFloat(float64(s), 'f', 3, 64)) + "s"
+}
+
+// PercentChange returns 100*(now-ref)/ref, or 0 when ref is 0.
+func PercentChange(ref, now float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return 100 * (now - ref) / ref
+}
+
+// trimZeros removes trailing zeros (and a trailing dot) from a fixed-point
+// formatted number so that "2.40" prints as "2.4" and "300.00" as "300".
+func trimZeros(s string) string {
+	if !strings.Contains(s, ".") {
+		return s
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"goear/internal/model"
+	"goear/internal/perf"
+)
+
+func TestCascadeLakePlatformPipeline(t *testing.T) {
+	pl := CascadeLake()
+	if err := pl.Machine.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A spec retargeted to the platform calibrates.
+	f := Template()
+	f.Platform = "CascadeLake"
+	f.ActiveCores = 48
+	f.ProcsPerNode = 48
+	s, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := s.Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Platform.Name != "CascadeLake" {
+		t.Errorf("platform = %s", cal.Platform.Name)
+	}
+	// The learning phase retrains for the new pstate table.
+	m, err := model.TrainForCPU(pl.Machine, pl.Power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PstateCount() != pl.Machine.CPU.PstateCount() {
+		t.Errorf("model pstates = %d, want %d", m.PstateCount(), pl.Machine.CPU.PstateCount())
+	}
+	// Cascade Lake 6252: nominal 2.1, AVX512 licence 1.6 -> pstate 6.
+	if m.AVX512Pstate != 6 {
+		t.Errorf("AVX512 pstate = %d, want 6", m.AVX512Pstate)
+	}
+	nominal, err := perf.Evaluate(pl.Machine, cal.Segs[0].Phase,
+		perf.Operating{CoreRatio: 21, UncoreRatio: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nominal.EffCoreFreq.GHzF() != 2.1 {
+		t.Errorf("nominal frequency = %v", nominal.EffCoreFreq)
+	}
+}

@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"goear/internal/cpu"
+	"goear/internal/mem"
+	"goear/internal/perf"
+	"goear/internal/power"
+	"goear/internal/uncore"
+)
+
+// SD530 returns the compute-node platform of the paper: Lenovo
+// ThinkSystem SD530 with 2× Xeon Gold 6148 and 12× DDR4-2400.
+func SD530() Platform {
+	return Platform{
+		Name:    "SD530",
+		Machine: perf.Machine{CPU: cpu.XeonGold6148(), Mem: mem.DDR4SD530()},
+		Power:   power.SD530Coeffs(),
+	}
+}
+
+// CascadeLake returns a portability platform: 2× Xeon Gold 6252
+// (Cascade Lake-SP, 24 cores at 2.1 GHz nominal) with the same memory
+// subsystem. It carries no calibrated paper workloads; it exists so
+// users can study the policies on a second CPU generation.
+func CascadeLake() Platform {
+	return Platform{
+		Name:    "CascadeLake",
+		Machine: perf.Machine{CPU: cpu.XeonGold6252(), Mem: mem.DDR4SD530()},
+		Power:   power.SD530Coeffs(),
+	}
+}
+
+// GPUNode returns the CUDA platform: 2× Xeon Gold 6142M with NVIDIA
+// Tesla V100s (one used), same uncore range.
+func GPUNode() Platform {
+	return Platform{
+		Name:    "GPUNode",
+		Machine: perf.Machine{CPU: cpu.XeonGold6142M(), Mem: mem.DDR4SD530()},
+		Power:   power.GPUNodeCoeffs(),
+	}
+}
+
+// Catalogue names. Kernel entries reproduce Table II, the motivation
+// entries Table I, and the application entries Table V.
+const (
+	BTMZC       = "BT-MZ.C"     // OpenMP kernel, single node
+	SPMZC       = "SP-MZ.C"     // OpenMP kernel, single node
+	BTCUDA      = "BT.CUDA.D"   // CUDA kernel, busy-wait CPU
+	LUCUDA      = "LU.CUDA.D"   // CUDA kernel, busy-wait CPU
+	DGEMM       = "DGEMM"       // MKL, pure AVX512
+	BTMZMotiv   = "BT-MZ.C.mpi" // motivation: 160 ranks, 4 nodes
+	LUDMotiv    = "LU.D.omp"    // motivation: 2 nodes, 40 threads each
+	BQCD        = "BQCD"        // lattice QCD, 4 nodes
+	BTMZD       = "BT-MZ.D"     // NAS BT-MZ class D, 4 nodes
+	GromacsI    = "GROMACS(I)"  // ion_channel, 4 nodes
+	GromacsII   = "GROMACS(II)" // lignocellulose-rf, 16 nodes
+	HPCG        = "HPCG"        // conjugate gradients, memory bound
+	POP         = "POP"         // parallel ocean model, 10 nodes
+	DUMSES      = "DUMSES"      // MHD code, 13 nodes
+	AFiD        = "AFiD"        // Rayleigh-Benard flows, 15 nodes
+	PhaseChange = "PhaseChange" // synthetic two-phase app for testing
+	// PhaseChangeMild shifts CPI by only ~13% mid-run: above a 10%
+	// signature-change threshold but below 15%, so it separates EARL's
+	// re-application behaviour across thresholds (ablation A5).
+	PhaseChangeMild = "PhaseChangeMild"
+)
+
+// Catalog returns every workload, calibration targets taken from the
+// paper's Tables I, II and V. The HWUncore curves encode the silicon
+// heuristic's observed settling points (Tables IV and VI, ME column);
+// see the package comment of internal/uncore for why these are
+// per-workload inputs rather than a single global heuristic.
+func Catalog() []Spec {
+	sd := SD530()
+	gpu := GPUNode()
+	specs := []Spec{
+		{
+			Name: BTMZC, Class: CPUBound, ProgModel: "OpenMP", Platform: sd,
+			Nodes: 1, ProcsPerNode: 1, ThreadsPerProc: 40, ActiveCores: 40,
+			TargetTimeSec: 145,
+			DefaultSegment: Segment{
+				TargetCPI: 0.39, TargetGBs: 28, TargetPowerW: 332, OverlapHint: 0.70,
+			},
+			IterPeriodSec: 1.2, MPICallsPerIter: 0,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+		{
+			Name: SPMZC, Class: CPUBound, ProgModel: "OpenMP", Platform: sd,
+			Nodes: 1, ProcsPerNode: 1, ThreadsPerProc: 40, ActiveCores: 40,
+			TargetTimeSec: 264,
+			DefaultSegment: Segment{
+				TargetCPI: 0.53, TargetGBs: 78, TargetPowerW: 358,
+				OverlapHint: 0.85, CoreCPIFrac: 0.80,
+			},
+			IterPeriodSec: 1.1, MPICallsPerIter: 0,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+		{
+			Name: BTCUDA, Class: Accelerator, ProgModel: "CUDA", Platform: gpu,
+			Nodes: 1, ProcsPerNode: 1, ThreadsPerProc: 1, ActiveCores: 1,
+			TargetTimeSec: 465,
+			DefaultSegment: Segment{
+				TargetCPI: 0.49, TargetGBs: 0.09, TargetPowerW: 305, OverlapHint: 0.5,
+			},
+			IterPeriodSec: 2.0, MPICallsPerIter: 0,
+			// The busy-wait host core drives the heuristic: at the
+			// turbo/nominal ratio the uncore stays up; once the policy
+			// lowers the core the heuristic collapses to ~1.5 GHz
+			// (Table IV: 2.39 under no policy, 1.51 under ME).
+			HWUncore:  uncore.Step(26, 24, 15),
+			GPUPowerW: 105,
+			FreqBias:  0.938, IMCBias: 0.996,
+		},
+		{
+			Name: LUCUDA, Class: Accelerator, ProgModel: "CUDA", Platform: gpu,
+			Nodes: 1, ProcsPerNode: 1, ThreadsPerProc: 1, ActiveCores: 1,
+			TargetTimeSec: 256,
+			DefaultSegment: Segment{
+				TargetCPI: 0.54, TargetGBs: 0.19, TargetPowerW: 290, OverlapHint: 0.5,
+			},
+			IterPeriodSec: 1.6, MPICallsPerIter: 0,
+			// Table IV: the heuristic held 2.39 GHz for LU.CUDA even
+			// under ME — the suboptimal case explicit UFS fixes.
+			HWUncore:  uncore.AlwaysMax(24),
+			GPUPowerW: 95,
+			FreqBias:  0.777, IMCBias: 0.996,
+		},
+		{
+			Name: DGEMM, Class: CPUBound, ProgModel: "MKL", Platform: sd,
+			Nodes: 1, ProcsPerNode: 1, ThreadsPerProc: 40, ActiveCores: 40,
+			TargetTimeSec: 160,
+			DefaultSegment: Segment{
+				TargetCPI: 0.45, TargetGBs: 98, TargetPowerW: 369,
+				VPI: 1.0, OverlapHint: 0.90,
+			},
+			IterPeriodSec: 1.3, MPICallsPerIter: 0,
+			// Pure AVX512 pins the cores at the 2.2 GHz licence; the
+			// heuristic follows the fastest core down (Table IV: 1.98).
+			HWUncore: uncore.FollowCore(-2),
+			FreqBias: 0.991, IMCBias: 0.996,
+		},
+		{
+			Name: BTMZMotiv, Class: CPUBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 4, ProcsPerNode: 40, ThreadsPerProc: 1, ActiveCores: 40,
+			TargetTimeSec: 150,
+			DefaultSegment: Segment{
+				TargetCPI: 0.38, TargetGBs: 10.19, TargetPowerW: 330, OverlapHint: 0.70,
+			},
+			IterPeriodSec: 1.2, MPICallsPerIter: 8,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+		{
+			Name: LUDMotiv, Class: MemBound, ProgModel: "MPI+OpenMP", Platform: sd,
+			Nodes: 2, ProcsPerNode: 1, ThreadsPerProc: 40, ActiveCores: 40,
+			TargetTimeSec: 300,
+			DefaultSegment: Segment{
+				TargetCPI: 1.04, TargetGBs: 75.93, TargetPowerW: 340,
+				OverlapHint: 0.90, CoreCPIFrac: 0.60,
+			},
+			IterPeriodSec: 1.5, MPICallsPerIter: 6,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+		{
+			Name: BQCD, Class: CPUBound, ProgModel: "MPI+OpenMP", Platform: sd,
+			Nodes: 4, ProcsPerNode: 10, ThreadsPerProc: 4, ActiveCores: 40,
+			TargetTimeSec: 130.54,
+			DefaultSegment: Segment{
+				TargetCPI: 0.68, TargetGBs: 10.98, TargetPowerW: 302.15,
+				OverlapHint: 0.75, CoreCPIFrac: 0.75,
+			},
+			// The HMC outer step wraps three passes of a 4-call solver
+			// loop: nested structure Dynais resolves at two levels.
+			IterPeriodSec: 1.0, MPICallsPerIter: 4, InnerLoopsPerIter: 3,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.989, IMCBias: 0.996,
+		},
+		{
+			Name: BTMZD, Class: CPUBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 4, ProcsPerNode: 40, ThreadsPerProc: 1, ActiveCores: 40,
+			TargetTimeSec: 465.01,
+			DefaultSegment: Segment{
+				TargetCPI: 0.38, TargetGBs: 6.60, TargetPowerW: 320.74,
+				OverlapHint: 0.70, CoreCPIFrac: 0.83,
+			},
+			IterPeriodSec: 2.3, MPICallsPerIter: 8,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+		{
+			Name: GromacsI, Class: CPUBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 4, ProcsPerNode: 40, ThreadsPerProc: 1, ActiveCores: 40,
+			TargetTimeSec: 313.92,
+			DefaultSegment: Segment{
+				TargetCPI: 0.48, TargetGBs: 10.39, TargetPowerW: 319.35,
+				VPI: 0.15, OverlapHint: 0.75, CoreCPIFrac: 0.70,
+			},
+			IterPeriodSec: 1.0, MPICallsPerIter: 16,
+			// Table VI: heuristic settles at ~2.0 GHz once the policy
+			// moves the cores off nominal.
+			HWUncore: uncore.Step(24, 24, 20),
+			FreqBias: 0.95, IMCBias: 0.996,
+		},
+		{
+			Name: GromacsII, Class: CPUBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 16, ProcsPerNode: 40, ThreadsPerProc: 1, ActiveCores: 40,
+			TargetTimeSec: 390.60,
+			DefaultSegment: Segment{
+				TargetCPI: 0.63, TargetGBs: 13.34, TargetPowerW: 315.48,
+				VPI: 0.15, OverlapHint: 0.75,
+			},
+			IterPeriodSec: 1.0, MPICallsPerIter: 16,
+			// Table VI: the heuristic drops all the way to ~1.45 GHz
+			// under ME for this input.
+			HWUncore: uncore.Step(24, 24, 14),
+			FreqBias: 0.954, IMCBias: 0.996,
+		},
+		{
+			Name: HPCG, Class: MemBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 4, ProcsPerNode: 40, ThreadsPerProc: 1, ActiveCores: 40,
+			TargetTimeSec: 169.61,
+			DefaultSegment: Segment{
+				TargetCPI: 3.13, TargetGBs: 177.45, TargetPowerW: 339.88,
+				OverlapHint: 0.95, CoreCPIFrac: 0.10,
+			},
+			IterPeriodSec: 1.4, MPICallsPerIter: 10,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+		{
+			Name: POP, Class: MemBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 10, ProcsPerNode: 39, ThreadsPerProc: 1, ActiveCores: 39,
+			TargetTimeSec: 1533.03,
+			DefaultSegment: Segment{
+				TargetCPI: 0.72, TargetGBs: 100.66, TargetPowerW: 347.18,
+				OverlapHint: 0.90, CoreCPIFrac: 0.42,
+			},
+			IterPeriodSec: 2.0, MPICallsPerIter: 20,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.98,
+		},
+		{
+			Name: DUMSES, Class: MemBound, ProgModel: "MPI+OpenMP", Platform: sd,
+			Nodes: 13, ProcsPerNode: 40, ThreadsPerProc: 1, ActiveCores: 40,
+			TargetTimeSec: 813.21,
+			DefaultSegment: Segment{
+				TargetCPI: 1.08, TargetGBs: 119.07, TargetPowerW: 333.69,
+				OverlapHint: 0.90, CoreCPIFrac: 0.32,
+			},
+			IterPeriodSec: 1.6, MPICallsPerIter: 14,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+		{
+			Name: AFiD, Class: MemBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 15, ProcsPerNode: 39, ThreadsPerProc: 1, ActiveCores: 39,
+			TargetTimeSec: 268.22,
+			DefaultSegment: Segment{
+				TargetCPI: 0.77, TargetGBs: 115.20, TargetPowerW: 333.65,
+				OverlapHint: 0.90, CoreCPIFrac: 0.42,
+			},
+			IterPeriodSec: 1.1, MPICallsPerIter: 12,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.98,
+		},
+		{
+			Name: PhaseChangeMild, Class: CPUBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 1, ProcsPerNode: 40, ThreadsPerProc: 1, ActiveCores: 40,
+			TargetTimeSec: 240,
+			DefaultSegment: Segment{
+				TargetCPI: 0.60, TargetGBs: 30, TargetPowerW: 330, OverlapHint: 0.75,
+			},
+			Segments: []Segment{
+				{FracIters: 0.5, TargetCPI: 0.60, TargetGBs: 30, TargetPowerW: 330, OverlapHint: 0.75},
+				{FracIters: 0.5, TargetCPI: 0.68, TargetGBs: 32, TargetPowerW: 334, OverlapHint: 0.75},
+			},
+			IterPeriodSec: 1.0, MPICallsPerIter: 8,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+		{
+			// Synthetic application whose behaviour flips mid-run from
+			// CPU bound to memory bound; exercises EARL's signature-
+			// change detection and the policy restart path (§V-B).
+			Name: PhaseChange, Class: MemBound, ProgModel: "MPI", Platform: sd,
+			Nodes: 1, ProcsPerNode: 40, ThreadsPerProc: 1, ActiveCores: 40,
+			TargetTimeSec: 240,
+			DefaultSegment: Segment{
+				TargetCPI: 0.45, TargetGBs: 20, TargetPowerW: 330, OverlapHint: 0.7,
+			},
+			Segments: []Segment{
+				{FracIters: 0.5, TargetCPI: 0.45, TargetGBs: 20, TargetPowerW: 330, OverlapHint: 0.7},
+				{FracIters: 0.5, TargetCPI: 2.2, TargetGBs: 150, TargetPowerW: 340, OverlapHint: 0.94},
+			},
+			IterPeriodSec: 1.0, MPICallsPerIter: 8,
+			HWUncore: uncore.AlwaysMax(24),
+			FreqBias: 0.992, IMCBias: 0.996,
+		},
+	}
+	sort.SliceStable(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}
+
+// Lookup returns the catalogue entry with the given name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Kernels returns the single-node kernel entries of Table II, in the
+// paper's row order.
+func Kernels() []string {
+	return []string{BTMZC, SPMZC, BTCUDA, LUCUDA, DGEMM}
+}
+
+// Applications returns the MPI application entries of Table V, in the
+// paper's row order.
+func Applications() []string {
+	return []string{BQCD, BTMZD, GromacsI, GromacsII, HPCG, POP, DUMSES, AFiD}
+}
