@@ -10,6 +10,7 @@
 package goear
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"goear/internal/mem"
 	"goear/internal/metrics"
 	"goear/internal/model"
+	"goear/internal/par"
 	"goear/internal/perf"
 	"goear/internal/power"
 	"goear/internal/sim"
@@ -81,6 +83,37 @@ func BenchmarkSummary(b *testing.B) { benchExperiment(b, "summary") }
 func BenchmarkAblations(b *testing.B)  { benchExperiment(b, "ablations") }
 func BenchmarkBaselines(b *testing.B)  { benchExperiment(b, "baselines") }
 func BenchmarkFutureWork(b *testing.B) { benchExperiment(b, "future_work") }
+
+// Scheduler benchmarks: the whole evaluation campaign end to end,
+// sequential versus the bounded worker pool. On a machine with >= 4
+// cores the parallel variant is expected to finish the campaign at
+// least twice as fast; the output is byte-identical either way.
+
+func benchExpAll(b *testing.B, parallel int) {
+	base := benchContext(b)
+	ids := experiments.IDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewFrom(base)
+		ctx.Parallel = parallel
+		if err := par.ForEach(parallel, len(ids), func(j int) error {
+			_, err := ctx.Generate(ids[j])
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpAllSequential(b *testing.B) { benchExpAll(b, 1) }
+
+func BenchmarkExpAllParallel(b *testing.B) {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		b.Skip("needs >= 2 CPUs to exercise the worker pool")
+	}
+	benchExpAll(b, n)
+}
 
 func benchOneRun(b *testing.B, name string, opt sim.Options) {
 	base := benchContext(b)

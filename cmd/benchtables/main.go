@@ -1,21 +1,33 @@
 // Command benchtables regenerates the paper's evaluation: every table
 // and figure, or a selected one, rendered as text (or CSV for plotting).
 //
+// Experiments fan out across a bounded worker pool (-parallel, default
+// GOMAXPROCS): whole experiments run concurrently, and each experiment
+// fans its independent rows, averaged seeds and cluster nodes out
+// again. Simulation randomness is derived from explicit seeds, so the
+// output is byte-identical at every -parallel setting — only the
+// wall-clock time changes.
+//
 // Examples:
 //
 //	benchtables -exp all
+//	benchtables -exp all -parallel 1     # sequential reference schedule
 //	benchtables -exp table3
 //	benchtables -exp fig7 -csv
 //	benchtables -exp summary -runs 1
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"goear/internal/experiments"
+	"goear/internal/par"
+	"goear/internal/report"
 )
 
 func main() {
@@ -37,33 +49,61 @@ func run(args []string, out io.Writer) error {
 	exp := fs.String("exp", "all", "experiment id or 'all' (see earctl experiments)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	runs := fs.Int("runs", 3, "averaged runs per configuration (the paper uses 3)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker bound for concurrent experiment generation (1 = sequential; output is identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1 (got %d)", *parallel)
 	}
 
 	ctx := experiments.New()
 	ctx.Runs = *runs
+	ctx.Parallel = *parallel
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = order
 	}
-	for _, id := range ids {
-		tabs, err := ctx.Generate(id)
+	// Experiments render into per-experiment buffers that are flushed
+	// in presentation order, so the byte stream does not depend on
+	// which experiment finishes first. The shared context deduplicates
+	// the many runs the experiments have in common.
+	bufs := make([]bytes.Buffer, len(ids))
+	err := par.ForEach(*parallel, len(ids), func(i int) error {
+		tabs, err := ctx.Generate(ids[i])
 		if err != nil {
 			return err
 		}
-		for _, t := range tabs {
-			if *csv {
-				if err := t.CSV(out); err != nil {
-					return err
-				}
-			} else {
-				if err := t.Render(out); err != nil {
-					return err
-				}
+		return renderTables(&bufs[i], tabs, *csv)
+	})
+	if err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := out.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderTables writes an experiment's tables (text or CSV), each
+// followed by a blank line, matching the historical streaming format.
+func renderTables(w io.Writer, tabs []report.Table, csv bool) error {
+	for _, t := range tabs {
+		if csv {
+			if err := t.CSV(w); err != nil {
+				return err
 			}
-			fmt.Fprintln(out)
+		} else {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
 		}
 	}
 	return nil

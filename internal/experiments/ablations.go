@@ -7,23 +7,19 @@ import (
 )
 
 // Ablations regenerates the design-choice ablations listed in DESIGN.md
-// (A1-A5): each varies one decision the paper's §V-B fixes.
+// (A1-A5): each varies one decision the paper's §V-B fixes. The five
+// studies are independent, so they fan out in parallel (and each one's
+// rows fan out again internally).
 func (c *Context) Ablations() ([]report.Table, error) {
-	var out []report.Table
-	for _, g := range []func() (report.Table, error){
+	return mapRows(c, []func() (report.Table, error){
 		c.ablationSearch,
 		c.ablationAVX512,
 		c.ablationRatioMode,
 		c.ablationUncTh,
 		c.ablationSigChange,
-	} {
-		t, err := g()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-	}
-	return out, nil
+	}, func(g func() (report.Table, error)) (report.Table, error) {
+		return g()
+	})
 }
 
 // ablationSearch (A1): HW-guided vs linear (from-maximum) IMC search on
@@ -43,22 +39,22 @@ func (c *Context) ablationSearch() (report.Table, error) {
 	if err != nil {
 		return report.Table{}, err
 	}
-	for _, cfgr := range []struct {
-		label string
-		opt   sim.Options
-	}{
-		{"ME+eU (HW-guided)", sim.Options{Policy: "min_energy_eufs", Seed: 40, Trace: true}},
-		{"ME+NG-U (from max)", sim.Options{Policy: "min_energy_eufs", HWGuidedOff: true, Seed: 40, Trace: true}},
-	} {
-		r, err := c.run(name, cfgr.opt)
-		if err != nil {
-			return report.Table{}, err
-		}
-		d := deltaOf(base, r)
-		if err := t.AddRow(cfgr.label,
+	cfgs := []runCfg{
+		{"ME+eU (HW-guided)", name, sim.Options{Policy: "min_energy_eufs", Seed: 40, Trace: true}},
+		{"ME+NG-U (from max)", name, sim.Options{Policy: "min_energy_eufs", HWGuidedOff: true, Seed: 40, Trace: true}},
+	}
+	runs, err := mapRows(c, cfgs, func(cfg runCfg) (sim.Result, error) {
+		return c.run(cfg.name, cfg.opt)
+	})
+	if err != nil {
+		return report.Table{}, err
+	}
+	for i, cfg := range cfgs {
+		d := deltaOf(base, runs[i])
+		if err := t.AddRow(cfg.label,
 			report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
 			report.Pct(d.EnergySavingPct),
-			report.F(settleTime(r.Nodes[0].Trace), 0),
+			report.F(settleTime(runs[i].Nodes[0].Trace), 0),
 			report.GHz(d.AvgIMCGHz)); err != nil {
 			return report.Table{}, err
 		}
@@ -78,60 +74,53 @@ func settleTime(trace []sim.TracePoint) float64 {
 	return last
 }
 
+// figTableOf renders one bar-figure ablation table from its
+// configuration list.
+func (c *Context) figTableOf(title string, cfgs []runCfg) (report.Table, error) {
+	t := report.Table{Title: title, Columns: figColumns()}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
+		return report.Table{}, err
+	}
+	for i, cfg := range cfgs {
+		if err := figRow(&t, cfg.label, ds[i]); err != nil {
+			return report.Table{}, err
+		}
+	}
+	return t, nil
+}
+
 // ablationAVX512 (A2): the AVX512-aware model vs the pre-extension
 // default model on DGEMM (VPI = 1).
 func (c *Context) ablationAVX512() (report.Table, error) {
-	t := report.Table{
-		Title:   "Ablation A2: AVX512 model on/off (DGEMM, min_energy)",
-		Columns: figColumns(),
-	}
 	name := workload.DGEMM
-	if err := c.configRow(&t, "AVX512 model", name,
-		sim.Options{Policy: "min_energy", Seed: 40}); err != nil {
-		return report.Table{}, err
-	}
-	if err := c.configRow(&t, "default model", name,
-		sim.Options{Policy: "min_energy", NoAVX512Model: true, Seed: 40}); err != nil {
-		return report.Table{}, err
-	}
-	return t, nil
+	return c.figTableOf("Ablation A2: AVX512 model on/off (DGEMM, min_energy)", []runCfg{
+		{"AVX512 model", name, sim.Options{Policy: "min_energy", Seed: 40}},
+		{"default model", name, sim.Options{Policy: "min_energy", NoAVX512Model: true, Seed: 40}},
+	})
 }
 
 // ablationRatioMode (A3): moving only the maximum uncore ratio (the
 // paper's choice) vs pinning min=max during the search.
 func (c *Context) ablationRatioMode() (report.Table, error) {
-	t := report.Table{
-		Title:   "Ablation A3: move-max-only vs pin min=max uncore window (BT-MZ.C, ME+eU)",
-		Columns: figColumns(),
-	}
 	name := workload.BTMZC
-	if err := c.configRow(&t, "move max only", name,
-		sim.Options{Policy: "min_energy_eufs", Seed: 40}); err != nil {
-		return report.Table{}, err
-	}
-	if err := c.configRow(&t, "pin min=max", name,
-		sim.Options{Policy: "min_energy_eufs", PinBothUncoreLimits: true, Seed: 40}); err != nil {
-		return report.Table{}, err
-	}
-	return t, nil
+	return c.figTableOf("Ablation A3: move-max-only vs pin min=max uncore window (BT-MZ.C, ME+eU)", []runCfg{
+		{"move max only", name, sim.Options{Policy: "min_energy_eufs", Seed: 40}},
+		{"pin min=max", name, sim.Options{Policy: "min_energy_eufs", PinBothUncoreLimits: true, Seed: 40}},
+	})
 }
 
 // ablationUncTh (A4): unc_policy_th sensitivity on SP-MZ.
 func (c *Context) ablationUncTh() (report.Table, error) {
-	t := report.Table{
-		Title:   "Ablation A4: unc_policy_th sensitivity (SP-MZ.C, ME+eU)",
-		Columns: figColumns(),
-	}
 	name := workload.SPMZC
+	var cfgs []runCfg
 	for _, unc := range []float64{0.005, 0.01, 0.02, 0.03, 0.05} {
-		label := "unc_th " + report.F(unc*100, 1) + "%"
-		if err := c.configRow(&t, label, name, sim.Options{
-			Policy: "min_energy_eufs", UncTh: unc, Seed: 40,
-		}); err != nil {
-			return report.Table{}, err
-		}
+		cfgs = append(cfgs, runCfg{
+			"unc_th " + report.F(unc*100, 1) + "%", name,
+			sim.Options{Policy: "min_energy_eufs", UncTh: unc, Seed: 40},
+		})
 	}
-	return t, nil
+	return c.figTableOf("Ablation A4: unc_policy_th sensitivity (SP-MZ.C, ME+eU)", cfgs)
 }
 
 // ablationSigChange (A5): EARL's signature-change threshold. The mild
@@ -144,24 +133,41 @@ func (c *Context) ablationSigChange() (report.Table, error) {
 		Columns: []string{"workload", "sig_th", "policy applies",
 			"time penalty", "energy saving"},
 	}
+	type cell struct {
+		name string
+		th   float64
+	}
+	var cells []cell
 	for _, name := range []string{workload.PhaseChangeMild, workload.PhaseChange} {
-		base, err := c.baseline(name)
-		if err != nil {
-			return report.Table{}, err
-		}
 		for _, th := range []float64{0.10, 0.15, 0.20} {
-			r, err := c.run(name, sim.Options{
-				Policy: "min_energy_eufs", SigChangeTh: th, Seed: 40,
-			})
-			if err != nil {
-				return report.Table{}, err
-			}
-			d := deltaOf(base, r)
-			if err := t.AddRow(name, report.F(th*100, 0)+"%",
-				report.F(float64(r.Nodes[0].PolicyApplies), 0),
-				report.Pct(d.TimePenaltyPct), report.Pct(d.EnergySavingPct)); err != nil {
-				return report.Table{}, err
-			}
+			cells = append(cells, cell{name, th})
+		}
+	}
+	type row struct {
+		applies float64
+		d       Delta
+	}
+	rows, err := mapRows(c, cells, func(cl cell) (row, error) {
+		base, err := c.baseline(cl.name)
+		if err != nil {
+			return row{}, err
+		}
+		r, err := c.run(cl.name, sim.Options{
+			Policy: "min_energy_eufs", SigChangeTh: cl.th, Seed: 40,
+		})
+		if err != nil {
+			return row{}, err
+		}
+		return row{float64(r.Nodes[0].PolicyApplies), deltaOf(base, r)}, nil
+	})
+	if err != nil {
+		return report.Table{}, err
+	}
+	for i, cl := range cells {
+		if err := t.AddRow(cl.name, report.F(cl.th*100, 0)+"%",
+			report.F(rows[i].applies, 0),
+			report.Pct(rows[i].d.TimePenaltyPct), report.Pct(rows[i].d.EnergySavingPct)); err != nil {
+			return report.Table{}, err
 		}
 	}
 	return t, nil

@@ -49,10 +49,15 @@ func (c *Context) ModelAccuracy() ([]report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		var targets []int
 		for to := 2; to < cpuM.PstateCount(); to += 2 {
+			targets = append(targets, to)
+		}
+		type row struct{ freqGHz, meanCPI, maxCPI, meanPow float64 }
+		rows, err := mapRows(c, targets, func(to int) (row, error) {
 			toRatio, err := cpuM.PstateRatio(to)
 			if err != nil {
-				return nil, err
+				return row{}, err
 			}
 			var cpiErrs, powErrs []float64
 			for _, ph := range accuracyProbes(cpuM.TotalCores()) {
@@ -60,21 +65,21 @@ func (c *Context) ModelAccuracy() ([]report.Table, error) {
 					CoreRatio: fromRatio, UncoreRatio: cpuM.UncoreMaxRatio,
 				})
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				dst, err := perf.Evaluate(pl.Machine, ph, perf.Operating{
 					CoreRatio: toRatio, UncoreRatio: cpuM.UncoreMaxRatio,
 				})
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				srcPow, err := pl.Power.Node(powerInput(pl, ph, src))
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				dstPow, err := pl.Power.Node(powerInput(pl, ph, dst))
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				sig := metrics.Signature{
 					IterTimeSec: 1, CPI: src.CPI,
@@ -83,18 +88,25 @@ func (c *Context) ModelAccuracy() ([]report.Table, error) {
 				}
 				pred, err := m.Predict(sig, 1, to)
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				cpiErrs = append(cpiErrs, math.Abs(pred.CPI-dst.CPI)/dst.CPI)
 				powErrs = append(powErrs, math.Abs(pred.PowerW-dstPow.Total)/dstPow.Total)
 			}
 			f, err := cpuM.PstateFreq(to)
 			if err != nil {
-				return nil, err
+				return row{}, err
 			}
-			if err := t.AddRow(fmt.Sprint(to), report.GHz(f.GHzF()),
-				report.Pct(100*mean(cpiErrs)), report.Pct(100*maxOf(cpiErrs)),
-				report.Pct(100*mean(powErrs))); err != nil {
+			return row{f.GHzF(), mean(cpiErrs), maxOf(cpiErrs), mean(powErrs)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, to := range targets {
+			r := rows[i]
+			if err := t.AddRow(fmt.Sprint(to), report.GHz(r.freqGHz),
+				report.Pct(100*r.meanCPI), report.Pct(100*r.maxCPI),
+				report.Pct(100*r.meanPow)); err != nil {
 				return nil, err
 			}
 		}

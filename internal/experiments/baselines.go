@@ -23,24 +23,20 @@ func (c *Context) Baselines() ([]report.Table, error) {
 		Title:   "Baselines: EAR ME+eU vs controller-based uncore scaling (duf)",
 		Columns: append([]string{"workload"}, figColumns()[1:]...),
 	}
+	var cfgs []runCfg
 	for _, name := range []string{workload.BTMZC, workload.BTCUDA, workload.HPCG} {
-		for _, cfgr := range []struct {
-			label string
-			opt   sim.Options
-		}{
-			{"ME+eU", sim.Options{Policy: "min_energy_eufs", Seed: 50}},
-			{"duf", sim.Options{Policy: "duf", Seed: 50}},
-		} {
-			d, err := c.compare(name, cfgr.opt)
-			if err != nil {
-				return nil, err
-			}
-			if err := t.AddRow(name+" / "+cfgr.label,
-				report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
-				report.Pct(d.EnergySavingPct), report.GHz(d.AvgCPUGHz),
-				report.GHz(d.AvgIMCGHz)); err != nil {
-				return nil, err
-			}
+		cfgs = append(cfgs,
+			runCfg{name + " / ME+eU", name, sim.Options{Policy: "min_energy_eufs", Seed: 50}},
+			runCfg{name + " / duf", name, sim.Options{Policy: "duf", Seed: 50}},
+		)
+	}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		if err := figRow(&t, cfg.label, ds[i]); err != nil {
+			return nil, err
 		}
 	}
 	return []report.Table{t}, nil
@@ -55,24 +51,20 @@ func (c *Context) FutureWork() ([]report.Table, error) {
 		Title:   "Future work (paper §VIII): min_time_to_solution with explicit UFS",
 		Columns: append([]string{"workload"}, figColumns()[1:]...),
 	}
+	var cfgs []runCfg
 	for _, name := range []string{workload.BTMZC, workload.HPCG, workload.POP} {
-		for _, cfgr := range []struct {
-			label string
-			opt   sim.Options
-		}{
-			{"min_time", sim.Options{Policy: "min_time", Seed: 60}},
-			{"min_time+eU", sim.Options{Policy: "min_time_eufs", Seed: 60}},
-		} {
-			d, err := c.compare(name, cfgr.opt)
-			if err != nil {
-				return nil, err
-			}
-			if err := t.AddRow(name+" / "+cfgr.label,
-				report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
-				report.Pct(d.EnergySavingPct), report.GHz(d.AvgCPUGHz),
-				report.GHz(d.AvgIMCGHz)); err != nil {
-				return nil, err
-			}
+		cfgs = append(cfgs,
+			runCfg{name + " / min_time", name, sim.Options{Policy: "min_time", Seed: 60}},
+			runCfg{name + " / min_time+eU", name, sim.Options{Policy: "min_time_eufs", Seed: 60}},
+		)
+	}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		if err := figRow(&t, cfg.label, ds[i]); err != nil {
+			return nil, err
 		}
 	}
 	return []report.Table{t}, nil

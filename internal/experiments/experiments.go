@@ -7,12 +7,18 @@
 //
 // A Context caches trained models, calibrated workloads and simulation
 // runs, so figures that share configurations (most do) reuse results.
+// All caches are singleflight: concurrent generators asking for the
+// same model, calibration or run share one computation instead of
+// racing or duplicating it, and Context.Parallel bounds how much
+// simulation work the generators fan out at once (see sched.go).
+// Because every run's randomness derives from explicit seeds, the
+// generated tables are byte-identical at any parallelism.
 package experiments
 
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"goear/internal/eargm"
 	"goear/internal/model"
@@ -27,11 +33,19 @@ type Context struct {
 	// Runs is the number of averaged runs per configuration (the paper
 	// uses three).
 	Runs int
+	// Parallel bounds the goroutines fanned out over independent
+	// simulation work (table rows, averaged seeds, cluster nodes):
+	// 0 = GOMAXPROCS (the default), 1 = fully sequential, n = n
+	// workers. Results are identical at any setting.
+	Parallel int
 
-	mu     sync.Mutex
-	models map[string]*model.Model
-	cals   map[string]workload.Calibrated
-	runs   map[string]sim.Result
+	models flight[*model.Model]
+	cals   flight[workload.Calibrated]
+	runs   flight[sim.Result]
+
+	modelsTrained   atomic.Int64
+	calibrationsRun atomic.Int64
+	runsExecuted    atomic.Int64
 }
 
 // New returns a context with the paper's protocol (three runs).
@@ -44,65 +58,48 @@ func NewQuick() *Context { return &Context{Runs: 1} }
 // workload calibrations (both immutable once built) but has a fresh run
 // cache, so benchmarks re-execute simulations without re-training.
 func NewFrom(src *Context) *Context {
-	src.mu.Lock()
-	defer src.mu.Unlock()
-	src.init()
-	c := &Context{Runs: src.Runs}
-	c.init()
-	for k, v := range src.models {
-		c.models[k] = v
+	c := &Context{Runs: src.Runs, Parallel: src.Parallel}
+	for k, v := range src.models.snapshot() {
+		c.models.seed(k, v)
 	}
-	for k, v := range src.cals {
-		c.cals[k] = v
+	for k, v := range src.cals.snapshot() {
+		c.cals.seed(k, v)
 	}
 	return c
 }
 
-func (c *Context) init() {
-	if c.models == nil {
-		c.models = map[string]*model.Model{}
-		c.cals = map[string]workload.Calibrated{}
-		c.runs = map[string]sim.Result{}
-	}
+// runCount is Runs with the paper's default applied.
+func (c *Context) runCount() int {
 	if c.Runs == 0 {
-		c.Runs = 3
+		return 3
 	}
+	return c.Runs
 }
 
-// cal returns the cached calibration of a catalogue workload.
+// cal returns the cached calibration of a catalogue workload,
+// calibrating it exactly once however many goroutines ask.
 func (c *Context) cal(name string) (workload.Calibrated, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.init()
-	if got, ok := c.cals[name]; ok {
-		return got, nil
-	}
-	spec, err := workload.Lookup(name)
-	if err != nil {
-		return workload.Calibrated{}, err
-	}
-	calw, err := spec.Calibrate()
-	if err != nil {
-		return workload.Calibrated{}, err
-	}
-	c.cals[name] = calw
-	return calw, nil
+	return c.cals.do(name, func() (workload.Calibrated, error) {
+		spec, err := workload.Lookup(name)
+		if err != nil {
+			return workload.Calibrated{}, err
+		}
+		c.calibrationsRun.Add(1)
+		return spec.Calibrate()
+	})
 }
 
-// modelFor returns the (lazily trained) energy model of a platform.
+// modelFor returns the (lazily trained) energy model of a platform,
+// training it exactly once however many goroutines ask.
 func (c *Context) modelFor(pl workload.Platform) (*model.Model, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.init()
-	if m, ok := c.models[pl.Name]; ok {
+	return c.models.do(pl.Name, func() (*model.Model, error) {
+		c.modelsTrained.Add(1)
+		m, err := model.TrainForCPU(pl.Machine, pl.Power)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training model for %s: %w", pl.Name, err)
+		}
 		return m, nil
-	}
-	m, err := model.TrainForCPU(pl.Machine, pl.Power)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: training model for %s: %w", pl.Name, err)
-	}
-	c.models[pl.Name] = m
-	return m, nil
+	})
 }
 
 // runKey canonicalises the options that distinguish cached runs.
@@ -122,6 +119,7 @@ func runKey(name string, o sim.Options, runs int) string {
 }
 
 // run executes (or recalls) an averaged run of the named workload.
+// Concurrent callers with the same configuration share one execution.
 func (c *Context) run(name string, opt sim.Options) (sim.Result, error) {
 	calw, err := c.cal(name)
 	if err != nil {
@@ -134,24 +132,12 @@ func (c *Context) run(name string, opt sim.Options) (sim.Result, error) {
 		}
 		opt.Model = m
 	}
-	c.mu.Lock()
-	c.init()
-	key := runKey(name, opt, c.Runs)
-	if r, ok := c.runs[key]; ok {
-		c.mu.Unlock()
-		return r, nil
-	}
-	runs := c.Runs
-	c.mu.Unlock()
-
-	r, err := sim.RunAveraged(calw, opt, runs)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	c.mu.Lock()
-	c.runs[key] = r
-	c.mu.Unlock()
-	return r, nil
+	opt.Workers = c.workers()
+	runs := c.runCount()
+	return c.runs.do(runKey(name, opt, runs), func() (sim.Result, error) {
+		c.runsExecuted.Add(1)
+		return sim.RunAveraged(calw, opt, runs)
+	})
 }
 
 // RunWorkload is the exported run entry point used by the goear facade:
@@ -181,6 +167,7 @@ func (c *Context) RunPowercapped(name string, opt sim.Options, gmCfg eargm.Confi
 	if err != nil {
 		return sim.Result{}, eargm.Stats{}, err
 	}
+	opt.Workers = c.workers()
 	r, err := sim.RunCoordinated(calw, opt, gm)
 	if err != nil {
 		return sim.Result{}, eargm.Stats{}, err

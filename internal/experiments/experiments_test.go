@@ -192,12 +192,12 @@ func TestRunCacheReuse(t *testing.T) {
 	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "none", Seed: 100}); err != nil {
 		t.Fatal(err)
 	}
-	n := len(c.runs)
+	n := c.Stats().Runs
 	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "none", Seed: 100}); err != nil {
 		t.Fatal(err)
 	}
-	if len(c.runs) != n {
-		t.Errorf("cache grew on identical run: %d -> %d", n, len(c.runs))
+	if got := c.Stats().Runs; got != n {
+		t.Errorf("cache grew on identical run: %d -> %d", n, got)
 	}
 	// Different thresholds are distinct entries.
 	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 100}); err != nil {
@@ -206,8 +206,8 @@ func TestRunCacheReuse(t *testing.T) {
 	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "min_energy", CPUTh: 0.05, Seed: 100}); err != nil {
 		t.Fatal(err)
 	}
-	if len(c.runs) != n+2 {
-		t.Errorf("distinct options not cached separately: %d", len(c.runs))
+	if got := c.Stats(); got.Runs != n+2 || got.RunsExecuted != got.Runs {
+		t.Errorf("distinct options not cached separately: %+v", got)
 	}
 }
 

@@ -13,7 +13,9 @@ import (
 // the uncore frequency is fixed from 2.4 GHz down to 1.2 GHz in 100 MHz
 // steps; each row reports average DC power saving, energy saving, time
 // penalty and GB/s penalty against the run with hardware UFS, plus the
-// average IMC frequency (the figure's second y-axis).
+// average IMC frequency (the figure's second y-axis). The two staging
+// runs are sequential (the sweep depends on the policy's selection);
+// the sweep itself fans out one run per uncore point.
 func (c *Context) Fig1() ([]report.Table, error) {
 	var out []report.Table
 	for _, name := range []string{workload.BTMZMotiv, workload.LUDMotiv} {
@@ -43,40 +45,34 @@ func (c *Context) Fig1() ([]report.Table, error) {
 		}
 		maxR := cal.Platform.Machine.CPU.UncoreMaxRatio
 		minR := cal.Platform.Machine.CPU.UncoreMinRatio
+		var ratios []uint64
 		for r := maxR; ; r-- {
-			ratio := r
-			run, err := c.run(name, sim.Options{
+			ratios = append(ratios, r)
+			if r == minR {
+				break
+			}
+		}
+		runs, err := mapRows(c, ratios, func(ratio uint64) (sim.Result, error) {
+			return c.run(name, sim.Options{
 				Policy: "none", Seed: 10,
 				FixedCPUPstate: &pinned, FixedUncoreRatio: &ratio,
 			})
-			if err != nil {
-				return nil, err
-			}
-			d := deltaOf(ref, run)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range ratios {
+			d := deltaOf(ref, runs[i])
 			if err := t.AddRow(report.GHz(float64(r)/10),
 				report.Pct(d.PowerSavingPct), report.Pct(d.EnergySavingPct),
 				report.Pct(d.TimePenaltyPct), report.Pct(d.GBsPenaltyPct),
-				report.GHz(run.AvgIMCGHz)); err != nil {
+				report.GHz(runs[i].AvgIMCGHz)); err != nil {
 				return nil, err
-			}
-			if r == minR {
-				break
 			}
 		}
 		out = append(out, t)
 	}
 	return out, nil
-}
-
-// configRow renders one ME-variant configuration against baseline.
-func (c *Context) configRow(t *report.Table, label, name string, opt sim.Options) error {
-	d, err := c.compare(name, opt)
-	if err != nil {
-		return err
-	}
-	return t.AddRow(label,
-		report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
-		report.Pct(d.EnergySavingPct), report.GHz(d.AvgCPUGHz), report.GHz(d.AvgIMCGHz))
 }
 
 // figColumns is the shared column layout of the bar figures.
@@ -93,15 +89,21 @@ func (c *Context) Fig3() ([]report.Table, error) {
 		Columns: figColumns(),
 	}
 	name := workload.BQCD
-	if err := c.configRow(&t, "ME", name,
-		sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 30}); err != nil {
-		return nil, err
+	cfgs := []runCfg{
+		{"ME", name, sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 30}},
 	}
 	for _, unc := range []float64{0.01, 0.02, 0.03} {
-		label := fmt.Sprintf("ME+eU %d%%", int(unc*100))
-		if err := c.configRow(&t, label, name, sim.Options{
-			Policy: "min_energy_eufs", CPUTh: 0.03, UncTh: unc, Seed: 30,
-		}); err != nil {
+		cfgs = append(cfgs, runCfg{
+			fmt.Sprintf("ME+eU %d%%", int(unc*100)), name,
+			sim.Options{Policy: "min_energy_eufs", CPUTh: 0.03, UncTh: unc, Seed: 30},
+		})
+	}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		if err := figRow(&t, cfg.label, ds[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -116,18 +118,25 @@ func (c *Context) Fig4() ([]report.Table, error) {
 		Columns: figColumns(),
 	}
 	name := workload.BTMZD
-	if err := c.configRow(&t, "ME", name,
-		sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 30}); err != nil {
-		return nil, err
+	cfgs := []runCfg{
+		{"ME", name, sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 30}},
 	}
 	for _, unc := range []float64{0.001, 0.01, 0.02} {
 		label := fmt.Sprintf("ME+eU %g%%", unc*100)
 		if unc == 0.001 {
 			label = "ME+eU 0%"
 		}
-		if err := c.configRow(&t, label, name, sim.Options{
-			Policy: "min_energy_eufs", CPUTh: 0.03, UncTh: unc, Seed: 30,
-		}); err != nil {
+		cfgs = append(cfgs, runCfg{
+			label, name,
+			sim.Options{Policy: "min_energy_eufs", CPUTh: 0.03, UncTh: unc, Seed: 30},
+		})
+	}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		if err := figRow(&t, cfg.label, ds[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -143,18 +152,24 @@ func (c *Context) Fig5() ([]report.Table, error) {
 		Columns: figColumns(),
 	}
 	name := workload.GromacsI
+	var cfgs []runCfg
 	for _, th := range []float64{0.03, 0.05} {
 		pct := int(th * 100)
-		if err := c.configRow(&t, fmt.Sprintf("ME (cpu_th %d%%)", pct), name,
-			sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30}); err != nil {
-			return nil, err
-		}
-		if err := c.configRow(&t, fmt.Sprintf("ME+NG-U (cpu_th %d%%)", pct), name,
-			sim.Options{Policy: "min_energy_eufs", CPUTh: th, HWGuidedOff: true, Seed: 30}); err != nil {
-			return nil, err
-		}
-		if err := c.configRow(&t, fmt.Sprintf("ME+eU (cpu_th %d%%)", pct), name,
-			sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30}); err != nil {
+		cfgs = append(cfgs,
+			runCfg{fmt.Sprintf("ME (cpu_th %d%%)", pct), name,
+				sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30}},
+			runCfg{fmt.Sprintf("ME+NG-U (cpu_th %d%%)", pct), name,
+				sim.Options{Policy: "min_energy_eufs", CPUTh: th, HWGuidedOff: true, Seed: 30}},
+			runCfg{fmt.Sprintf("ME+eU (cpu_th %d%%)", pct), name,
+				sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30}},
+		)
+	}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		if err := figRow(&t, cfg.label, ds[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -169,31 +184,20 @@ func (c *Context) Fig6() ([]report.Table, error) {
 		Columns: figColumns(),
 	}
 	name := workload.GromacsII
-	if err := c.configRow(&t, "ME", name,
-		sim.Options{Policy: "min_energy", Seed: 30}); err != nil {
+	cfgs := []runCfg{
+		{"ME", name, sim.Options{Policy: "min_energy", Seed: 30}},
+		{"ME+eU", name, sim.Options{Policy: "min_energy_eufs", Seed: 30}},
+	}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
 		return nil, err
 	}
-	if err := c.configRow(&t, "ME+eU", name,
-		sim.Options{Policy: "min_energy_eufs", Seed: 30}); err != nil {
-		return nil, err
+	for i, cfg := range cfgs {
+		if err := figRow(&t, cfg.label, ds[i]); err != nil {
+			return nil, err
+		}
 	}
 	return []report.Table{t}, nil
-}
-
-// ratioRow renders a configuration including the efficiency ratio
-// (energy saving over time penalty) Figs. 7-8 discuss.
-func (c *Context) ratioRow(t *report.Table, label, name string, opt sim.Options) error {
-	d, err := c.compare(name, opt)
-	if err != nil {
-		return err
-	}
-	ratio := "-"
-	if d.EfficiencyRatio != 0 {
-		ratio = report.F(d.EfficiencyRatio, 2)
-	}
-	return t.AddRow(label,
-		report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
-		report.Pct(d.EnergySavingPct), ratio)
 }
 
 func ratioColumns() []string {
@@ -204,19 +208,29 @@ func ratioColumns() []string {
 // Fig7 reproduces Figure 7: HPCG (a) and POP (b) under ME and ME+eU
 // (cpu_policy_th 5%, unc_policy_th 2%), with the efficiency ratio.
 func (c *Context) Fig7() ([]report.Table, error) {
+	names := []string{workload.HPCG, workload.POP}
+	var cfgs []runCfg
+	for _, name := range names {
+		cfgs = append(cfgs,
+			runCfg{"ME", name, sim.Options{Policy: "min_energy", Seed: 30}},
+			runCfg{"ME+eU", name, sim.Options{Policy: "min_energy_eufs", Seed: 30}},
+		)
+	}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	var out []report.Table
-	for _, name := range []string{workload.HPCG, workload.POP} {
+	for i, name := range names {
 		t := report.Table{
 			Title:   fmt.Sprintf("Fig 7 (%s): min_energy configurations (cpu_th 5%%)", name),
 			Columns: ratioColumns(),
 		}
-		if err := c.ratioRow(&t, "ME", name,
-			sim.Options{Policy: "min_energy", Seed: 30}); err != nil {
-			return nil, err
-		}
-		if err := c.ratioRow(&t, "ME+eU", name,
-			sim.Options{Policy: "min_energy_eufs", Seed: 30}); err != nil {
-			return nil, err
+		for j := 0; j < 2; j++ {
+			cfg := cfgs[i*2+j]
+			if err := ratioRowOf(&t, cfg.label, ds[i*2+j]); err != nil {
+				return nil, err
+			}
 		}
 		out = append(out, t)
 	}
@@ -226,20 +240,32 @@ func (c *Context) Fig7() ([]report.Table, error) {
 // Fig8 reproduces Figure 8: DUMSES (a) and AFiD (b) with
 // cpu_policy_th 3% and 5% (unc_policy_th 2%).
 func (c *Context) Fig8() ([]report.Table, error) {
+	names := []string{workload.DUMSES, workload.AFiD}
+	var cfgs []runCfg
+	for _, name := range names {
+		for _, th := range []float64{0.03, 0.05} {
+			pct := int(th * 100)
+			cfgs = append(cfgs,
+				runCfg{fmt.Sprintf("ME (cpu_th %d%%)", pct), name,
+					sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30}},
+				runCfg{fmt.Sprintf("ME+eU (cpu_th %d%%)", pct), name,
+					sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30}},
+			)
+		}
+	}
+	ds, err := c.compareAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	var out []report.Table
-	for _, name := range []string{workload.DUMSES, workload.AFiD} {
+	for i, name := range names {
 		t := report.Table{
 			Title:   fmt.Sprintf("Fig 8 (%s): cpu_th 3%% vs 5%% (unc_th 2%%)", name),
 			Columns: ratioColumns(),
 		}
-		for _, th := range []float64{0.03, 0.05} {
-			pct := int(th * 100)
-			if err := c.ratioRow(&t, fmt.Sprintf("ME (cpu_th %d%%)", pct), name,
-				sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30}); err != nil {
-				return nil, err
-			}
-			if err := c.ratioRow(&t, fmt.Sprintf("ME+eU (cpu_th %d%%)", pct), name,
-				sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30}); err != nil {
+		for j := 0; j < 4; j++ {
+			cfg := cfgs[i*4+j]
+			if err := ratioRowOf(&t, cfg.label, ds[i*4+j]); err != nil {
 				return nil, err
 			}
 		}

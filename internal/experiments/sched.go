@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"goear/internal/par"
+	"goear/internal/report"
+	"goear/internal/sim"
+)
+
+// flight is a singleflight cache: the first caller of a key computes
+// its value while concurrent callers of the same key block on the same
+// computation instead of duplicating it. Completed values (including
+// errors, which are deterministic here: bad configurations stay bad)
+// are cached for the cache's lifetime. The zero value is ready to use.
+type flight[V any] struct {
+	mu sync.Mutex
+	m  map[string]*call[V]
+}
+
+type call[V any] struct {
+	once sync.Once
+	done atomic.Bool
+	val  V
+	err  error
+}
+
+// do returns the cached value for key, computing it with fn exactly
+// once no matter how many goroutines ask concurrently.
+func (f *flight[V]) do(key string, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = map[string]*call[V]{}
+	}
+	c, ok := f.m[key]
+	if !ok {
+		c = &call[V]{}
+		f.m[key] = c
+	}
+	f.mu.Unlock()
+	c.once.Do(func() {
+		c.val, c.err = fn()
+		c.done.Store(true)
+	})
+	return c.val, c.err
+}
+
+// len counts the distinct keys ever requested.
+func (f *flight[V]) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+// seed pre-completes key with a known value (used to share immutable
+// results across contexts).
+func (f *flight[V]) seed(key string, v V) {
+	c := &call[V]{val: v}
+	c.once.Do(func() {})
+	c.done.Store(true)
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = map[string]*call[V]{}
+	}
+	f.m[key] = c
+	f.mu.Unlock()
+}
+
+// snapshot returns the successfully completed entries; in-flight and
+// failed computations are skipped.
+func (f *flight[V]) snapshot() map[string]V {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]V, len(f.m))
+	for k, c := range f.m {
+		if c.done.Load() && c.err == nil {
+			out[k] = c.val
+		}
+	}
+	return out
+}
+
+// CacheStats reports the context's cache population and how much work
+// was actually executed to build it. With singleflight deduplication
+// the two columns are equal — each distinct model, calibration and run
+// is computed exactly once regardless of concurrency.
+type CacheStats struct {
+	// Models / Calibrations / Runs count distinct cache keys requested.
+	Models       int
+	Calibrations int
+	Runs         int
+	// ModelsTrained / CalibrationsRun / RunsExecuted count how many
+	// times the underlying computation actually ran.
+	ModelsTrained   int
+	CalibrationsRun int
+	RunsExecuted    int
+}
+
+// Stats snapshots the context's cache counters.
+func (c *Context) Stats() CacheStats {
+	return CacheStats{
+		Models:          c.models.len(),
+		Calibrations:    c.cals.len(),
+		Runs:            c.runs.len(),
+		ModelsTrained:   int(c.modelsTrained.Load()),
+		CalibrationsRun: int(c.calibrationsRun.Load()),
+		RunsExecuted:    int(c.runsExecuted.Load()),
+	}
+}
+
+// workers is the context's fan-out bound: Parallel when positive,
+// GOMAXPROCS when 0 (the default). Parallel = 1 forces the fully
+// sequential schedule.
+func (c *Context) workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	if c.Parallel == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// mapRows computes one value per item on the context's worker pool,
+// preserving item order — the engine behind every generator's row
+// fan-out. Each fn call typically resolves through the singleflight
+// caches, so rows that share configurations share work.
+func mapRows[T, R any](c *Context, items []T, fn func(T) (R, error)) ([]R, error) {
+	return par.Map(c.workers(), items, fn)
+}
+
+// runCfg names one configured run of a workload: the unit of the
+// configuration-sweep tables (Figs. 3-8, ablations, baselines).
+type runCfg struct {
+	label string
+	name  string
+	opt   sim.Options
+}
+
+// compareAll resolves every configuration's Delta against its
+// workload's baseline, in parallel, preserving order.
+func (c *Context) compareAll(cfgs []runCfg) ([]Delta, error) {
+	return mapRows(c, cfgs, func(r runCfg) (Delta, error) {
+		return c.compare(r.name, r.opt)
+	})
+}
+
+// figRow renders one bar-figure row from a precomputed Delta.
+func figRow(t *report.Table, label string, d Delta) error {
+	return t.AddRow(label,
+		report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
+		report.Pct(d.EnergySavingPct), report.GHz(d.AvgCPUGHz), report.GHz(d.AvgIMCGHz))
+}
+
+// ratioRowOf renders one efficiency-ratio row from a precomputed Delta.
+func ratioRowOf(t *report.Table, label string, d Delta) error {
+	ratio := "-"
+	if d.EfficiencyRatio != 0 {
+		ratio = report.F(d.EfficiencyRatio, 2)
+	}
+	return t.AddRow(label,
+		report.Pct(d.TimePenaltyPct), report.Pct(d.PowerSavingPct),
+		report.Pct(d.EnergySavingPct), ratio)
+}

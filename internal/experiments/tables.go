@@ -14,11 +14,15 @@ func (c *Context) Table1() ([]report.Table, error) {
 		Title:   "Table I: kernel metrics under min_energy with hardware IMC selection",
 		Columns: []string{"kernel", "CPI", "GB/s", "CPU freq (GHz)", "IMC freq (GHz)"},
 	}
-	for _, name := range []string{workload.BTMZMotiv, workload.LUDMotiv} {
-		r, err := c.run(name, sim.Options{Policy: "min_energy", Seed: 10})
-		if err != nil {
-			return nil, err
-		}
+	names := []string{workload.BTMZMotiv, workload.LUDMotiv}
+	rows, err := mapRows(c, names, func(name string) (sim.Result, error) {
+		return c.run(name, sim.Options{Policy: "min_energy", Seed: 10})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		r := rows[i]
 		if err := t.AddRow(name, report.F(r.AvgCPI, 2), report.F(r.AvgGBs, 2),
 			report.GHz(r.AvgCPUGHz), report.GHz(r.AvgIMCGHz)); err != nil {
 			return nil, err
@@ -34,16 +38,27 @@ func (c *Context) Table2() ([]report.Table, error) {
 		Title:   "Table II: single node kernels",
 		Columns: []string{"kernel", "prog. model", "time (s)", "CPI", "GB/s", "avg DC power (W)"},
 	}
-	for _, name := range workload.Kernels() {
+	type row struct {
+		progModel string
+		r         sim.Result
+	}
+	rows, err := mapRows(c, workload.Kernels(), func(name string) (row, error) {
 		spec, err := workload.Lookup(name)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		r, err := c.baseline(name)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		if err := t.AddRow(name, spec.ProgModel, report.F(r.TimeSec, 0),
+		return row{spec.ProgModel, r}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range workload.Kernels() {
+		r := rows[i].r
+		if err := t.AddRow(name, rows[i].progModel, report.F(r.TimeSec, 0),
 			report.F(r.AvgCPI, 2), report.F(r.AvgGBs, 2), report.F(r.AvgPowerW, 0)); err != nil {
 			return nil, err
 		}
@@ -61,15 +76,23 @@ func (c *Context) Table3() ([]report.Table, error) {
 			"power saving ME", "power saving ME+eU",
 			"energy saving ME", "energy saving ME+eU"},
 	}
-	for _, name := range workload.Kernels() {
+	type row struct{ me, eu Delta }
+	rows, err := mapRows(c, workload.Kernels(), func(name string) (row, error) {
 		me, err := c.compare(name, sim.Options{Policy: "min_energy", Seed: 20})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		eu, err := c.compare(name, sim.Options{Policy: "min_energy_eufs", Seed: 20})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
+		return row{me, eu}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range workload.Kernels() {
+		me, eu := rows[i].me, rows[i].eu
 		if err := t.AddRow(name,
 			report.Pct(me.TimePenaltyPct), report.Pct(eu.TimePenaltyPct),
 			report.Pct(me.PowerSavingPct), report.Pct(eu.PowerSavingPct),
@@ -87,19 +110,27 @@ func (c *Context) Table4() ([]report.Table, error) {
 		Title:   "Table IV: avg CPU and IMC frequency domains (kernels)",
 		Columns: []string{"kernel", "dom", "No policy", "ME", "ME+eU"},
 	}
-	for _, name := range workload.Kernels() {
+	type row struct{ base, me, eu sim.Result }
+	rows, err := mapRows(c, workload.Kernels(), func(name string) (row, error) {
 		base, err := c.baseline(name)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		me, err := c.run(name, sim.Options{Policy: "min_energy", Seed: 20})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		eu, err := c.run(name, sim.Options{Policy: "min_energy_eufs", Seed: 20})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
+		return row{base, me, eu}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range workload.Kernels() {
+		base, me, eu := rows[i].base, rows[i].me, rows[i].eu
 		if err := t.AddRow(name, "CPU", report.GHz(base.AvgCPUGHz),
 			report.GHz(me.AvgCPUGHz), report.GHz(eu.AvgCPUGHz)); err != nil {
 			return nil, err
@@ -119,11 +150,12 @@ func (c *Context) Table5() ([]report.Table, error) {
 		Title:   "Table V: MPI applications",
 		Columns: []string{"application", "time (s)", "CPI", "GB/s", "avg DC power (W)"},
 	}
-	for _, name := range workload.Applications() {
-		r, err := c.baseline(name)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := mapRows(c, workload.Applications(), c.baseline)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range workload.Applications() {
+		r := rows[i]
 		if err := t.AddRow(name, report.F(r.TimeSec, 2), report.F(r.AvgCPI, 2),
 			report.F(r.AvgGBs, 2), report.F(r.AvgPowerW, 2)); err != nil {
 			return nil, err
@@ -148,20 +180,28 @@ func (c *Context) Table6() ([]report.Table, error) {
 		Title:   "Table VI: avg CPU and IMC frequency domains (applications)",
 		Columns: []string{"application", "dom", "No policy", "ME", "ME+eU"},
 	}
-	for _, name := range workload.Applications() {
+	type row struct{ base, me, eu sim.Result }
+	rows, err := mapRows(c, workload.Applications(), func(name string) (row, error) {
 		th := appCPUTh(name)
 		base, err := c.baseline(name)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		me, err := c.run(name, sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		eu, err := c.run(name, sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
+		return row{base, me, eu}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range workload.Applications() {
+		base, me, eu := rows[i].base, rows[i].me, rows[i].eu
 		if err := t.AddRow(name, "CPU", report.GHz(base.AvgCPUGHz),
 			report.GHz(me.AvgCPUGHz), report.GHz(eu.AvgCPUGHz)); err != nil {
 			return nil, err
@@ -190,13 +230,16 @@ func (c *Context) Table7() ([]report.Table, error) {
 		Title:   "Table VII: DC node power savings vs RAPL PCK power savings (ME+eU)",
 		Columns: []string{"application", "DC node power", "RAPL PCK power"},
 	}
-	for _, name := range table7Apps() {
-		d, err := c.compare(name, sim.Options{
+	rows, err := mapRows(c, table7Apps(), func(name string) (Delta, error) {
+		return c.compare(name, sim.Options{
 			Policy: "min_energy_eufs", CPUTh: appCPUTh(name), Seed: 30,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range table7Apps() {
+		d := rows[i]
 		if err := t.AddRow(name, report.Pct(d.PowerSavingPct), report.Pct(d.PkgSavingPct)); err != nil {
 			return nil, err
 		}
@@ -212,15 +255,16 @@ func (c *Context) Summary() ([]report.Table, error) {
 		Title:   "Summary: ME+eU across MPI applications (paper: avg energy save ~9%, avg time penalty ~3%)",
 		Columns: []string{"metric", "average", "maximum"},
 	}
-	var eSum, tSum, eMax, tMax float64
-	n := 0
-	for _, name := range workload.Applications() {
-		d, err := c.compare(name, sim.Options{
+	deltas, err := mapRows(c, workload.Applications(), func(name string) (Delta, error) {
+		return c.compare(name, sim.Options{
 			Policy: "min_energy_eufs", CPUTh: appCPUTh(name), Seed: 30,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var eSum, tSum, eMax, tMax float64
+	for _, d := range deltas {
 		eSum += d.EnergySavingPct
 		tSum += d.TimePenaltyPct
 		if d.EnergySavingPct > eMax {
@@ -229,12 +273,12 @@ func (c *Context) Summary() ([]report.Table, error) {
 		if d.TimePenaltyPct > tMax {
 			tMax = d.TimePenaltyPct
 		}
-		n++
 	}
-	if err := t.AddRow("energy saving", report.Pct(eSum/float64(n)), report.Pct(eMax)); err != nil {
+	n := float64(len(deltas))
+	if err := t.AddRow("energy saving", report.Pct(eSum/n), report.Pct(eMax)); err != nil {
 		return nil, err
 	}
-	if err := t.AddRow("time penalty", report.Pct(tSum/float64(n)), report.Pct(tMax)); err != nil {
+	if err := t.AddRow("time penalty", report.Pct(tSum/n), report.Pct(tMax)); err != nil {
 		return nil, err
 	}
 	return []report.Table{t}, nil

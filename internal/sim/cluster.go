@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"goear/internal/par"
 	"goear/internal/workload"
 )
 
@@ -48,14 +49,18 @@ func RunCoordinated(cal workload.Calibrated, opt Options, gm PowerManager) (Resu
 	powers := make([]float64, len(nodes))
 	curCap := 0
 	for tick := interval; ; tick += interval {
+		// Nodes share no state, so each interval's lock-step advance
+		// fans out across workers; the manager only runs once every
+		// node has reached the barrier, exactly as in the sequential
+		// schedule.
+		err := par.ForEach(opt.workers(), len(nodes), func(i int) error {
+			return nodes[i].stepUntil(tick)
+		})
+		if err != nil {
+			return Result{}, err
+		}
 		alive := false
 		for _, n := range nodes {
-			if n.done {
-				continue
-			}
-			if err := n.stepUntil(tick); err != nil {
-				return Result{}, err
-			}
 			if !n.done {
 				alive = true
 			}

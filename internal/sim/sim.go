@@ -10,6 +10,7 @@ import (
 
 	"goear/internal/eard"
 	"goear/internal/model"
+	"goear/internal/par"
 	"goear/internal/stats"
 	"goear/internal/workload"
 )
@@ -56,6 +57,20 @@ type Options struct {
 	Trace bool
 	// TraceStepSec is the trace sampling period (default 1 s).
 	TraceStepSec float64
+	// Workers bounds the goroutines fanned out over a run's nodes and
+	// over RunAveraged's seeds (0 or 1 = sequential). Every node and
+	// every averaged run draws its randomness from an RNG seeded purely
+	// by (Seed, node id, run index), so results are byte-identical at
+	// any worker count; Workers only changes wall-clock time.
+	Workers int
+}
+
+// workers returns the effective fan-out bound.
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // withDefaults fills unset options.
@@ -163,18 +178,26 @@ func (r *Result) aggregate() {
 }
 
 // Run executes the workload on all its nodes under the given options.
+// Nodes are simulated concurrently up to Options.Workers; each node is
+// fully independent (own sockets, MSR files, meters, EARL instance and
+// RNG), so the result does not depend on scheduling.
 func Run(cal workload.Calibrated, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	if opt.Policy != "none" && opt.Model == nil {
 		return Result{}, fmt.Errorf("sim: policy %q needs a trained model", opt.Policy)
 	}
 	res := Result{Workload: cal.Name, Policy: opt.Policy}
-	for nodeID := 0; nodeID < cal.Nodes; nodeID++ {
+	res.Nodes = make([]NodeResult, cal.Nodes)
+	err := par.ForEach(opt.workers(), cal.Nodes, func(nodeID int) error {
 		nr, err := runNode(cal, nodeID, opt)
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: %s node %d: %w", cal.Name, nodeID, err)
+			return fmt.Errorf("sim: %s node %d: %w", cal.Name, nodeID, err)
 		}
-		res.Nodes = append(res.Nodes, nr)
+		res.Nodes[nodeID] = nr
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	res.aggregate()
 	return res, nil
@@ -191,21 +214,30 @@ func RunSpec(spec workload.Spec, opt Options) (Result, error) {
 
 // RunAveraged performs the paper's measurement protocol: several runs
 // with different seeds, averaged. The per-node detail of the last run
-// is retained.
+// is retained. The runs execute concurrently up to Options.Workers;
+// each run's seed is a pure function of (opt.Seed, run index) and the
+// averages are accumulated in run order, so the result is identical at
+// any worker count.
 func RunAveraged(cal workload.Calibrated, opt Options, runs int) (Result, error) {
 	if runs < 1 {
 		return Result{}, fmt.Errorf("sim: need at least one run")
 	}
-	var acc Result
-	var times, pows, pkgs, energies, cpus, imcs, cpis, gbs []float64
-	for i := 0; i < runs; i++ {
+	results := make([]Result, runs)
+	err := par.ForEach(opt.workers(), runs, func(i int) error {
 		o := opt
 		o.Seed = opt.Seed + int64(i)*7919
 		r, err := Run(cal, o)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		acc = r
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var times, pows, pkgs, energies, cpus, imcs, cpis, gbs []float64
+	for _, r := range results {
 		times = append(times, r.TimeSec)
 		pows = append(pows, r.AvgPowerW)
 		pkgs = append(pkgs, r.AvgPkgPowerW)
@@ -215,6 +247,7 @@ func RunAveraged(cal workload.Calibrated, opt Options, runs int) (Result, error)
 		cpis = append(cpis, r.AvgCPI)
 		gbs = append(gbs, r.AvgGBs)
 	}
+	acc := results[runs-1]
 	acc.TimeSec = stats.Mean(times)
 	acc.AvgPowerW = stats.Mean(pows)
 	acc.AvgPkgPowerW = stats.Mean(pkgs)

@@ -58,30 +58,44 @@ func (f Freq) String() string {
 	}
 }
 
+// hasFoldSuffix reports whether s ends in the ASCII suffix suf,
+// compared case-insensitively byte by byte. Working on raw bytes keeps
+// suffix trimming exact for any input (strings.ToLower can change a
+// string's byte length on some Unicode inputs).
+func hasFoldSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && strings.EqualFold(s[len(s)-len(suf):], suf)
+}
+
 // ParseFreq parses strings such as "2.4GHz", "2400MHz" or "2400000000".
-// A bare number is interpreted as hertz.
+// A bare number is interpreted as hertz. Negative and non-finite
+// values are rejected.
 func ParseFreq(s string) (Freq, error) {
 	t := strings.TrimSpace(s)
 	unit := Hz
-	lower := strings.ToLower(t)
-	switch {
-	case strings.HasSuffix(lower, "ghz"):
-		unit, t = GHz, t[:len(t)-3]
-	case strings.HasSuffix(lower, "mhz"):
-		unit, t = MHz, t[:len(t)-3]
-	case strings.HasSuffix(lower, "khz"):
-		unit, t = KHz, t[:len(t)-3]
-	case strings.HasSuffix(lower, "hz"):
-		unit, t = Hz, t[:len(t)-2]
+	for _, u := range []struct {
+		suf  string
+		unit Freq
+	}{{"ghz", GHz}, {"mhz", MHz}, {"khz", KHz}, {"hz", Hz}} {
+		if hasFoldSuffix(t, u.suf) {
+			unit, t = u.unit, t[:len(t)-len(u.suf)]
+			break
+		}
 	}
 	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
 	if err != nil {
 		return 0, fmt.Errorf("units: parse frequency %q: %w", s, err)
 	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: non-finite frequency %q", s)
+	}
 	if v < 0 {
 		return 0, fmt.Errorf("units: negative frequency %q", s)
 	}
-	return Freq(v) * unit, nil
+	res := Freq(v) * unit
+	if math.IsInf(float64(res), 0) {
+		return 0, fmt.Errorf("units: frequency %q overflows", s)
+	}
+	return res, nil
 }
 
 // Power is an electrical power in watts.
@@ -93,6 +107,39 @@ func (p Power) Watts() float64 { return float64(p) }
 // String formats the power in watts with two decimals.
 func (p Power) String() string {
 	return trimZeros(strconv.FormatFloat(float64(p), 'f', 2, 64)) + "W"
+}
+
+// ParsePower parses strings such as "300W", "1.5kW" or "42500"
+// (cluster power budgets and node power readings). A bare number is
+// interpreted as watts. Negative and non-finite values are rejected.
+func ParsePower(s string) (Power, error) {
+	t := strings.TrimSpace(s)
+	unit := 1.0
+	switch {
+	case hasFoldSuffix(t, "kw"):
+		unit, t = 1e3, t[:len(t)-2]
+	case hasFoldSuffix(t, "mw"):
+		// Megawatts: site budgets, not milliwatts — nothing in EAR's
+		// domain is measured in milliwatts.
+		unit, t = 1e6, t[:len(t)-2]
+	case hasFoldSuffix(t, "w"):
+		t = t[:len(t)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse power %q: %w", s, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: non-finite power %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative power %q", s)
+	}
+	res := v * unit
+	if math.IsInf(res, 0) {
+		return 0, fmt.Errorf("units: power %q overflows", s)
+	}
+	return Power(res), nil
 }
 
 // Energy is an amount of energy in joules.
