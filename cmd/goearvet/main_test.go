@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"goear/internal/analysis"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "unitsafety", "msrfield", "errcheck", "concurrency"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output is missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"goear/internal/units"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean package produced output: %s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "goear/internal/units"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected clean JSON run, got %v", diags)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"goear/no/such/pkg"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 for unknown pattern", code)
+	}
+}
+
+func TestAllAnalyzersDisabled(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{
+		"-determinism=false", "-unitsafety=false", "-msrfield=false",
+		"-errcheck=false", "-concurrency=false", "goear/internal/units",
+	}
+	if code := run(args, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 when every analyzer is disabled", code)
+	}
+}
+
+func TestRecursivePatternScopesToSubtree(t *testing.T) {
+	// From this package's directory, ./... covers only cmd/goearvet.
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		path, pattern string
+		want          bool
+	}{
+		{"goear/internal/sim", "internal/sim", true},
+		{"goear/internal/sim", "sim", true},
+		{"goear/internal/sim", "goear/internal/sim", true},
+		{"goear/internal/sim", "internal", true},
+		{"goear/internal/simx", "internal/sim", false},
+		{"goear/internal/sim", "internal/simx", false},
+		{"goear/internal/sim", "al/sim", false},
+		{"fix/internal/sim", "internal/sim", true},
+		{"goear/internal/experiments", "internal/sim", false},
+		{"goear", "internal", false},
+		{"goear/internal/sim", "", false},
+		{"goear/internal/units", "internal/units", true},
+	}
+	for _, c := range cases {
+		if got := PathMatches(c.path, c.pattern); got != c.want {
+			t.Errorf("PathMatches(%q, %q) = %v, want %v", c.path, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzerAppliesTo(t *testing.T) {
+	a := &Analyzer{Name: "x", Scope: []string{"internal/sim", "internal/policy"}}
+	if !a.AppliesTo("goear/internal/sim") || a.AppliesTo("goear/internal/msr") {
+		t.Error("scope matching is wrong")
+	}
+	unscoped := &Analyzer{Name: "y"}
+	if !unscoped.AppliesTo("anything/at/all") {
+		t.Error("empty scope must match every package")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "determinism", File: "a/b.go", Line: 3, Col: 7, Message: "no"}
+	if got := d.String(); got != "a/b.go:3:7: no (determinism)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// parseOne parses a single source string for directive tests.
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package p
+
+func a() int {
+	return 1 //goearvet:ignore reasoned trailing directive
+}
+
+func b() int {
+	//goearvet:ignore own-line directive covers the next line
+	return 2
+}
+
+func c() int {
+	return 3 //goearvet:ignore
+}
+`
+	fset, files := parseOne(t, src)
+	ign := collectIgnores(fset, files)
+
+	if len(ign.malformed) != 1 {
+		t.Fatalf("malformed directives = %d, want 1", len(ign.malformed))
+	}
+	if m := ign.malformed[0]; m.Analyzer != "ignore" || !strings.Contains(m.Message, "needs a reason") {
+		t.Errorf("malformed diagnostic = %+v", m)
+	}
+
+	suppressedLines := []int{4, 8, 9}
+	for _, line := range suppressedLines {
+		if !ign.suppressed(Diagnostic{File: "fixture.go", Line: line}) {
+			t.Errorf("line %d should be suppressed", line)
+		}
+	}
+	// The reasonless directive on line 13/14 suppresses nothing.
+	for _, line := range []int{13, 14} {
+		if ign.suppressed(Diagnostic{File: "fixture.go", Line: line}) {
+			t.Errorf("line %d must not be suppressed by a reasonless directive", line)
+		}
+	}
+}
+
+// TestRunSuppressionAndSorting drives Run end-to-end with a synthetic
+// analyzer over a real loaded package.
+func TestRunSuppressionAndSorting(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func f() int {
+	return 1
+}
+
+func g() int {
+	return 2 //goearvet:ignore synthetic finding is expected here
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader()
+	l.AddDir("fix/p", dir)
+	pkg, err := l.Load("fix/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reportReturns := &Analyzer{
+		Name: "returns",
+		Doc:  "flags every return statement",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if r, ok := n.(*ast.ReturnStmt); ok {
+						pass.Reportf(r.Pos(), "return found")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportReturns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly the unsuppressed return", diags)
+	}
+	if diags[0].Line != 4 {
+		t.Errorf("finding at line %d, want 4", diags[0].Line)
+	}
+
+	scoped := &Analyzer{
+		Name:  "scoped",
+		Doc:   "never runs here",
+		Scope: []string{"internal/sim"},
+		Run: func(pass *Pass) error {
+			t.Error("scoped analyzer ran outside its scope")
+			return nil
+		},
+	}
+	if _, err := Run([]*Package{pkg}, []*Analyzer{scoped}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoaderModule(t *testing.T) {
+	l := NewLoader()
+	mod, err := l.AddModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod != "goear" {
+		t.Errorf("module path = %q", mod)
+	}
+	paths := l.Paths()
+	wantSome := []string{"goear", "goear/internal/units", "goear/internal/msr", "goear/cmd/goearvet"}
+	for _, w := range wantSome {
+		found := false
+		for _, p := range paths {
+			if p == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("registered paths are missing %q", w)
+		}
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("testdata package %q must not be registered", p)
+		}
+	}
+
+	pkg, err := l.Load("goear/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Scope().Lookup("Freq") == nil {
+		t.Error("loaded units package has no Freq type")
+	}
+	again, err := l.Load("goear/internal/units")
+	if err != nil || again != pkg {
+		t.Error("Load must cache packages")
+	}
+}
+
+func TestLoaderUnknownPackage(t *testing.T) {
+	l := NewLoader()
+	if _, err := l.Load("no/such/pkg"); err == nil {
+		t.Error("expected error for unregistered package")
+	}
+}
+
+func TestModuleNameErrors(t *testing.T) {
+	dir := t.TempDir()
+	gomod := filepath.Join(dir, "go.mod")
+	if _, err := moduleName(gomod); err == nil {
+		t.Error("expected error for missing go.mod")
+	}
+	if err := os.WriteFile(gomod, []byte("go 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := moduleName(gomod); err == nil {
+		t.Error("expected error for go.mod without module line")
+	}
+	if err := os.WriteFile(gomod, []byte("module example/mod\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	name, err := moduleName(gomod)
+	if err != nil || name != "example/mod" {
+		t.Errorf("moduleName = %q, %v", name, err)
+	}
+}

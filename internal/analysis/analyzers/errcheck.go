@@ -1,0 +1,128 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"goear/internal/analysis"
+)
+
+// ErrCheck flags calls in internal packages whose error result is
+// silently dropped. The simulator layers its failure reporting
+// through returned errors (MSR writability, config validation,
+// conservation checks); a discarded error here means a run continues
+// on state it believes is impossible.
+//
+// Deliberate discards stay possible two ways: assign the error to
+// blank (`_ = f()`), or annotate the line with //goearvet:ignore and
+// a reason. Writes through fmt to a strings.Builder or bytes.Buffer
+// are exempt — those writers cannot fail — as is best-effort console
+// logging via fmt.Print/Printf/Println.
+var ErrCheck = &analysis.Analyzer{
+	Name: "errcheck",
+	Doc: "flag dropped error results in internal packages (expression statements, " +
+		"defer and go calls); infallible Builder/Buffer writes are exempt",
+	Scope: []string{"internal"},
+	Run:   runErrCheck,
+}
+
+func runErrCheck(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass, call) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s includes an error that is dropped; handle it or assign to _ explicitly", calleeName(call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType)
+}
+
+// exemptCall recognizes the call shapes whose errors are structurally
+// dead: fmt printing to stdout, and fmt or method writes into
+// in-memory builders/buffers.
+func exemptCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if pkg, fn, ok := calleePkgFunc(pass.Info, call); ok && pkg == "fmt" {
+		switch fn {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && isInfallibleWriter(pass.TypeOf(call.Args[0]))
+		}
+	}
+	// Method calls on *strings.Builder / *bytes.Buffer (WriteString,
+	// WriteByte, ...) document that they always return a nil error.
+	if sel, ok := stripParens(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isMethod := pass.Info.Selections[sel]; isMethod {
+			return isInfallibleWriter(s.Recv())
+		}
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether t is (a pointer to)
+// strings.Builder or bytes.Buffer.
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// calleeName renders the called expression for the message.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses findings.
+// The directive must be followed by a free-text reason:
+//
+//	//goearvet:ignore reason the violation is intentional
+//
+// A directive suppresses findings on its own line (trailing-comment
+// form) and on the line directly below it (own-line form). The reason
+// is mandatory so suppressions stay auditable.
+const ignoreDirective = "//goearvet:ignore"
+
+// ignoreSet is the per-package index of suppression directives.
+type ignoreSet struct {
+	// lines maps file name -> set of suppressed line numbers.
+	lines map[string]map[int]bool
+	// malformed collects directives without a reason, reported as
+	// findings of the pseudo-analyzer "ignore".
+	malformed []Diagnostic
+}
+
+func (s *ignoreSet) suppressed(d Diagnostic) bool {
+	return s.lines[d.File][d.Line]
+}
+
+// collectIgnores scans the comments of every file for ignore
+// directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	s := &ignoreSet{lines: map[string]map[int]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := c.Text[len(ignoreDirective):]
+				pos := fset.Position(c.Slash)
+				if !strings.HasPrefix(rest, " ") || strings.TrimSpace(rest) == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Analyzer: "ignore",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "goearvet:ignore directive needs a reason: //goearvet:ignore <why>",
+					})
+					continue
+				}
+				m := s.lines[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					s.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return s
+}

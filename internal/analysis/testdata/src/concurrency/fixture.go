@@ -1,0 +1,71 @@
+// Package sim is a goearvet test fixture for the concurrency
+// analyzer, loaded under "fix2/internal/sim" so the goroutine ban for
+// simulation code applies.
+package sim
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func byValueParam(g guarded) int { // want `parameter passes a value containing sync\.Mutex by value`
+	return g.n
+}
+
+func byValueReceiver() {}
+
+func (g guarded) peek() int { // want `receiver passes a value containing sync\.Mutex by value`
+	return g.n
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range clause copies a value containing sync\.Mutex`
+		total += g.n
+	}
+	return total
+}
+
+func rangeByIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+func assignCopy(g *guarded) int {
+	snapshot := *g // want `assignment copies a value containing sync\.Mutex`
+	return snapshot.n
+}
+
+// construct builds a fresh value; construction is not a copy.
+func construct() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+func rawGoroutine() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }() // want `raw goroutine in deterministic code`
+	return <-ch
+}
+
+// nested WaitGroup through an embedded struct is still a copy hazard.
+type tracker struct {
+	wg sync.WaitGroup
+}
+
+type wrapper struct {
+	t tracker
+}
+
+func nestedCopy(w wrapper) {} // want `parameter passes a value containing sync\.WaitGroup by value`

@@ -1,0 +1,78 @@
+// Package sim is a goearvet test fixture. It is loaded under the
+// import path "fix/internal/sim" so the determinism analyzer treats
+// it as simulation code. The // want comments are golden
+// expectations consumed by the analyzer tests.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badClock() float64 {
+	t := time.Now()   // want `time\.Now reads the wall clock`
+	_ = time.Since(t) // want `time\.Since reads the wall clock`
+	return 0
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the shared global generator`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle draws from the shared global generator`
+}
+
+// goodSeededRand is the sanctioned path: explicit seed, private
+// generator.
+func goodSeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func badMapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is randomized but this loop appends to a slice`
+		out = append(out, k)
+	}
+	return out
+}
+
+// goodCollectThenSort appends in map order but sorts before the slice
+// escapes: deterministic, not flagged.
+func goodCollectThenSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodAggregate only folds the values; order-neutral.
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func badMapPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order is randomized but this loop writes output via fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// ignoredClock shows line-level suppression: the directive carries a
+// reason and the finding below it is dropped.
+func ignoredClock() int64 {
+	//goearvet:ignore fixture demonstrates suppression
+	return time.Now().UnixNano()
+}
+
+func trailingIgnore() int64 {
+	return time.Now().UnixNano() //goearvet:ignore trailing-comment form of suppression
+}

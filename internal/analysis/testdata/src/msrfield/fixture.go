@@ -1,0 +1,46 @@
+// Package msr is a goearvet test fixture for the msrfield analyzer,
+// loaded under "fix/internal/msr". It mirrors the register encode/
+// decode style of the real internal/msr package, with seeded layout
+// bugs.
+package msr
+
+// EncodeGood packs the max ratio into bits 6:0 and the min ratio into
+// bits 14:8, like MSR 0x620.
+func EncodeGood(max, min uint64) uint64 {
+	return (max & 0x7F) | ((min & 0x7F) << 8)
+}
+
+// DecodeGood unpacks bits 6:0 and bits 14:8.
+func DecodeGood(v uint64) (max, min uint64) {
+	return v & 0x7F, (v >> 8) & 0x7F
+}
+
+// EncodeSkew packs a ratio into bits 15:8.
+func EncodeSkew(r uint64) uint64 { return (r & 0xFF) << 8 }
+
+// DecodeSkew extracts with a 7-bit mask: the seeded mismatched
+// mask/shift pair.
+func DecodeSkew(v uint64) uint64 { return (v >> 8) & 0x7F } // want `EncodeSkew and DecodeSkew disagree on the register layout`
+
+// EncodeHoley masks with a non-contiguous pattern.
+func EncodeHoley(v uint64) uint64 { return v & 0x7B7F } // want `mask 0x7b7f is not a contiguous bit run`
+
+// EncodeOverlap packs an 8-bit field at bit 0 and a 7-bit field at
+// bit 4: the runs collide.
+func EncodeOverlap(a, b uint64) uint64 {
+	return (a & 0xFF) | ((b & 0x7F) << 4) // want `EncodeOverlap packs overlapping fields`
+}
+
+// EncodeDocSkew packs the ratio into bits 15:8 of the register.
+func EncodeDocSkew(r uint64) uint64 { // want `EncodeDocSkew documents bits 15:8 but the body manipulates bits 15:9`
+	return (r & 0x7F) << 9
+}
+
+// nonField arithmetic must not confuse the analyzer: wrap-around
+// masks and plain shifts are not register fields.
+func nonField(prev, cur uint64) uint64 {
+	if cur >= prev {
+		return cur - prev
+	}
+	return cur + (1 << 32) - prev
+}

@@ -1,0 +1,74 @@
+// Package unitsafety is a goearvet test fixture exercising the
+// dimensional checks over the real goear/internal/units types.
+package unitsafety
+
+import "goear/internal/units"
+
+// mixedAdd launders a Power into a Freq to make the addition
+// compile — the seeded mixed-unit violation.
+func mixedAdd(f units.Freq, p units.Power) units.Freq {
+	return f + units.Freq(p) // want `conversion from units\.Power to units\.Freq mixes dimensions`
+}
+
+func squared(a, b units.Freq) units.Freq {
+	return a * b // want `product of two units\.Freq values yields units\.Freq²`
+}
+
+func dimensionlessRatio(a, b units.Freq) units.Freq {
+	return a / b // want `quotient of two units\.Freq values yields a dimensionless ratio`
+}
+
+// goodRatio does the arithmetic on float64 and is clean.
+func goodRatio(a, b units.Freq) float64 {
+	return float64(a) / float64(b)
+}
+
+// goodScaling by untyped constants stays legal.
+func goodScaling(f units.Freq) units.Freq {
+	return 2 * f / 4
+}
+
+// goodConstruction is the canonical value-times-unit-constant idiom.
+func goodConstruction() units.Freq {
+	return 2.4 * units.GHz
+}
+
+func rawLiteralAdd(f units.Freq) units.Freq {
+	return f + 2.4e9 // want `raw numeric literal used as a units\.Freq`
+}
+
+func rawLiteralCompare(p units.Power) bool {
+	return p > 300 // want `raw numeric literal used as a units\.Power`
+}
+
+// zero literals are always fine.
+func zeroCompare(p units.Power) bool {
+	return p > 0
+}
+
+func takesFreq(units.Freq) {}
+
+func rawLiteralArg() {
+	takesFreq(2400000000) // want `raw numeric literal used as a units\.Freq`
+	takesFreq(0)
+	takesFreq(2400 * units.MHz)
+}
+
+type nodeConfig struct {
+	Nominal units.Freq
+	Budget  units.Power
+}
+
+func rawLiteralField() nodeConfig {
+	return nodeConfig{
+		Nominal: 2.1e9, // want `raw numeric literal used as a units\.Freq`
+		Budget:  300 * units.Watt,
+	}
+}
+
+func rawLiteralSlice() []units.Power {
+	return []units.Power{
+		250 * units.Watt,
+		42500, // want `raw numeric literal used as a units\.Power`
+	}
+}

@@ -2,6 +2,44 @@ package msr
 
 import "testing"
 
+// FuzzPerfCtl checks the IA32_PERF_CTL (0x199) encode/decode pair
+// from both directions: the requested core ratio round-trips through
+// bits 15:8 modulo the 8-bit field mask, and arbitrary raw register
+// values round-trip exactly once the first decode has dropped the
+// reserved bits.
+func FuzzPerfCtl(f *testing.F) {
+	f.Add(uint64(24), uint64(0))
+	f.Add(uint64(0xFF), uint64(0xFFFFFFFFFFFFFFFF))
+	f.Add(uint64(0), uint64(0x199))
+	f.Add(uint64(256), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, ratio, raw uint64) {
+		enc := EncodePerfCtl(ratio)
+		if enc&^uint64(0xFF00) != 0 {
+			t.Fatalf("EncodePerfCtl(%#x) = %#x sets bits outside 15:8", ratio, enc)
+		}
+		if dec := DecodePerfCtl(enc); dec != ratio&0xFF {
+			t.Fatalf("DecodePerfCtl(EncodePerfCtl(%#x)) = %#x, want %#x", ratio, dec, ratio&0xFF)
+		}
+		if re := EncodePerfCtl(DecodePerfCtl(enc)); re != enc {
+			t.Fatalf("encode(decode(%#x)) = %#x, want fixed point", enc, re)
+		}
+
+		// Raw-register direction: decode drops reserved bits, after
+		// which encode/decode is the identity.
+		dr := DecodePerfCtl(raw)
+		if dr > 0xFF {
+			t.Fatalf("DecodePerfCtl(%#x) = %#x exceeds the 8-bit field", raw, dr)
+		}
+		canon := EncodePerfCtl(dr)
+		if canon != raw&0xFF00 {
+			t.Fatalf("EncodePerfCtl(DecodePerfCtl(%#x)) = %#x, want %#x", raw, canon, raw&0xFF00)
+		}
+		if dr2 := DecodePerfCtl(canon); dr2 != dr {
+			t.Fatalf("DecodePerfCtl(%#x) = %#x, want %#x", canon, dr2, dr)
+		}
+	})
+}
+
 // FuzzUncoreRatioLimit checks the MSR 0x620 (UNCORE_RATIO_LIMIT)
 // encode/decode pair from both directions: fields round-trip through
 // the register layout modulo the 7-bit field masks, and arbitrary raw

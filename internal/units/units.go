@@ -42,7 +42,9 @@ func (f Freq) Ratio(gran Freq) uint64 {
 }
 
 // FromRatio builds a frequency from a hardware ratio and granularity.
-func FromRatio(ratio uint64, gran Freq) Freq { return Freq(ratio) * gran }
+// The ratio is a dimensionless count, so the product is formed on
+// float64 and only the result carries the Freq dimension.
+func FromRatio(ratio uint64, gran Freq) Freq { return Freq(float64(ratio) * float64(gran)) }
 
 // String formats the frequency with an adaptive unit.
 func (f Freq) String() string {
@@ -71,13 +73,15 @@ func hasFoldSuffix(s, suf string) bool {
 // values are rejected.
 func ParseFreq(s string) (Freq, error) {
 	t := strings.TrimSpace(s)
-	unit := Hz
+	// The suffix selects a dimensionless scale factor; the Freq
+	// dimension is attached once, after the multiply.
+	unit := float64(Hz)
 	for _, u := range []struct {
 		suf  string
 		unit Freq
 	}{{"ghz", GHz}, {"mhz", MHz}, {"khz", KHz}, {"hz", Hz}} {
 		if hasFoldSuffix(t, u.suf) {
-			unit, t = u.unit, t[:len(t)-len(u.suf)]
+			unit, t = float64(u.unit), t[:len(t)-len(u.suf)]
 			break
 		}
 	}
@@ -91,7 +95,7 @@ func ParseFreq(s string) (Freq, error) {
 	if v < 0 {
 		return 0, fmt.Errorf("units: negative frequency %q", s)
 	}
-	res := Freq(v) * unit
+	res := Freq(v * unit)
 	if math.IsInf(float64(res), 0) {
 		return 0, fmt.Errorf("units: frequency %q overflows", s)
 	}
@@ -100,6 +104,14 @@ func ParseFreq(s string) (Freq, error) {
 
 // Power is an electrical power in watts.
 type Power float64
+
+// Common power units. MW is megawatts (site budgets); nothing in
+// EAR's domain is measured in milliwatts.
+const (
+	Watt Power = 1
+	KW   Power = 1e3
+	MW   Power = 1e6
+)
 
 // Watts returns the power as a float64 in watts.
 func (p Power) Watts() float64 { return float64(p) }
@@ -144,6 +156,12 @@ func ParsePower(s string) (Power, error) {
 
 // Energy is an amount of energy in joules.
 type Energy float64
+
+// Common energy units.
+const (
+	Joule Energy = 1
+	KJ    Energy = 1e3
+)
 
 // Joules returns the energy as a float64 in joules.
 func (e Energy) Joules() float64 { return float64(e) }
