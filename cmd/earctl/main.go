@@ -13,21 +13,26 @@
 //	earctl acct -db jobs.json list accounting records
 //	earctl conf [-f ear.conf]  show the effective site configuration
 //	earctl report -db jobs.json per-application and per-policy energy report
+//	earctl dbd -addr host:port <stats|aggregate|jobs|summary> query a live eardbd
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 
 	"goear/internal/cpu"
 	"goear/internal/earconf"
 	"goear/internal/eard"
+	"goear/internal/eardbd"
 	"goear/internal/experiments"
 	"goear/internal/msr"
 	"goear/internal/policy"
 	"goear/internal/report"
+	"goear/internal/wire"
 	"goear/internal/workload"
 )
 
@@ -40,7 +45,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report> [flags]")
+		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report|dbd> [flags]")
 	}
 	switch args[0] {
 	case "workloads":
@@ -65,6 +70,8 @@ func run(args []string, out io.Writer) error {
 		return confCmd(args[1:], out)
 	case "report":
 		return reportCmd(args[1:], out)
+	case "dbd":
+		return dbdCmd(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -275,6 +282,116 @@ func reportCmd(args []string, out io.Writer) error {
 		}
 	}
 	return byPol.Render(out)
+}
+
+// dbdCmd queries a running eardbd daemon over its wire protocol.
+func dbdCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbd", flag.ContinueOnError)
+	addr := fs.String("addr", "", "eardbd TCP address (host:port)")
+	unixSock := fs.String("unix", "", "eardbd unix socket path")
+	job := fs.String("job", "", "job id for the summary query")
+	step := fs.String("step", "", "step id for the summary query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*addr == "") == (*unixSock == "") {
+		return fmt.Errorf("dbd needs exactly one of -addr or -unix")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: earctl dbd -addr host:port <stats|aggregate|jobs|summary>")
+	}
+	kind := fs.Arg(0)
+
+	network, target := "tcp", *addr
+	if *unixSock != "" {
+		network, target = "unix", *unixSock
+	}
+	conn, err := net.Dial(network, target)
+	if err != nil {
+		return fmt.Errorf("dial eardbd: %w", err)
+	}
+	defer conn.Close()
+
+	switch kind {
+	case wire.QueryStats:
+		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, 0)
+		if err != nil {
+			return err
+		}
+		var st eardbd.Stats
+		if err := json.Unmarshal(res.Data, &st); err != nil {
+			return err
+		}
+		t := report.Table{Title: "eardbd activity", Columns: []string{"counter", "value"}}
+		for _, row := range [][2]string{
+			{"connections", fmt.Sprint(st.Connections)},
+			{"batches", fmt.Sprint(st.Batches)},
+			{"duplicate batches", fmt.Sprint(st.DuplicateBatches)},
+			{"records accepted", fmt.Sprint(st.RecordsAccepted)},
+			{"records duplicate", fmt.Sprint(st.RecordsDuplicate)},
+			{"records replaced", fmt.Sprint(st.RecordsReplaced)},
+			{"batches rejected", fmt.Sprint(st.BatchesRejected)},
+			{"protocol errors", fmt.Sprint(st.ProtocolErrors)},
+			{"queries", fmt.Sprint(st.Queries)},
+		} {
+			if err := t.AddRow(row[0], row[1]); err != nil {
+				return err
+			}
+		}
+		return t.Render(out)
+	case wire.QueryAggregate:
+		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, 0)
+		if err != nil {
+			return err
+		}
+		var agg eardbd.Aggregate
+		if err := json.Unmarshal(res.Data, &agg); err != nil {
+			return err
+		}
+		t := report.Table{Title: "cluster aggregate", Columns: []string{"nodes", "DC power (W)", "energy (kJ)", "records"}}
+		if err := t.AddRow(fmt.Sprint(agg.Nodes), report.F(agg.TotalPowerW, 1),
+			report.F(agg.TotalEnergyJ/1000, 1), fmt.Sprint(agg.Records)); err != nil {
+			return err
+		}
+		return t.Render(out)
+	case wire.QueryJobs:
+		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, 0)
+		if err != nil {
+			return err
+		}
+		var sums []eard.JobSummary
+		if err := json.Unmarshal(res.Data, &sums); err != nil {
+			return err
+		}
+		t := report.Table{Columns: []string{"job", "step", "nodes", "time(s)", "energy(J)", "avg power(W)"}}
+		for _, s := range sums {
+			if err := t.AddRow(s.JobID, s.StepID, fmt.Sprint(s.Nodes),
+				report.F(s.TimeSec, 2), report.F(s.EnergyJ, 0), report.F(s.AvgPower, 2)); err != nil {
+				return err
+			}
+		}
+		return t.Render(out)
+	case wire.QuerySummary:
+		if *job == "" {
+			return fmt.Errorf("summary needs -job (and usually -step)")
+		}
+		res, err := eardbd.Query(conn, wire.Query{Kind: kind, Job: *job, Step: *step}, 0)
+		if err != nil {
+			return err
+		}
+		var s eard.JobSummary
+		if err := json.Unmarshal(res.Data, &s); err != nil {
+			return err
+		}
+		t := report.Table{Columns: []string{"job", "step", "nodes", "time(s)", "energy(J)", "avg power(W)"}}
+		if err := t.AddRow(s.JobID, s.StepID, fmt.Sprint(s.Nodes),
+			report.F(s.TimeSec, 2), report.F(s.EnergyJ, 0), report.F(s.AvgPower, 2)); err != nil {
+			return err
+		}
+		return t.Render(out)
+	default:
+		return fmt.Errorf("unknown dbd query %q (stats, aggregate, jobs, summary)", kind)
+	}
 }
 
 func acct(args []string, out io.Writer) error {

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"goear/internal/eard"
+	"goear/internal/eardbd"
+	"goear/internal/wire"
 )
 
 func capture(t *testing.T, args []string) string {
@@ -162,5 +165,80 @@ func TestReportCommand(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"report"}, &b); err == nil {
 		t.Error("expected error for missing -db")
+	}
+}
+
+// startDBD serves an eardbd on an ephemeral TCP port, seeded through
+// the wire protocol so node powers are tracked like live reports.
+func startDBD(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := eardbd.NewServer(eard.NewDB(), eardbd.Config{})
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	f, err := wire.EncodeBatch(wire.Batch{ID: "seed/1", Node: "n01", Records: []eard.JobRecord{
+		{JobID: "j1", StepID: "0", Node: "n01", App: "lulesh", TimeSec: 100, EnergyJ: 30000, AvgPower: 300},
+		{JobID: "j1", StepID: "0", Node: "n02", App: "lulesh", TimeSec: 100, EnergyJ: 31000, AvgPower: 310},
+		{JobID: "j2", StepID: "0", Node: "n01", App: "hpcg", TimeSec: 50, EnergyJ: 12500, AvgPower: 250},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := wire.ReadFrame(conn, 0); err != nil || resp.Type != wire.TypeAck {
+		t.Fatalf("seed batch not acked: %v %v", resp.Type, err)
+	}
+	return l.Addr().String()
+}
+
+func TestDbdQueries(t *testing.T) {
+	addr := startDBD(t)
+
+	// Last report per node wins: n01 250 W (j2) + n02 310 W.
+	out := capture(t, []string{"dbd", "-addr", addr, "aggregate"})
+	if !strings.Contains(out, "cluster aggregate") || !strings.Contains(out, "560.0") {
+		t.Errorf("aggregate output = %q", out)
+	}
+	out = capture(t, []string{"dbd", "-addr", addr, "jobs"})
+	if !strings.Contains(out, "j1") || !strings.Contains(out, "j2") {
+		t.Errorf("jobs output = %q", out)
+	}
+	out = capture(t, []string{"dbd", "-addr", addr, "-job", "j1", "-step", "0", "summary"})
+	if !strings.Contains(out, "j1") || !strings.Contains(out, "61000") || !strings.Contains(out, "305.00") {
+		t.Errorf("summary output = %q", out)
+	}
+	out = capture(t, []string{"dbd", "-addr", addr, "stats"})
+	if !strings.Contains(out, "eardbd activity") || !strings.Contains(out, "queries") {
+		t.Errorf("stats output = %q", out)
+	}
+}
+
+func TestDbdErrors(t *testing.T) {
+	addr := startDBD(t)
+	var b strings.Builder
+	for _, args := range [][]string{
+		{"dbd", "aggregate"},                       // no target
+		{"dbd", "-addr", addr, "-unix", "x", "aggregate"}, // both targets
+		{"dbd", "-addr", addr},                     // no query kind
+		{"dbd", "-addr", addr, "bogus"},            // unknown kind
+		{"dbd", "-addr", addr, "summary"},          // summary without -job
+	} {
+		if err := run(args, &b); err == nil {
+			t.Errorf("earctl %v accepted", args)
+		}
+	}
+	if err := run([]string{"dbd", "-addr", "127.0.0.1:1", "stats"}, &b); err == nil {
+		t.Error("dial to dead daemon accepted")
 	}
 }

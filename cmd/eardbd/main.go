@@ -1,0 +1,140 @@
+// Command eardbd runs the EAR database daemon: the aggregation tier
+// between per-node reporting clients and the accounting database. It
+// listens on TCP and/or a unix socket for wire-framed record batches,
+// validates and deduplicates them into an in-memory eard.DB, serves
+// snapshot queries (earctl dbd ...), and persists the database as JSON
+// on shutdown.
+//
+//	eardbd -listen 127.0.0.1:4711 -db /var/lib/ear/jobs.json
+//	eardbd -unix /run/eardbd.sock
+//
+// Stop with SIGINT/SIGTERM; the database file is written on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"goear/internal/eard"
+	"goear/internal/eardbd"
+)
+
+func main() {
+	quit := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		close(quit)
+	}()
+	if err := run(os.Args[1:], os.Stdout, nil, quit); err != nil {
+		fmt.Fprintln(os.Stderr, "eardbd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon. The bound addresses are reported on ready
+// (when non-nil) so tests can dial ephemeral ports; closing quit shuts
+// the daemon down gracefully.
+func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct{}) error {
+	fs := flag.NewFlagSet("eardbd", flag.ContinueOnError)
+	listen := fs.String("listen", "", "TCP listen address (host:port)")
+	unix := fs.String("unix", "", "unix socket path to listen on")
+	dbPath := fs.String("db", "", "JSON accounting database to load and persist")
+	maxFrame := fs.Int("max-frame", 0, "per-frame payload byte limit (default 1 MiB)")
+	maxBatch := fs.Int("max-batch", 0, "records per batch limit (default 1024)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listen == "" && *unix == "" {
+		return fmt.Errorf("nothing to listen on: pass -listen and/or -unix")
+	}
+
+	db := eard.NewDB()
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		switch {
+		case os.IsNotExist(err):
+			// First boot: the file appears at shutdown.
+		case err != nil:
+			return err
+		default:
+			lerr := db.Load(f)
+			cerr := f.Close()
+			if lerr != nil {
+				return lerr
+			}
+			if cerr != nil {
+				return cerr
+			}
+			fmt.Fprintf(out, "eardbd: loaded %d records from %s\n", db.Len(), *dbPath)
+		}
+	}
+
+	srv := eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch})
+	var addrs []string
+	serveErr := make(chan error, 2)
+	listenAndServe := func(network, addr string) error {
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			return err
+		}
+		addrs = append(addrs, l.Addr().String())
+		fmt.Fprintf(out, "eardbd: listening on %s %s\n", network, l.Addr())
+		go func() { serveErr <- srv.Serve(l) }()
+		return nil
+	}
+	if *listen != "" {
+		if err := listenAndServe("tcp", *listen); err != nil {
+			return err
+		}
+	}
+	if *unix != "" {
+		if err := listenAndServe("unix", *unix); err != nil {
+			return err
+		}
+	}
+	if ready != nil {
+		ready <- addrs
+	}
+
+	var firstErr error
+	select {
+	case firstErr = <-serveErr:
+	case <-quit:
+		fmt.Fprintln(out, "eardbd: shutting down")
+	}
+	if err := srv.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if *unix != "" {
+		// A unix socket file outlives its listener.
+		if err := os.Remove(*unix); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	if *dbPath != "" {
+		f, err := os.Create(*dbPath)
+		if err != nil {
+			return err
+		}
+		serr := db.Save(f)
+		cerr := f.Close()
+		if serr != nil {
+			return serr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		st := srv.Stats()
+		fmt.Fprintf(out, "eardbd: saved %d records to %s (%d batches, %d accepted, %d duplicate, %d replaced)\n",
+			db.Len(), *dbPath, st.Batches, st.RecordsAccepted, st.RecordsDuplicate, st.RecordsReplaced)
+	}
+	return firstErr
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goear/internal/eard"
+	"goear/internal/eardbd"
+	"goear/internal/wire"
+)
+
+// startDaemon runs the daemon against an ephemeral TCP port and
+// returns its address plus a shutdown function that waits for a clean
+// exit and returns the accumulated output.
+func startDaemon(t *testing.T, extra ...string) (string, func() string) {
+	t.Helper()
+	var out strings.Builder
+	ready := make(chan []string, 1)
+	quit := make(chan struct{})
+	done := make(chan error, 1)
+	args := append([]string{"-listen", "127.0.0.1:0"}, extra...)
+	go func() { done <- run(args, &out, ready, quit) }()
+	select {
+	case addrs := <-ready:
+		stop := func() string {
+			close(quit)
+			if err := <-done; err != nil {
+				t.Errorf("daemon exit: %v", err)
+			}
+			return out.String()
+		}
+		return addrs[0], stop
+	case err := <-done:
+		t.Fatalf("daemon died on startup: %v (output: %s)", err, out.String())
+		return "", nil
+	}
+}
+
+func sendBatch(t *testing.T, addr string, b wire.Batch) wire.Ack {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	f, err := wire.EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := resp.AsAck()
+	if err != nil {
+		t.Fatalf("response = %s: %v", resp.Type, err)
+	}
+	return ack
+}
+
+func TestDaemonLifecycleWithPersistence(t *testing.T) {
+	dbFile := filepath.Join(t.TempDir(), "jobs.json")
+	addr, stop := startDaemon(t, "-db", dbFile)
+
+	ack := sendBatch(t, addr, wire.Batch{ID: "n01/1", Node: "n01", Records: []eard.JobRecord{
+		{JobID: "j1", StepID: "0", Node: "n01", App: "X", TimeSec: 10, EnergyJ: 3000, AvgPower: 300},
+		{JobID: "j1", StepID: "0", Node: "n02", App: "X", TimeSec: 10, EnergyJ: 3100, AvgPower: 310},
+	}})
+	if ack.Accepted != 2 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	out := stop()
+	if !strings.Contains(out, "saved 2 records") {
+		t.Errorf("shutdown output missing save line:\n%s", out)
+	}
+
+	// A restarted daemon loads the persisted database and serves it.
+	addr2, stop2 := startDaemon(t, "-db", dbFile)
+	conn, err := net.Dial("tcp", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := eardbd.Query(conn, wire.Query{Kind: wire.QueryAggregate}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(res.Data), `"records":2`) {
+		t.Errorf("aggregate after restart = %s", res.Data)
+	}
+	out2 := stop2()
+	if !strings.Contains(out2, "loaded 2 records") {
+		t.Errorf("restart output missing load line:\n%s", out2)
+	}
+}
+
+func TestDaemonUnixSocket(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "eardbd.sock")
+	var out strings.Builder
+	ready := make(chan []string, 1)
+	quit := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-unix", sock}, &out, ready, quit) }()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("daemon died: %v", err)
+	}
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := wire.EncodeQuery(wire.Query{Kind: wire.QueryStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := wire.ReadFrame(conn, 0); err != nil || resp.Type != wire.TypeResult {
+		t.Errorf("stats over unix socket: %v %v", resp.Type, err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(quit)
+	if err := <-done; err != nil {
+		t.Errorf("exit: %v", err)
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out, nil, nil); err == nil {
+		t.Error("no listener accepted")
+	}
+	if err := run([]string{"-listen", "no-such-host-xyz:99999"}, &out, nil, nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-db", bad}, &out, nil, nil); err == nil {
+		t.Error("corrupt db file accepted")
+	}
+}

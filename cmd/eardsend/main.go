@@ -1,0 +1,135 @@
+// Command eardsend is the node-side reporting feeder: it reads job
+// records (the JSON array format eard.DB saves, as produced by earsim
+// and the examples) and streams them to a running eardbd daemon
+// through the buffering client — batching, retrying with backoff, and
+// spilling to a local journal when the daemon is unreachable. Rerun
+// with the same -journal once the daemon is back and the spilled
+// batches are replayed exactly once.
+//
+//	eardsend -addr 127.0.0.1:4711 -records jobs.json -node n01
+//	eardsend -unix /run/eardbd.sock -records jobs.json -journal n01.journal
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"goear/internal/eard"
+	"goear/internal/eardbd"
+)
+
+// wallClock adapts the real clock to the client's injected interface.
+// It lives here, outside internal/, so the library packages stay free
+// of wall-clock reads.
+type wallClock struct{}
+
+func (wallClock) Now() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+func (wallClock) Sleep(sec float64) { time.Sleep(time.Duration(sec * float64(time.Second))) }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "eardsend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eardsend", flag.ContinueOnError)
+	addr := fs.String("addr", "", "eardbd TCP address (host:port)")
+	unix := fs.String("unix", "", "eardbd unix socket path")
+	records := fs.String("records", "", "JSON record file to send (eard.DB format)")
+	node := fs.String("node", "", "reporting node name (default: first record's node)")
+	journalPath := fs.String("journal", "", "spill journal path for offline buffering")
+	batch := fs.Int("batch", 64, "records per batch")
+	attempts := fs.Int("attempts", 3, "delivery attempts per flush")
+	seed := fs.Int64("seed", 1, "backoff jitter seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*addr == "") == (*unix == "") {
+		return fmt.Errorf("pass exactly one of -addr or -unix")
+	}
+	if *records == "" {
+		return fmt.Errorf("pass -records")
+	}
+
+	f, err := os.Open(*records)
+	if err != nil {
+		return err
+	}
+	var recs []eard.JobRecord
+	derr := json.NewDecoder(f).Decode(&recs)
+	cerr := f.Close()
+	if derr != nil {
+		return fmt.Errorf("decode %s: %w", *records, derr)
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s holds no records", *records)
+	}
+	if *node == "" {
+		*node = recs[0].Node
+	}
+
+	journal, err := eardbd.OpenJournal(*journalPath)
+	if err != nil {
+		return err
+	}
+	if n := journal.Len(); n > 0 {
+		fmt.Fprintf(out, "eardsend: journal holds %d spilled batch(es) to replay\n", n)
+	}
+	network, target := "tcp", *addr
+	if *unix != "" {
+		network, target = "unix", *unix
+	}
+	c, err := eardbd.NewClient(eardbd.ClientConfig{
+		Node:         *node,
+		Dial:         func() (net.Conn, error) { return net.Dial(network, target) },
+		Clock:        wallClock{},
+		Jitter:       rand.New(rand.NewSource(*seed)),
+		BatchRecords: *batch,
+		MaxAttempts:  *attempts,
+		Journal:      journal,
+	})
+	if err != nil {
+		return err
+	}
+
+	var firstErr error
+	for _, r := range recs {
+		if err := c.Enqueue(r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := c.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	st := c.Stats()
+	fmt.Fprintf(out, "eardsend: %d enqueued, %d sent in %d batch(es), %d retries\n",
+		st.Enqueued, st.RecordsSent, st.BatchesSent, st.Retries)
+	if st.RecordsSpilled > 0 || journal.Len() > 0 {
+		if *journalPath != "" {
+			fmt.Fprintf(out, "eardsend: %d record(s) spilled to %s; rerun with the same -journal to replay\n",
+				st.RecordsSpilled, *journalPath)
+			if errors.Is(firstErr, eardbd.ErrUnreachable) {
+				// Designed degradation: every record is durable in the
+				// journal, so an unreachable daemon is not a failure here.
+				firstErr = nil
+			}
+		} else {
+			fmt.Fprintf(out, "eardsend: %d record(s) undeliverable and no -journal given; they are lost\n",
+				st.RecordsSpilled)
+		}
+	}
+	return firstErr
+}

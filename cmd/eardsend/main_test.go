@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goear/internal/eard"
+	"goear/internal/eardbd"
+)
+
+func startServer(t *testing.T) (*eardbd.Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := eardbd.NewServer(eard.NewDB(), eardbd.Config{})
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, l.Addr().String()
+}
+
+func writeRecords(t *testing.T, recs []eard.JobRecord) string {
+	t.Helper()
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testRecords(n int) []eard.JobRecord {
+	recs := make([]eard.JobRecord, n)
+	for i := range recs {
+		recs[i] = eard.JobRecord{
+			JobID: "j1", StepID: "0", Node: "n01", App: "lulesh",
+			TimeSec: float64(10 + i), EnergyJ: float64(3000 + 10*i), AvgPower: 300,
+		}
+	}
+	// Distinct nodes so every record is a distinct key.
+	for i := range recs {
+		recs[i].Node = "n" + string(rune('a'+i))
+	}
+	return recs
+}
+
+func TestSendDeliversAll(t *testing.T) {
+	srv, addr := startServer(t)
+	recs := testRecords(5)
+	path := writeRecords(t, recs)
+
+	var out strings.Builder
+	err := run([]string{"-addr", addr, "-records", path, "-node", "n01", "-batch", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	if got := srv.DB().Len(); got != 5 {
+		t.Errorf("server holds %d records, want 5", got)
+	}
+	if !strings.Contains(out.String(), "5 enqueued, 5 sent in 3 batch(es)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestSendSpillsThenReplays(t *testing.T) {
+	// Reserve a port nothing listens on.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := testRecords(3)
+	path := writeRecords(t, recs)
+	journal := filepath.Join(t.TempDir(), "n01.journal")
+
+	var out strings.Builder
+	err = run([]string{"-addr", deadAddr, "-records", path, "-node", "n01",
+		"-journal", journal, "-attempts", "1"}, &out)
+	if err != nil {
+		t.Fatalf("offline run should spill, not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "spilled to "+journal) {
+		t.Errorf("offline output = %q", out.String())
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+
+	// Daemon comes back; replaying the same journal delivers exactly once
+	// even though the record file is sent again too.
+	srv, addr := startServer(t)
+	out.Reset()
+	err = run([]string{"-addr", addr, "-records", path, "-node", "n01", "-journal", journal}, &out)
+	if err != nil {
+		t.Fatalf("replay run: %v\noutput: %s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "journal holds 1 spilled batch(es) to replay") {
+		t.Errorf("replay output = %q", out.String())
+	}
+	if got := srv.DB().Len(); got != 3 {
+		t.Errorf("server holds %d records, want 3", got)
+	}
+	st := srv.Stats()
+	if st.RecordsAccepted != 3 || st.RecordsReplaced != 0 {
+		t.Errorf("server stats = %+v: resend after replay must dedup", st)
+	}
+	if _, err := os.Stat(journal); !os.IsNotExist(err) {
+		t.Errorf("journal should be removed after replay, stat err = %v", err)
+	}
+}
+
+func TestSendLostWithoutJournal(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := writeRecords(t, testRecords(2))
+	var out strings.Builder
+	if err := run([]string{"-addr", deadAddr, "-records", path, "-attempts", "1"}, &out); err == nil {
+		t.Error("undeliverable without journal should error")
+	}
+	if !strings.Contains(out.String(), "no -journal given; they are lost") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestSendFlagErrors(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		nil,                                // neither -addr nor -unix
+		{"-addr", "x", "-unix", "y"},       // both
+		{"-addr", "x"},                     // no -records
+		{"-addr", "x", "-records", "nope"}, // missing file
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+
+	empty := writeRecords(t, []eard.JobRecord{})
+	if err := run([]string{"-addr", "x", "-records", empty}, &out); err == nil ||
+		!strings.Contains(err.Error(), "no records") {
+		t.Errorf("empty record file: err = %v", err)
+	}
+}

@@ -10,11 +10,15 @@
 //	go run ./cmd/goearvet ./...
 //	go run ./cmd/goearvet -json ./internal/msr ./internal/uncore
 //	go run ./cmd/goearvet -determinism=false ./internal/sim
+//	go run ./cmd/goearvet -diff origin/main ./...
 //
 // Patterns are import paths or ./-relative directories, with an
 // optional /... suffix for recursion. With no pattern, ./... is
-// assumed. Exit status is 0 for a clean tree, 1 when findings were
-// reported, 2 on usage or load errors.
+// assumed. -diff restricts the run to packages holding .go files git
+// reports as changed since the given ref (including working-tree and
+// untracked files), which keeps pull-request lint runs proportional
+// to the change. Exit status is 0 for a clean tree, 1 when findings
+// were reported, 2 on usage or load errors.
 //
 // Findings are suppressed line by line with an annotation carrying a
 // mandatory reason:
@@ -24,10 +28,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -45,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	diffRef := fs.String("diff", "", "only analyze packages with .go files changed since this git ref (untracked files count as changed)")
 	all := analyzers.All()
 	enabled := map[string]*bool{}
 	for _, a := range all {
@@ -94,6 +102,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *diffRef != "" {
+		changed, err := changedPackages(root, modPath, *diffRef)
+		if err != nil {
+			fmt.Fprintln(stderr, "goearvet:", err)
+			return 2
+		}
+		kept := paths[:0]
+		for _, p := range paths {
+			if changed[p] {
+				kept = append(kept, p)
+			}
+		}
+		paths = kept
+		if len(paths) == 0 {
+			if *jsonOut {
+				fmt.Fprintln(stdout, "[]")
+			} else {
+				fmt.Fprintf(stderr, "goearvet: no analyzed packages changed since %s\n", *diffRef)
+			}
+			return 0
+		}
+	}
+
 	pkgs, err := loader.LoadAll(paths)
 	if err != nil {
 		fmt.Fprintln(stderr, "goearvet:", err)
@@ -127,6 +158,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// changedPackages maps the .go files git reports as changed since ref
+// — committed differences, working-tree edits and untracked files —
+// to the import paths of their directories. Deleted files keep their
+// old directory in the set; a directory that no longer holds a
+// package simply fails to intersect the resolved patterns.
+func changedPackages(root, modPath, ref string) (map[string]bool, error) {
+	diff := exec.Command("git", "-C", root, "diff", "--name-only", ref, "--")
+	diffOut, err := diff.Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff %s: %s", ref, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff %s: %w", ref, err)
+	}
+	untracked := exec.Command("git", "-C", root, "ls-files", "--others", "--exclude-standard")
+	untrackedOut, err := untracked.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git ls-files: %w", err)
+	}
+
+	set := map[string]bool{}
+	for _, line := range strings.Split(string(diffOut)+string(untrackedOut), "\n") {
+		file := strings.TrimSpace(line)
+		if !strings.HasSuffix(file, ".go") {
+			continue
+		}
+		dir := path.Dir(filepath.ToSlash(file))
+		if dir == "." {
+			set[modPath] = true
+		} else {
+			set[modPath+"/"+dir] = true
+		}
+	}
+	return set, nil
 }
 
 // moduleRoot walks up from the working directory to the enclosing

@@ -2,6 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -67,5 +70,113 @@ func TestRecursivePatternScopesToSubtree(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// initDiffRepo builds a throwaway git module with two packages —
+// "clean" (no findings) and "dirty" (a determinism violation in a
+// package named so the analyzer scopes to it) — commits it, and
+// chdirs into it.
+func initDiffRepo(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.24\n")
+	write("internal/clean/clean.go", "package clean\n\nfunc Two() int { return 2 }\n")
+	write("internal/sim/sim.go", "package sim\n\nfunc Tick() int { return 1 }\n")
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("init", "-q")
+	git("add", ".")
+	git("commit", "-q", "-m", "base")
+	t.Chdir(root)
+	return root
+}
+
+func TestDiffModeNoChanges(t *testing.T) {
+	initDiffRepo(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-diff", "HEAD", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "no analyzed packages changed") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+	// JSON mode keeps stdout a valid (empty) diagnostic array.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-diff", "HEAD", "-json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("json exit = %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("json stdout = %q", out.String())
+	}
+}
+
+func TestDiffModeScopesToChangedPackages(t *testing.T) {
+	root := initDiffRepo(t)
+	// Introduce a finding in internal/sim (in the determinism scope) and
+	// one in internal/clean; only sim's package is dirtied vs HEAD after
+	// we commit clean's change.
+	bad := "package sim\n\nimport \"time\"\n\nfunc Tick() int { return time.Now().Second() }\n"
+	if err := os.WriteFile(filepath.Join(root, "internal/sim/sim.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-diff", "HEAD", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "time.Now") {
+		t.Errorf("finding not reported: %s", out.String())
+	}
+
+	// An untracked package also counts as changed.
+	extra := filepath.Join(root, "internal", "fresh", "fresh.go")
+	if err := os.MkdirAll(filepath.Dir(extra), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(extra, []byte("package fresh\n\nfunc One() int { return 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-diff", "HEAD", "./internal/fresh"}, &out, &errOut); code != 0 {
+		t.Fatalf("untracked package run: exit = %d, stderr: %s", code, errOut.String())
+	}
+
+	// A pattern naming only unchanged packages analyzes nothing.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-diff", "HEAD", "./internal/clean"}, &out, &errOut); code != 0 {
+		t.Fatalf("unchanged package run: exit = %d", code)
+	}
+	if !strings.Contains(errOut.String(), "no analyzed packages changed") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestDiffModeBadRef(t *testing.T) {
+	initDiffRepo(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-diff", "no-such-ref", "./..."}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 for unknown ref", code)
 	}
 }

@@ -9,20 +9,25 @@ import (
 )
 
 // Determinism rejects sources of run-to-run variation in the
-// simulation, experiment and policy packages. The whole experiment
-// engine promises byte-identical output across worker counts and
-// reruns (CI diffs `benchtables -parallel 1` against `-parallel 8`),
-// which only holds if these packages never consult the wall clock,
-// never draw from the globally seeded math/rand generators, and never
-// emit ordered output straight out of a map iteration.
+// simulation, experiment, policy, wire and eardbd packages. The whole
+// experiment engine promises byte-identical output across worker
+// counts and reruns (CI diffs `benchtables -parallel 1` against
+// `-parallel 8`), which only holds if these packages never consult
+// the wall clock, never draw from the globally seeded math/rand
+// generators, and never emit ordered output straight out of a map
+// iteration. The report-aggregation tier is held to the same bar so
+// closed-loop tests stay reproducible: its client takes an injected
+// Clock and an explicitly seeded jitter generator instead.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads (time.Now/Since/Until), global math/rand draws, " +
 		"and output or slice building in bare map-iteration order inside " +
-		"internal/sim, internal/experiments and internal/policy; " +
+		"internal/sim, internal/experiments, internal/policy, " +
+		"internal/wire and internal/eardbd; " +
 		"explicitly seeded *rand.Rand generators remain allowed",
-	Scope: []string{"internal/sim", "internal/experiments", "internal/policy"},
-	Run:   runDeterminism,
+	Scope: []string{"internal/sim", "internal/experiments", "internal/policy",
+		"internal/wire", "internal/eardbd"},
+	Run: runDeterminism,
 }
 
 // seededConstructors are the math/rand package functions that build

@@ -68,6 +68,16 @@ func (db *DB) Insert(r JobRecord) error {
 	return nil
 }
 
+// Get returns the stored record for one (job, step, node) key, if any.
+// The database daemon uses it to classify incoming records as fresh,
+// identical re-deliveries, or genuine updates.
+func (db *DB) Get(jobID, stepID, node string) (JobRecord, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.recs[key{jobID, stepID, node}]
+	return r, ok
+}
+
 // Len returns the number of records.
 func (db *DB) Len() int {
 	db.mu.RLock()

@@ -241,3 +241,21 @@ func TestByPolicyAggregation(t *testing.T) {
 		t.Errorf("second = %+v", pols[1])
 	}
 }
+
+func TestGet(t *testing.T) {
+	db := NewDB()
+	r := JobRecord{JobID: "j1", StepID: "0", Node: "n3", App: "X", TimeSec: 10, EnergyJ: 1000}
+	if _, ok := db.Get("j1", "0", "n3"); ok {
+		t.Error("Get on empty DB reported a record")
+	}
+	if err := db.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.Get("j1", "0", "n3")
+	if !ok || got != r {
+		t.Errorf("Get = %+v, %v; want %+v, true", got, ok, r)
+	}
+	if _, ok := db.Get("j1", "0", "n4"); ok {
+		t.Error("Get matched a different node")
+	}
+}

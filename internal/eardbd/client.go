@@ -1,0 +1,433 @@
+package eardbd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"goear/internal/eard"
+	"goear/internal/wire"
+)
+
+// ErrUnreachable reports that a flush could not deliver to the daemon
+// within the configured attempts. Records are not lost: they were
+// spilled to the journal (or kept queued when no journal is
+// configured) and will be replayed by a later flush.
+var ErrUnreachable = errors.New("eardbd: daemon unreachable")
+
+// ErrQueueFull reports that a record was dropped because the bounded
+// queue is full and no journal is configured to absorb the overflow.
+var ErrQueueFull = errors.New("eardbd: queue full and no journal configured")
+
+// RejectedError is a permanent, non-retryable server rejection (an
+// invalid or oversized batch). The client drops the batch: resending a
+// poison batch forever would wedge the pipeline.
+type RejectedError struct{ Msg string }
+
+func (e *RejectedError) Error() string { return "eardbd: server rejected batch: " + e.Msg }
+
+// ClientConfig parameterises a reporting client. Node, Dial, Clock
+// and Jitter are required; everything else has serviceable defaults.
+type ClientConfig struct {
+	// Node names this client in batch IDs; one client instance per node
+	// keeps IDs cluster-unique.
+	Node string
+	// Dial opens a connection to the daemon. Injected so tests and
+	// simulations can hand out net.Pipe ends or flaky transports.
+	Dial func() (net.Conn, error)
+	// Clock paces interval flushes and backoff sleeps.
+	Clock Clock
+	// Jitter randomises backoff; an explicitly seeded generator keeps
+	// retry schedules reproducible.
+	Jitter *rand.Rand
+	// BatchRecords triggers a flush when the queue reaches this size
+	// (default 64).
+	BatchRecords int
+	// FlushIntervalSec triggers a flush when this much time has passed
+	// since the last one (default 5).
+	FlushIntervalSec float64
+	// QueueCap bounds the in-memory queue (default 4096). Overflow
+	// spills to the journal.
+	QueueCap int
+	// MaxAttempts bounds delivery tries per flush (default 3).
+	MaxAttempts int
+	// BackoffBaseSec is the first retry delay (default 0.5); delays
+	// double per attempt up to BackoffMaxSec (default 30), each scaled
+	// by a jitter factor in [0.5, 1).
+	BackoffBaseSec float64
+	BackoffMaxSec  float64
+	// MaxFramePayload caps outgoing frame payloads (default
+	// wire.DefaultMaxPayload); it must not exceed the server's limit.
+	MaxFramePayload int
+	// Journal absorbs batches when the daemon is unreachable. Optional:
+	// without one, undeliverable batches stay queued and new records are
+	// dropped once the queue fills.
+	Journal *Journal
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.BatchRecords <= 0 {
+		c.BatchRecords = 64
+	}
+	if c.FlushIntervalSec <= 0 {
+		c.FlushIntervalSec = 5
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBaseSec <= 0 {
+		c.BackoffBaseSec = 0.5
+	}
+	if c.BackoffMaxSec <= 0 {
+		c.BackoffMaxSec = 30
+	}
+	if c.MaxFramePayload <= 0 {
+		c.MaxFramePayload = wire.DefaultMaxPayload
+	}
+	return c
+}
+
+// Validate reports whether the required injections are present.
+func (c ClientConfig) Validate() error {
+	switch {
+	case c.Node == "":
+		return errors.New("eardbd: client needs a node name")
+	case c.Dial == nil:
+		return errors.New("eardbd: client needs a dial function")
+	case c.Clock == nil:
+		return errors.New("eardbd: client needs an injected clock")
+	case c.Jitter == nil:
+		return errors.New("eardbd: client needs an explicitly seeded jitter generator")
+	}
+	return nil
+}
+
+// ClientStats counts client activity since construction.
+type ClientStats struct {
+	Enqueued        int `json:"enqueued"`
+	Flushes         int `json:"flushes"`
+	BatchesSent     int `json:"batches_sent"`
+	RecordsSent     int `json:"records_sent"`
+	Retries         int `json:"retries"`
+	Redials         int `json:"redials"`
+	BatchesSpilled  int `json:"batches_spilled"`
+	RecordsSpilled  int `json:"records_spilled"`
+	BatchesReplayed int `json:"batches_replayed"`
+	BatchesRejected int `json:"batches_rejected"`
+	RecordsDropped  int `json:"records_dropped"`
+}
+
+// Client ships job records to an EARDBD server. It is safe for
+// concurrent use; all time and randomness are injected.
+type Client struct {
+	cfg ClientConfig
+
+	mu        sync.Mutex
+	conn      net.Conn
+	queue     []eard.JobRecord
+	seq       uint64
+	lastFlush float64
+	stats     ClientStats
+}
+
+// NewClient builds a client. The first interval flush is measured
+// from the clock's reading at construction.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Client{cfg: cfg, lastFlush: cfg.Clock.Now()}
+	if cfg.Journal != nil {
+		// Resume the batch sequence past anything a previous process
+		// spilled: reusing an ID would make the server's seen-window drop
+		// a fresh batch as a redelivery.
+		c.seq = maxJournalSeq(cfg.Journal, cfg.Node)
+	}
+	return c, nil
+}
+
+// maxJournalSeq returns the highest numeric suffix among journaled
+// batch IDs of the form "<node>/<seq>".
+func maxJournalSeq(j *Journal, node string) uint64 {
+	var max uint64
+	prefix := node + "/"
+	for _, b := range j.Entries() {
+		if !strings.HasPrefix(b.ID, prefix) {
+			continue
+		}
+		n, err := strconv.ParseUint(b.ID[len(prefix):], 10, 64)
+		if err != nil {
+			continue
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Enqueue buffers one record, flushing when the batch-size trigger
+// fires. A full queue spills the oldest pending batch to the journal
+// rather than blocking the caller: the reporting path must never stall
+// the workload it measures.
+func (c *Client) Enqueue(r eard.JobRecord) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) >= c.cfg.QueueCap {
+		if c.cfg.Journal == nil {
+			c.stats.RecordsDropped++
+			return ErrQueueFull
+		}
+		if err := c.spillQueueLocked(); err != nil {
+			c.stats.RecordsDropped++
+			return err
+		}
+	}
+	c.queue = append(c.queue, r)
+	c.stats.Enqueued++
+	if len(c.queue) >= c.cfg.BatchRecords {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Flush delivers the journal backlog and the queued records now.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+// Tick applies the interval trigger: when FlushIntervalSec has passed
+// since the last flush, pending work is flushed. Callers run it from
+// their own pacing loop.
+func (c *Client) Tick() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock.Now()
+	if now-c.lastFlush < c.cfg.FlushIntervalSec {
+		return nil
+	}
+	if len(c.queue) == 0 && (c.cfg.Journal == nil || c.cfg.Journal.Len() == 0) {
+		c.lastFlush = now
+		return nil
+	}
+	return c.flushLocked()
+}
+
+// Close flushes best-effort and severs the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var flushErr error
+	if len(c.queue) > 0 || (c.cfg.Journal != nil && c.cfg.Journal.Len() > 0) {
+		flushErr = c.flushLocked()
+	}
+	c.closeConnLocked()
+	return flushErr
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Queued returns the number of buffered (unflushed) records.
+func (c *Client) Queued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// flushLocked replays any journal backlog, then ships the queue. The
+// queue batch is assigned its ID before the first send attempt and
+// keeps it through retries and journal spills, which is what makes
+// redelivery after a lost ack detectable server-side.
+func (c *Client) flushLocked() error {
+	c.stats.Flushes++
+	c.lastFlush = c.cfg.Clock.Now()
+	if err := c.replayLocked(); err != nil {
+		// The daemon is unreachable; spill the live queue too and let a
+		// later flush retry everything in order.
+		if errors.Is(err, ErrUnreachable) && len(c.queue) > 0 {
+			if serr := c.spillQueueLocked(); serr != nil {
+				return serr
+			}
+		}
+		return err
+	}
+	if len(c.queue) == 0 {
+		return nil
+	}
+	c.seq++
+	b := wire.Batch{
+		ID:      fmt.Sprintf("%s/%d", c.cfg.Node, c.seq),
+		Node:    c.cfg.Node,
+		Records: c.queue,
+	}
+	err := c.sendBatchLocked(b)
+	switch {
+	case err == nil:
+		c.queue = nil
+	case errors.Is(err, ErrUnreachable):
+		if c.cfg.Journal != nil {
+			if serr := c.journalBatchLocked(b); serr != nil {
+				return serr
+			}
+			c.queue = nil
+		}
+	default:
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			// Permanent: drop the poison batch.
+			c.stats.BatchesRejected++
+			c.stats.RecordsDropped += len(c.queue)
+			c.queue = nil
+		}
+	}
+	return err
+}
+
+// replayLocked redelivers spilled batches oldest-first, removing each
+// from the journal only after its ack.
+func (c *Client) replayLocked() error {
+	if c.cfg.Journal == nil {
+		return nil
+	}
+	for _, b := range c.cfg.Journal.Entries() {
+		err := c.sendBatchLocked(b)
+		var rej *RejectedError
+		switch {
+		case err == nil:
+			c.stats.BatchesReplayed++
+		case errors.As(err, &rej):
+			// The daemon will never take this batch; keeping it would
+			// wedge the journal forever.
+			c.stats.BatchesRejected++
+			c.stats.RecordsDropped += len(b.Records)
+		default:
+			return err
+		}
+		if err := c.cfg.Journal.Remove(b.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendBatchLocked delivers one batch with bounded, jittered
+// exponential backoff. It returns nil on ack, a *RejectedError on a
+// server error frame, or ErrUnreachable when attempts are exhausted.
+func (c *Client) sendBatchLocked(b wire.Batch) error {
+	f, err := wire.EncodeBatch(b)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+			c.cfg.Clock.Sleep(c.backoff(attempt))
+		}
+		if c.conn == nil {
+			conn, err := c.cfg.Dial()
+			if err != nil {
+				continue
+			}
+			c.stats.Redials++
+			c.conn = conn
+		}
+		if err := wire.WriteFrame(c.conn, f, c.cfg.MaxFramePayload); err != nil {
+			c.closeConnLocked()
+			continue
+		}
+		resp, err := wire.ReadFrame(c.conn, c.cfg.MaxFramePayload)
+		if err != nil {
+			c.closeConnLocked()
+			continue
+		}
+		switch resp.Type {
+		case wire.TypeAck:
+			ack, err := resp.AsAck()
+			if err != nil || ack.BatchID != b.ID {
+				c.closeConnLocked()
+				continue
+			}
+			c.stats.BatchesSent++
+			c.stats.RecordsSent += len(b.Records)
+			return nil
+		case wire.TypeError:
+			ef, err := resp.AsError()
+			if err != nil {
+				c.closeConnLocked()
+				continue
+			}
+			return &RejectedError{Msg: ef.Message}
+		default:
+			c.closeConnLocked()
+		}
+	}
+	return fmt.Errorf("%w: %d attempts failed for batch %s", ErrUnreachable, c.cfg.MaxAttempts, b.ID)
+}
+
+// backoff returns the delay before the given retry attempt (attempt
+// >= 1): exponential from the base, capped, scaled by a jitter factor
+// in [0.5, 1) so a fleet of clients does not retry in lockstep.
+func (c *Client) backoff(attempt int) float64 {
+	d := c.cfg.BackoffBaseSec
+	for i := 1; i < attempt && d < c.cfg.BackoffMaxSec; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffMaxSec {
+		d = c.cfg.BackoffMaxSec
+	}
+	return d * (0.5 + 0.5*c.cfg.Jitter.Float64())
+}
+
+// spillQueueLocked moves the whole queue into the journal under a
+// fresh batch ID.
+func (c *Client) spillQueueLocked() error {
+	if len(c.queue) == 0 {
+		return nil
+	}
+	c.seq++
+	b := wire.Batch{
+		ID:      fmt.Sprintf("%s/%d", c.cfg.Node, c.seq),
+		Node:    c.cfg.Node,
+		Records: c.queue,
+	}
+	if err := c.journalBatchLocked(b); err != nil {
+		return err
+	}
+	c.queue = nil
+	return nil
+}
+
+// journalBatchLocked persists one batch to the journal.
+func (c *Client) journalBatchLocked(b wire.Batch) error {
+	if err := c.cfg.Journal.Append(b); err != nil {
+		return err
+	}
+	c.stats.BatchesSpilled++
+	c.stats.RecordsSpilled += len(b.Records)
+	return nil
+}
+
+func (c *Client) closeConnLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}

@@ -1,0 +1,45 @@
+package eardbd
+
+import "sync"
+
+// Clock is the client's only source of time: flush pacing and backoff
+// sleeps go through it, never through the wall clock. Production
+// callers (the cmd/ binaries) supply a wall-clock implementation;
+// tests and the closed-loop simulations supply a FakeClock, which is
+// what makes client behaviour byte-reproducible. Times are seconds,
+// matching the simulator's time base.
+type Clock interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// Sleep blocks for sec seconds.
+	Sleep(sec float64)
+}
+
+// FakeClock is a deterministic Clock: Sleep advances the reading
+// instead of blocking. It is safe for concurrent use.
+type FakeClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// NewFakeClock returns a FakeClock reading start seconds.
+func NewFakeClock(start float64) *FakeClock { return &FakeClock{now: start} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing the reading.
+func (c *FakeClock) Sleep(sec float64) { c.Advance(sec) }
+
+// Advance moves the clock forward by sec seconds.
+func (c *FakeClock) Advance(sec float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sec > 0 {
+		c.now += sec
+	}
+}

@@ -1,0 +1,132 @@
+package eardbd
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"goear/internal/eard"
+	"goear/internal/eargm"
+	"goear/internal/par"
+)
+
+// runClosedLoop drives the full reporting tier deterministically: N
+// simulated nodes, each with its own client over net.Pipe, stream job
+// records into one eardbd server under `workers` concurrent feeders;
+// the eargm budget ratchet then runs off the server's aggregate. It
+// returns a rendered transcript of everything observable — aggregate,
+// node powers, job summaries, cap trace, manager stats — which must be
+// byte-identical whatever the worker count or repetition.
+func runClosedLoop(t *testing.T, nodes, workers int) string {
+	t.Helper()
+	db := eard.NewDB()
+	srv := NewServer(db, Config{})
+
+	err := par.ForEach(workers, nodes, func(i int) error {
+		node := fmt.Sprintf("n%02d", i)
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		c, err := NewClient(ClientConfig{
+			Node:         node,
+			Dial:         pipeDialer(srv, nil),
+			Clock:        NewFakeClock(0),
+			Jitter:       rand.New(rand.NewSource(int64(i))),
+			BatchRecords: 4,
+		})
+		if err != nil {
+			return err
+		}
+		// Each node reports the same deterministic job mix: per-node
+		// power varies with a seeded generator, keys are unique.
+		for j := 0; j < 10; j++ {
+			power := 250 + 40*rng.Float64()
+			r := eard.JobRecord{
+				JobID: fmt.Sprintf("job%d", j%3), StepID: fmt.Sprint(j / 3), Node: node,
+				App: "BT-MZ.C", Policy: "min_energy",
+				TimeSec: 120, EnergyJ: power * 120, AvgPower: power,
+				AvgCPU: 2.1, AvgIMC: 2.4,
+			}
+			if err := c.Enqueue(r); err != nil {
+				return err
+			}
+		}
+		return c.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The global manager derives cluster DC power from the eardbd
+	// aggregate instead of being handed numbers.
+	m, err := eargm.New(eargm.Config{BudgetW: 260 * float64(nodes), MaxCapPstate: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := eargm.Drive(m, srv, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for _, v := range []any{srv.Aggregate(), srv.NodePowers(), srv.jobSummaries(), caps, m.Stats()} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Order-independent activity counters (per-connection error paths
+	// never fire here, and every batch is fresh).
+	st := srv.Stats()
+	fmt.Fprintf(&b, "batches=%d accepted=%d dup=%d replaced=%d rejected=%d proto=%d\n",
+		st.Batches, st.RecordsAccepted, st.RecordsDuplicate, st.RecordsReplaced,
+		st.BatchesRejected, st.ProtocolErrors)
+	return b.String()
+}
+
+// TestClosedLoopDeterminism pins the tentpole contract: the node →
+// eardbd → eargm pipeline produces byte-identical aggregates across
+// repeated runs and across feeder worker counts.
+func TestClosedLoopDeterminism(t *testing.T) {
+	const nodes = 8
+	ref := runClosedLoop(t, nodes, 1)
+	if !strings.Contains(ref, "accepted=80") {
+		t.Fatalf("transcript missing the %d records:\n%s", nodes*10, ref)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for rep := 0; rep < 2; rep++ {
+			got := runClosedLoop(t, nodes, workers)
+			if got != ref {
+				t.Fatalf("workers=%d rep=%d transcript differs:\n--- want\n%s--- got\n%s", workers, rep, ref, got)
+			}
+		}
+	}
+}
+
+// TestClosedLoopRatchetsUnderBudget checks the control outcome, not
+// just its determinism: with the budget below the uncapped draw the
+// manager must impose a cap, visible in the event trace.
+func TestClosedLoopRatchetsUnderBudget(t *testing.T) {
+	out := runClosedLoop(t, 8, 4)
+	var agg Aggregate
+	if err := json.Unmarshal([]byte(out[:strings.Index(out, "\n")]), &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Nodes != 8 || agg.Records != 80 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if agg.TotalPowerW <= 260*8 {
+		t.Fatalf("seeded powers landed under budget, test fixture broken: %g", agg.TotalPowerW)
+	}
+	if !strings.Contains(out, `"FinalCap":`) {
+		t.Fatalf("transcript lacks manager stats:\n%s", out)
+	}
+	var m eargm.Stats
+	lines := strings.Split(out, "\n")
+	if err := json.Unmarshal([]byte(lines[4]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.FinalCap == 0 {
+		t.Errorf("manager left the cluster uncapped over budget: %+v", m)
+	}
+}

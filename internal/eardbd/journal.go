@@ -1,0 +1,174 @@
+package eardbd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"goear/internal/wire"
+)
+
+// Journal is the client's local spill store: batches the daemon could
+// not be reached for are appended here and replayed on reconnect.
+// Entries keep the batch ID they were first sent under, so a replay of
+// a batch whose ack was lost is recognized server-side and dropped —
+// the exactly-once half of the degradation contract.
+//
+// The on-disk format is JSON lines, one wire.Batch per line, appended
+// synchronously. Removal (after a successful replay) compacts the file
+// through a temp-file rename. A journal opened with an empty path
+// lives purely in memory, which the deterministic tests use.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	entries []wire.Batch
+}
+
+// OpenJournal opens (or creates) the journal at path, loading any
+// batches a previous run spilled. A line cut short by a crash mid-
+// append is tolerated if and only if it is the final line: the partial
+// tail is discarded and overwritten by the next append. Malformed
+// content anywhere else is corruption and errors. An empty path
+// returns a memory-only journal.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path}
+	if path == "" {
+		return j, nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("eardbd: open journal: %w", err)
+	}
+	// Read-only descriptor: no buffered writes to lose on close.
+	defer func() { _ = f.Close() }()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the final one: corruption.
+			return nil, pendingErr
+		}
+		var b wire.Batch
+		if err := json.Unmarshal(line, &b); err != nil {
+			pendingErr = fmt.Errorf("eardbd: journal %s corrupt: %w", path, err)
+			continue
+		}
+		j.entries = append(j.entries, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eardbd: read journal: %w", err)
+	}
+	if pendingErr != nil {
+		// Crash-truncated tail: drop it and rewrite the surviving prefix.
+		if err := j.rewrite(); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Append spills one batch, persisting before returning so a crash
+// after Append cannot lose it.
+func (j *Journal) Append(b wire.Batch) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.path != "" {
+		line, err := json.Marshal(b)
+		if err != nil {
+			return fmt.Errorf("eardbd: encode journal entry: %w", err)
+		}
+		f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("eardbd: append journal: %w", err)
+		}
+		_, werr := f.Write(append(line, '\n'))
+		serr := f.Sync()
+		cerr := f.Close()
+		for _, err := range []error{werr, serr, cerr} {
+			if err != nil {
+				return fmt.Errorf("eardbd: append journal: %w", err)
+			}
+		}
+	}
+	j.entries = append(j.entries, b)
+	return nil
+}
+
+// Remove drops the batch with the given ID (after its replay was
+// acknowledged) and compacts the file.
+func (j *Journal) Remove(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	kept := j.entries[:0]
+	for _, b := range j.entries {
+		if b.ID != id {
+			kept = append(kept, b)
+		}
+	}
+	j.entries = kept
+	return j.rewrite()
+}
+
+// Entries returns a copy of the spilled batches, oldest first.
+func (j *Journal) Entries() []wire.Batch {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]wire.Batch, len(j.entries))
+	copy(out, j.entries)
+	return out
+}
+
+// Len returns the number of spilled batches.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// rewrite persists the in-memory entries atomically. Callers hold mu.
+func (j *Journal) rewrite() error {
+	if j.path == "" {
+		return nil
+	}
+	if len(j.entries) == 0 {
+		if err := os.Remove(j.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("eardbd: clear journal: %w", err)
+		}
+		return nil
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("eardbd: rewrite journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, b := range j.entries {
+		if err := enc.Encode(b); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("eardbd: rewrite journal: %w", err)
+		}
+	}
+	ferr := w.Flush()
+	serr := f.Sync()
+	cerr := f.Close()
+	for _, err := range []error{ferr, serr, cerr} {
+		if err != nil {
+			return fmt.Errorf("eardbd: rewrite journal: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("eardbd: rewrite journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package eardbd
+
+import (
+	"fmt"
+	"net"
+
+	"goear/internal/wire"
+)
+
+// Query performs one snapshot query over an open connection: the
+// admin-tool side of the protocol (earctl dbd). A server error frame
+// comes back as an error; maxPayload <= 0 uses the wire default.
+func Query(conn net.Conn, q wire.Query, maxPayload int) (wire.Result, error) {
+	qf, err := wire.EncodeQuery(q)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	if err := wire.WriteFrame(conn, qf, maxPayload); err != nil {
+		return wire.Result{}, err
+	}
+	resp, err := wire.ReadFrame(conn, maxPayload)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	switch resp.Type {
+	case wire.TypeResult:
+		return resp.AsResult()
+	case wire.TypeError:
+		ef, err := resp.AsError()
+		if err != nil {
+			return wire.Result{}, err
+		}
+		return wire.Result{}, fmt.Errorf("eardbd: server: %s", ef.Message)
+	default:
+		return wire.Result{}, fmt.Errorf("eardbd: unexpected %s response to query", resp.Type)
+	}
+}

@@ -1,0 +1,432 @@
+// Package eardbd implements EAR's database daemon tier. In the EAR
+// framework the per-node daemons (package eard holds their accounting
+// schema) do not talk to the cluster database directly: they stream
+// job records to an intermediate aggregation daemon, EARDBD, which
+// batches, validates and deduplicates the traffic, and which the
+// global manager (package eargm) polls for the cluster power view.
+//
+// This package provides both halves of that tier: a Server that
+// accepts wire-framed record batches over TCP or unix sockets and
+// folds them into an eard.DB, and a Client that node-side code uses
+// to ship records — buffering in a bounded queue, flushing on size and
+// interval triggers, retrying with jittered exponential backoff, and
+// spilling to a local journal when the daemon is unreachable so that
+// telemetry loss never perturbs the measured workload.
+package eardbd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"goear/internal/eard"
+	"goear/internal/wire"
+)
+
+// Config bounds the server's exposure to any single connection.
+type Config struct {
+	// MaxFramePayload caps one frame's payload bytes (default
+	// wire.DefaultMaxPayload). Larger frames are refused before their
+	// payload is read, so a hostile length prefix cannot balloon memory.
+	MaxFramePayload int
+	// MaxBatchRecords caps records per batch (default 1024).
+	MaxBatchRecords int
+	// MaxSeenBatches bounds the batch-ID dedup window (default 65536).
+	// Oldest IDs are evicted first; an eviction only matters if a client
+	// replays a batch older than the window, and even then the replay is
+	// caught record-by-record against the database.
+	MaxSeenBatches int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFramePayload <= 0 {
+		c.MaxFramePayload = wire.DefaultMaxPayload
+	}
+	if c.MaxBatchRecords <= 0 {
+		c.MaxBatchRecords = 1024
+	}
+	if c.MaxSeenBatches <= 0 {
+		c.MaxSeenBatches = 1 << 16
+	}
+	return c
+}
+
+// Stats counts server activity since start.
+type Stats struct {
+	Connections      int `json:"connections"`
+	Batches          int `json:"batches"`
+	DuplicateBatches int `json:"duplicate_batches"`
+	RecordsAccepted  int `json:"records_accepted"`
+	RecordsDuplicate int `json:"records_duplicate"`
+	RecordsReplaced  int `json:"records_replaced"`
+	BatchesRejected  int `json:"batches_rejected"`
+	ProtocolErrors   int `json:"protocol_errors"`
+	Queries          int `json:"queries"`
+}
+
+// Aggregate is the cluster-level view the global manager polls: how
+// many nodes have reported, their summed last-known DC power, and the
+// accounted energy so far.
+type Aggregate struct {
+	Nodes        int     `json:"nodes"`
+	TotalPowerW  float64 `json:"total_power_w"`
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	Records      int     `json:"records"`
+}
+
+// Server is the aggregation daemon. One Server may serve several
+// listeners (a TCP port and a unix socket, say) concurrently.
+type Server struct {
+	cfg Config
+	db  *eard.DB
+
+	mu        sync.Mutex
+	seen      map[string]bool
+	seenQueue []string // FIFO eviction order for seen
+	nodeW     map[string]float64
+	stats     Stats
+
+	connMu    sync.Mutex
+	closed    bool
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+}
+
+// NewServer builds a server folding records into db.
+func NewServer(db *eard.DB, cfg Config) *Server {
+	return &Server{
+		cfg:       cfg.withDefaults(),
+		db:        db,
+		seen:      map[string]bool{},
+		nodeW:     map[string]float64{},
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
+	}
+}
+
+// DB exposes the backing database (for persistence by the daemon
+// binary).
+func (s *Server) DB() *eard.DB { return s.db }
+
+// Serve accepts connections on l until the listener fails or the
+// server is closed; Close makes it return nil. Each connection is
+// handled on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		if err := l.Close(); err != nil {
+			return fmt.Errorf("eardbd: close listener of closed server: %w", err)
+		}
+		return errors.New("eardbd: server is closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.connMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.connMu.Lock()
+			closed := s.closed
+			delete(s.listeners, l)
+			s.connMu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("eardbd: accept: %w", err)
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.connMu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// Close stops all listeners, severs live connections and waits for
+// their handlers.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for l := range s.listeners {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for c := range s.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return firstErr
+}
+
+// ServeConn speaks the wire protocol on one connection until EOF or a
+// protocol error, then closes it. It is exported so tests and
+// simulations can serve synthetic transports (net.Pipe) without a
+// listener.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	s.mu.Lock()
+	s.stats.Connections++
+	s.mu.Unlock()
+	for {
+		f, err := wire.ReadFrame(conn, s.cfg.MaxFramePayload)
+		if err != nil {
+			// A peer hanging up between frames (EOF, or a closed pipe in
+			// simulated transports) is a normal disconnect, not a protocol
+			// violation.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, net.ErrClosed) {
+				s.countProtocolError()
+				s.reply(conn, mustError(err.Error()))
+			}
+			return
+		}
+		switch f.Type {
+		case wire.TypeBatch:
+			ok := s.handleBatch(conn, f)
+			if !ok {
+				return
+			}
+		case wire.TypeQuery:
+			ok := s.handleQuery(conn, f)
+			if !ok {
+				return
+			}
+		default:
+			s.countProtocolError()
+			s.reply(conn, mustError(fmt.Sprintf("unexpected %s frame", f.Type)))
+			return
+		}
+	}
+}
+
+// handleBatch validates, deduplicates and stores one batch, then
+// acks. It reports whether the connection should stay open.
+func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
+	b, err := f.AsBatch()
+	if err != nil {
+		s.countProtocolError()
+		s.reply(conn, mustError(err.Error()))
+		return false
+	}
+	if b.ID == "" {
+		s.rejectBatch(conn, "batch has no id")
+		return true
+	}
+	if len(b.Records) > s.cfg.MaxBatchRecords {
+		s.rejectBatch(conn, fmt.Sprintf("batch %s holds %d records, limit %d", b.ID, len(b.Records), s.cfg.MaxBatchRecords))
+		return true
+	}
+	for _, r := range b.Records {
+		if err := r.Validate(); err != nil {
+			s.rejectBatch(conn, fmt.Sprintf("batch %s: %v", b.ID, err))
+			return true
+		}
+	}
+
+	s.mu.Lock()
+	if s.seen[b.ID] {
+		s.stats.Batches++
+		s.stats.DuplicateBatches++
+		s.mu.Unlock()
+		return s.reply(conn, mustAck(wire.Ack{BatchID: b.ID, Duplicate: len(b.Records)}))
+	}
+	s.mu.Unlock()
+
+	ack := wire.Ack{BatchID: b.ID}
+	for _, r := range b.Records {
+		prev, exists := s.db.Get(r.JobID, r.StepID, r.Node)
+		switch {
+		case exists && prev == r:
+			// Identical re-delivery (e.g. the batch-ID window evicted a
+			// replayed batch): nothing to store.
+			ack.Duplicate++
+			continue
+		case exists:
+			ack.Replaced++
+		default:
+			ack.Accepted++
+		}
+		if err := s.db.Insert(r); err != nil {
+			// Validate passed above; an insert failure here is a bug, not
+			// client traffic. Surface it and drop the connection.
+			s.countProtocolError()
+			s.reply(conn, mustError(fmt.Sprintf("store batch %s: %v", b.ID, err)))
+			return false
+		}
+	}
+
+	s.mu.Lock()
+	s.stats.Batches++
+	s.stats.RecordsAccepted += ack.Accepted
+	s.stats.RecordsDuplicate += ack.Duplicate
+	s.stats.RecordsReplaced += ack.Replaced
+	for _, r := range b.Records {
+		s.nodeW[r.Node] = r.AvgPower
+	}
+	s.seen[b.ID] = true
+	s.seenQueue = append(s.seenQueue, b.ID)
+	for len(s.seenQueue) > s.cfg.MaxSeenBatches {
+		delete(s.seen, s.seenQueue[0])
+		s.seenQueue = s.seenQueue[1:]
+	}
+	s.mu.Unlock()
+	return s.reply(conn, mustAck(ack))
+}
+
+// handleQuery answers one snapshot query. It reports whether the
+// connection should stay open.
+func (s *Server) handleQuery(conn net.Conn, f wire.Frame) bool {
+	q, err := f.AsQuery()
+	if err != nil {
+		s.countProtocolError()
+		s.reply(conn, mustError(err.Error()))
+		return false
+	}
+	s.mu.Lock()
+	s.stats.Queries++
+	s.mu.Unlock()
+	var resp wire.Frame
+	switch q.Kind {
+	case wire.QueryStats:
+		resp, err = wire.EncodeResult(q.Kind, s.Stats())
+	case wire.QueryAggregate:
+		resp, err = wire.EncodeResult(q.Kind, s.Aggregate())
+	case wire.QueryJobs:
+		resp, err = wire.EncodeResult(q.Kind, s.jobSummaries())
+	case wire.QuerySummary:
+		var sum eard.JobSummary
+		sum, err = s.db.Summarize(q.Job, q.Step)
+		if err == nil {
+			resp, err = wire.EncodeResult(q.Kind, sum)
+		}
+	default:
+		s.reply(conn, mustError(fmt.Sprintf("unknown query kind %q", q.Kind)))
+		return true
+	}
+	if err != nil {
+		s.reply(conn, mustError(err.Error()))
+		return true
+	}
+	return s.reply(conn, resp)
+}
+
+// jobSummaries summarizes every (job, step) pair, in db.Jobs order.
+func (s *Server) jobSummaries() []eard.JobSummary {
+	jobs := s.db.Jobs()
+	out := make([]eard.JobSummary, 0, len(jobs))
+	for _, js := range jobs {
+		sum, err := s.db.Summarize(js[0], js[1])
+		if err != nil {
+			// A job listed by Jobs always has records; a race with a
+			// concurrent Load is the only path here. Skip it.
+			continue
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Aggregate returns the cluster view: node count, summed last-known
+// node power, total accounted energy and record count.
+func (s *Server) Aggregate() Aggregate {
+	powers := s.NodePowers()
+	agg := Aggregate{Nodes: len(powers), Records: s.db.Len()}
+	for _, p := range powers {
+		agg.TotalPowerW += p
+	}
+	for _, sum := range s.jobSummaries() {
+		agg.TotalEnergyJ += sum.EnergyJ
+	}
+	return agg
+}
+
+// NodePowers implements eargm.PowerSource: the last reported DC power
+// of every node, ordered by node name so the feed is deterministic.
+func (s *Server) NodePowers() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.nodeW))
+	for n := range s.nodeW {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]float64, len(names))
+	for i, n := range names {
+		out[i] = s.nodeW[n]
+	}
+	return out
+}
+
+func (s *Server) countProtocolError() {
+	s.mu.Lock()
+	s.stats.ProtocolErrors++
+	s.mu.Unlock()
+}
+
+// rejectBatch counts and reports a permanent (non-retryable) batch
+// rejection while keeping the connection open.
+func (s *Server) rejectBatch(conn net.Conn, msg string) {
+	s.mu.Lock()
+	s.stats.BatchesRejected++
+	s.mu.Unlock()
+	s.reply(conn, mustError(msg))
+}
+
+// reply best-effort writes a frame; a failed write means the peer is
+// gone, which the caller treats as connection end.
+func (s *Server) reply(conn net.Conn, f wire.Frame) bool {
+	if err := wire.WriteFrame(conn, f, s.cfg.MaxFramePayload); err != nil {
+		return false
+	}
+	return true
+}
+
+// mustError encodes an error frame; encoding a plain string cannot
+// fail.
+func mustError(msg string) wire.Frame {
+	f, err := wire.EncodeError(msg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// mustAck encodes an ack frame; encoding the fixed Ack struct cannot
+// fail.
+func mustAck(a wire.Ack) wire.Frame {
+	f, err := wire.EncodeAck(a)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,40 @@
+package eargm
+
+import "fmt"
+
+// PowerSource supplies the per-node DC power view the manager ratchets
+// against. In EAR's deployment the global manager does not meter nodes
+// itself — it polls the database daemon's aggregated telemetry — so
+// the manager takes its input through this interface instead of being
+// handed raw numbers. The eardbd server implements it from the last
+// record each node reported; implementations must return nodes in a
+// deterministic order.
+type PowerSource interface {
+	// NodePowers returns the current per-node DC power in watts.
+	NodePowers() []float64
+}
+
+// UpdateFrom polls src and applies one ratchet step, the EARGM control
+// loop body when the power view comes from an EARDBD aggregate.
+func (m *Manager) UpdateFrom(now float64, src PowerSource) (int, error) {
+	return m.Update(now, src.NodePowers())
+}
+
+// Drive runs steps control intervals against src starting at start
+// seconds, pacing by the manager's configured interval, and returns
+// the cap trace. It is the headless form of the EARGM daemon loop:
+// deterministic, clockless, driven entirely by the source's state.
+func Drive(m *Manager, src PowerSource, start float64, steps int) ([]int, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("eargm: negative step count %d", steps)
+	}
+	caps := make([]int, 0, steps)
+	for i := 0; i < steps; i++ {
+		cap, err := m.UpdateFrom(start+float64(i)*m.Interval(), src)
+		if err != nil {
+			return caps, err
+		}
+		caps = append(caps, cap)
+	}
+	return caps, nil
+}

@@ -1,0 +1,86 @@
+package eargm
+
+import "testing"
+
+// respondingSource models a cluster whose draw responds to the cap the
+// manager imposed on the previous interval — the feedback shape of the
+// real eardbd → eargm loop.
+type respondingSource struct {
+	m        *Manager
+	nodes    int
+	baseW    float64
+	shedFrac float64
+}
+
+func (s *respondingSource) NodePowers() []float64 {
+	p := s.baseW * (1 - s.shedFrac*float64(s.m.Cap()))
+	out := make([]float64, s.nodes)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func TestDriveConvergesFromSource(t *testing.T) {
+	m, err := New(Config{BudgetW: 1000, MaxCapPstate: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &respondingSource{m: m, nodes: 4, baseW: 280, shedFrac: 0.06}
+	caps, err := Drive(m, src, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 40 {
+		t.Fatalf("trace length = %d, want 40", len(caps))
+	}
+	final := caps[len(caps)-1]
+	if final == 0 {
+		t.Fatal("cap released although uncapped draw exceeds the budget")
+	}
+	for _, c := range caps[len(caps)-10:] {
+		if c != final {
+			t.Fatalf("cap still oscillating: %v", caps[len(caps)-10:])
+		}
+	}
+	// Drive paced by the manager interval: the event timestamps step by
+	// Interval().
+	evs := m.Events()
+	if len(evs) != 40 {
+		t.Fatalf("events = %d, want 40", len(evs))
+	}
+	for i, ev := range evs {
+		if want := float64(i) * m.Interval(); ev.TimeSec != want {
+			t.Fatalf("event %d at t=%g, want %g", i, ev.TimeSec, want)
+		}
+	}
+}
+
+func TestDriveNegativeSteps(t *testing.T) {
+	m, err := New(Config{BudgetW: 1000, MaxCapPstate: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drive(m, &respondingSource{m: m}, 0, -1); err == nil {
+		t.Error("negative steps accepted")
+	}
+}
+
+func TestDrivePropagatesSourceErrors(t *testing.T) {
+	m, err := New(Config{BudgetW: 1000, MaxCapPstate: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := badSource{}
+	caps, err := Drive(m, bad, 0, 5)
+	if err == nil {
+		t.Fatal("negative node power accepted")
+	}
+	if len(caps) != 0 {
+		t.Errorf("trace after failed first step = %v", caps)
+	}
+}
+
+type badSource struct{}
+
+func (badSource) NodePowers() []float64 { return []float64{-1} }

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"goear/internal/eard"
+)
+
+// FuzzFrame hammers the decoder with arbitrary bytes and checks the
+// codec's two safety contracts: decoding never panics whatever the
+// input (malformed length prefixes, truncated payloads, version skew
+// all surface as errors), and any frame that does decode re-encodes
+// byte-identically — the codec has one canonical wire form.
+func FuzzFrame(f *testing.F) {
+	// Seed with well-formed frames of every type ...
+	batch, err := EncodeBatch(Batch{ID: "n01/1", Node: "n01", Records: []eard.JobRecord{
+		{JobID: "1", StepID: "0", Node: "n01", TimeSec: 1, EnergyJ: 100, AvgPower: 100},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []Frame{batch}
+	if ack, err := EncodeAck(Ack{BatchID: "n01/1", Accepted: 1}); err == nil {
+		seeds = append(seeds, ack)
+	}
+	if ef, err := EncodeError("boom"); err == nil {
+		seeds = append(seeds, ef)
+	}
+	if q, err := EncodeQuery(Query{Kind: QueryStats}); err == nil {
+		seeds = append(seeds, q)
+	}
+	for _, s := range seeds {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, s, 0); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// ... and with deliberately broken headers: bad magic, future
+	// version, unknown type, reserved flags, lying length prefixes.
+	f.Add(header(0xDEADBEEF, Version, 2, 0, 0))
+	f.Add(header(Magic, Version+3, 2, 0, 0))
+	f.Add(header(Magic, Version, 250, 0, 0))
+	f.Add(header(Magic, Version, 2, 0xFFFF, 0))
+	f.Add(header(Magic, Version, 2, 0, 0xFFFFFFFF))
+	f.Add(append(header(Magic, Version, 2, 0, 100), "short"...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data), 4096)
+		if err != nil {
+			// Every failure must be a typed protocol error, a JSON-level
+			// error is impossible here (payload bytes are opaque), and EOF
+			// conditions must be the io sentinels.
+			if errors.Is(err, ErrMagic) || errors.Is(err, ErrVersion) ||
+				errors.Is(err, ErrType) || errors.Is(err, ErrFlags) ||
+				errors.Is(err, ErrTooLarge) || errors.Is(err, io.EOF) ||
+				errors.Is(err, io.ErrUnexpectedEOF) {
+				return
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		// Decoded frames re-encode to the exact consumed bytes.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr, 4096); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		if want := data[:headerLen+len(fr.Payload)]; !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("re-encode differs:\n got %x\nwant %x", buf.Bytes(), want)
+		}
+		// Typed payload decoding must never panic either, whatever JSON
+		// (or non-JSON) the payload holds.
+		switch fr.Type {
+		case TypeBatch:
+			_, _ = fr.AsBatch()
+		case TypeAck:
+			_, _ = fr.AsAck()
+		case TypeError:
+			_, _ = fr.AsError()
+		case TypeQuery:
+			_, _ = fr.AsQuery()
+		case TypeResult:
+			_, _ = fr.AsResult()
+		}
+	})
+}

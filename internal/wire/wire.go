@@ -1,0 +1,288 @@
+// Package wire is the framed protocol spoken between EAR's node-side
+// reporting clients and the database daemon (package eardbd). EAR's
+// real deployment streams job signatures from every node daemon to
+// EARDBD over plain sockets; this codec reproduces that surface with a
+// length-prefixed, versioned binary header and JSON payloads, so the
+// transport stays inspectable while the framing stays strict.
+//
+// Every frame is
+//
+//	magic   uint32  "EARW"
+//	version uint8   protocol version, currently 1
+//	type    uint8   frame type (batch, ack, error, query, result)
+//	flags   uint16  reserved, must be zero
+//	length  uint32  payload byte count
+//	payload [length]byte, JSON
+//
+// all big-endian. Decoding is defensive: bad magic, unknown versions,
+// unknown types, oversized lengths and truncated payloads are errors,
+// never panics — the daemon must survive arbitrary bytes on its
+// listening socket.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"goear/internal/eard"
+)
+
+// Magic identifies a goear wire frame ("EARW").
+const Magic uint32 = 0x45415257
+
+// Version is the protocol version this package speaks. Decoding a
+// frame with any other version fails with ErrVersion: version skew is
+// surfaced to the peer instead of being misparsed.
+const Version uint8 = 1
+
+// headerLen is the fixed frame header size in bytes.
+const headerLen = 12
+
+// DefaultMaxPayload bounds a frame payload unless the caller chooses
+// its own limit. One megabyte comfortably holds the largest record
+// batch a client may send while keeping a malicious length prefix from
+// ballooning server memory.
+const DefaultMaxPayload = 1 << 20
+
+// Type enumerates the frame kinds.
+type Type uint8
+
+const (
+	// TypeBatch carries a Batch of job records, client to server.
+	TypeBatch Type = iota + 1
+	// TypeAck acknowledges a batch, server to client.
+	TypeAck
+	// TypeError reports a protocol or validation failure.
+	TypeError
+	// TypeQuery asks the server for a snapshot (stats, aggregate, ...).
+	TypeQuery
+	// TypeResult carries a query response.
+	TypeResult
+
+	typeEnd // one past the last valid type
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeBatch:
+		return "batch"
+	case TypeAck:
+		return "ack"
+	case TypeError:
+		return "error"
+	case TypeQuery:
+		return "query"
+	case TypeResult:
+		return "result"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Decoding error values, matchable with errors.Is.
+var (
+	ErrMagic    = errors.New("wire: bad magic")
+	ErrVersion  = errors.New("wire: protocol version skew")
+	ErrType     = errors.New("wire: unknown frame type")
+	ErrFlags    = errors.New("wire: reserved flags set")
+	ErrTooLarge = errors.New("wire: frame exceeds payload limit")
+)
+
+// Frame is one decoded frame: a type and its raw JSON payload.
+type Frame struct {
+	Type    Type
+	Payload []byte
+}
+
+// WriteFrame encodes f to w. Writing a frame larger than maxPayload is
+// refused so a misconfigured client fails locally rather than being
+// dropped by the server; maxPayload <= 0 means DefaultMaxPayload.
+func WriteFrame(w io.Writer, f Frame, maxPayload int) error {
+	if f.Type == 0 || f.Type >= typeEnd {
+		return fmt.Errorf("%w: %d", ErrType, uint8(f.Type))
+	}
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if len(f.Payload) > maxPayload {
+		return fmt.Errorf("%w: %d bytes > limit %d", ErrTooLarge, len(f.Payload), maxPayload)
+	}
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	hdr[4] = Version
+	hdr[5] = uint8(f.Type)
+	binary.BigEndian.PutUint16(hdr[6:8], 0)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r, refusing payloads larger than
+// maxPayload (<= 0 means DefaultMaxPayload). A clean EOF before any
+// header byte returns io.EOF; a header or payload cut short returns an
+// error wrapping io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("wire: read header: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(hdr[0:4]); got != Magic {
+		return Frame{}, fmt.Errorf("%w: 0x%08X", ErrMagic, got)
+	}
+	if hdr[4] != Version {
+		return Frame{}, fmt.Errorf("%w: peer speaks version %d, this side %d", ErrVersion, hdr[4], Version)
+	}
+	t := Type(hdr[5])
+	if t == 0 || t >= typeEnd {
+		return Frame{}, fmt.Errorf("%w: %d", ErrType, hdr[5])
+	}
+	if flags := binary.BigEndian.Uint16(hdr[6:8]); flags != 0 {
+		return Frame{}, fmt.Errorf("%w: 0x%04X", ErrFlags, flags)
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if int64(n) > int64(maxPayload) {
+		return Frame{}, fmt.Errorf("%w: %d bytes > limit %d", ErrTooLarge, n, maxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			// The header promised n payload bytes; any shortfall is a
+			// truncated frame, even at zero bytes read.
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return Frame{Type: t, Payload: payload}, nil
+}
+
+// Batch is the unit a client ships: records under a client-assigned
+// identifier. The ID is what makes journal replay exactly-once — a
+// batch resent after a lost ack carries the same ID and the server
+// drops the duplicate.
+type Batch struct {
+	ID      string           `json:"id"`
+	Node    string           `json:"node"`
+	Records []eard.JobRecord `json:"records"`
+}
+
+// Ack acknowledges one batch. Accepted counts fresh records,
+// Duplicate identical re-deliveries, Replaced records that updated an
+// existing (job, step, node) entry with different content.
+type Ack struct {
+	BatchID   string `json:"batch_id"`
+	Accepted  int    `json:"accepted"`
+	Duplicate int    `json:"duplicate"`
+	Replaced  int    `json:"replaced"`
+}
+
+// ErrorFrame reports a failure to the peer.
+type ErrorFrame struct {
+	Message string `json:"message"`
+}
+
+// Query asks the server for a snapshot. Kind selects the view; Job
+// and Step scope the "summary" kind.
+type Query struct {
+	Kind string `json:"kind"`
+	Job  string `json:"job,omitempty"`
+	Step string `json:"step,omitempty"`
+}
+
+// Query kinds.
+const (
+	QueryStats     = "stats"
+	QueryAggregate = "aggregate"
+	QueryJobs      = "jobs"
+	QuerySummary   = "summary"
+)
+
+// Result wraps a query response as raw JSON for the caller to decode
+// into the kind-specific shape.
+type Result struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// EncodeBatch builds a TypeBatch frame.
+func EncodeBatch(b Batch) (Frame, error) { return marshal(TypeBatch, b) }
+
+// EncodeAck builds a TypeAck frame.
+func EncodeAck(a Ack) (Frame, error) { return marshal(TypeAck, a) }
+
+// EncodeError builds a TypeError frame.
+func EncodeError(msg string) (Frame, error) { return marshal(TypeError, ErrorFrame{Message: msg}) }
+
+// EncodeQuery builds a TypeQuery frame.
+func EncodeQuery(q Query) (Frame, error) { return marshal(TypeQuery, q) }
+
+// EncodeResult builds a TypeResult frame around already-encoded data.
+func EncodeResult(kind string, data any) (Frame, error) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return Frame{}, fmt.Errorf("wire: encode result data: %w", err)
+	}
+	return marshal(TypeResult, Result{Kind: kind, Data: raw})
+}
+
+func marshal(t Type, v any) (Frame, error) {
+	p, err := json.Marshal(v)
+	if err != nil {
+		return Frame{}, fmt.Errorf("wire: encode %s: %w", t, err)
+	}
+	return Frame{Type: t, Payload: p}, nil
+}
+
+// AsBatch decodes a TypeBatch frame.
+func (f Frame) AsBatch() (Batch, error) {
+	var b Batch
+	return b, f.unmarshal(TypeBatch, &b)
+}
+
+// AsAck decodes a TypeAck frame.
+func (f Frame) AsAck() (Ack, error) {
+	var a Ack
+	return a, f.unmarshal(TypeAck, &a)
+}
+
+// AsError decodes a TypeError frame.
+func (f Frame) AsError() (ErrorFrame, error) {
+	var e ErrorFrame
+	return e, f.unmarshal(TypeError, &e)
+}
+
+// AsQuery decodes a TypeQuery frame.
+func (f Frame) AsQuery() (Query, error) {
+	var q Query
+	return q, f.unmarshal(TypeQuery, &q)
+}
+
+// AsResult decodes a TypeResult frame.
+func (f Frame) AsResult() (Result, error) {
+	var r Result
+	return r, f.unmarshal(TypeResult, &r)
+}
+
+func (f Frame) unmarshal(want Type, v any) error {
+	if f.Type != want {
+		return fmt.Errorf("wire: frame is %s, not %s", f.Type, want)
+	}
+	if err := json.Unmarshal(f.Payload, v); err != nil {
+		return fmt.Errorf("wire: decode %s payload: %w", want, err)
+	}
+	return nil
+}

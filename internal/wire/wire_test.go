@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"goear/internal/eard"
+)
+
+func testRecords() []eard.JobRecord {
+	return []eard.JobRecord{
+		{JobID: "1001", StepID: "0", Node: "n01", App: "BT-MZ.C", Policy: "min_energy",
+			TimeSec: 120.5, EnergyJ: 36000, AvgPower: 298.8, AvgCPU: 2.1, AvgIMC: 2.4, AvgCPI: 0.61, AvgGBs: 48.2},
+		{JobID: "1001", StepID: "0", Node: "n02", App: "BT-MZ.C", Policy: "min_energy",
+			TimeSec: 119.8, EnergyJ: 35800, AvgPower: 298.8},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := Batch{ID: "n01/1", Node: "n01", Records: testRecords()}
+	f, err := EncodeBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := got.AsBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Node != in.Node || len(out.Records) != len(in.Records) {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	for i := range in.Records {
+		if out.Records[i] != in.Records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, out.Records[i], in.Records[i])
+		}
+	}
+}
+
+func TestAckErrorQueryResultRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{}
+	for _, mk := range []func() (Frame, error){
+		func() (Frame, error) { return EncodeAck(Ack{BatchID: "n01/7", Accepted: 3, Duplicate: 1}) },
+		func() (Frame, error) { return EncodeError("bad batch") },
+		func() (Frame, error) { return EncodeQuery(Query{Kind: QuerySummary, Job: "1001", Step: "0"}) },
+		func() (Frame, error) { return EncodeResult(QueryJobs, []string{"1001"}) },
+	} {
+		f, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+		if err := WriteFrame(&buf, f, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range frames {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != frames[i].Type {
+			t.Fatalf("frame %d type = %s, want %s", i, got.Type, frames[i].Type)
+		}
+	}
+	// The stream is drained: the next read is a clean EOF.
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Errorf("drained stream read = %v, want io.EOF", err)
+	}
+	a, err := frames[0].AsAck()
+	if err != nil || a.BatchID != "n01/7" || a.Accepted != 3 || a.Duplicate != 1 {
+		t.Errorf("ack = %+v, err %v", a, err)
+	}
+	q, err := frames[2].AsQuery()
+	if err != nil || q.Kind != QuerySummary || q.Job != "1001" {
+		t.Errorf("query = %+v, err %v", q, err)
+	}
+}
+
+// header builds a raw frame header for corruption tests.
+func header(magic uint32, version, typ uint8, flags uint16, length uint32) []byte {
+	h := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(h[0:4], magic)
+	h[4] = version
+	h[5] = typ
+	binary.BigEndian.PutUint16(h[6:8], flags)
+	binary.BigEndian.PutUint32(h[8:12], length)
+	return h
+}
+
+func TestDecodeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"bad magic", header(0xDEADBEEF, Version, uint8(TypeAck), 0, 0), ErrMagic},
+		{"version skew", header(Magic, Version+1, uint8(TypeAck), 0, 0), ErrVersion},
+		{"version zero", header(Magic, 0, uint8(TypeAck), 0, 0), ErrVersion},
+		{"type zero", header(Magic, Version, 0, 0, 0), ErrType},
+		{"type unknown", header(Magic, Version, uint8(typeEnd), 0, 0), ErrType},
+		{"reserved flags", header(Magic, Version, uint8(TypeAck), 7, 0), ErrFlags},
+		{"oversized length", header(Magic, Version, uint8(TypeAck), 0, DefaultMaxPayload+1), ErrTooLarge},
+		{"huge length prefix", header(Magic, Version, uint8(TypeAck), 0, 0xFFFFFFFF), ErrTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(tc.raw), 0)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	f, err := EncodeAck(Ack{BatchID: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must error; only the empty prefix is io.EOF.
+	for cut := 0; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), 0)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty stream: err = %v, want io.EOF", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("truncated frame at %d/%d bytes decoded successfully", cut, len(full))
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: err = %v, want wrapped io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestPayloadLimits(t *testing.T) {
+	big := Frame{Type: TypeBatch, Payload: bytes.Repeat([]byte{'x'}, 100)}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, big, 64); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("write over limit = %v, want ErrTooLarge", err)
+	}
+	if err := WriteFrame(&buf, big, 128); err != nil {
+		t.Fatal(err)
+	}
+	// A server with a tighter limit than the writer refuses the frame.
+	if _, err := ReadFrame(&buf, 64); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("read over limit = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestWriteRejectsInvalidType(t *testing.T) {
+	var buf bytes.Buffer
+	for _, typ := range []Type{0, typeEnd, typeEnd + 40} {
+		if err := WriteFrame(&buf, Frame{Type: typ}, 0); !errors.Is(err, ErrType) {
+			t.Errorf("type %d: err = %v, want ErrType", typ, err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Error("rejected frame still wrote bytes")
+	}
+}
+
+func TestUnmarshalTypeMismatch(t *testing.T) {
+	f, err := EncodeAck(Ack{BatchID: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AsBatch(); err == nil || !strings.Contains(err.Error(), "not batch") {
+		t.Errorf("AsBatch on ack frame = %v", err)
+	}
+}
