@@ -50,6 +50,7 @@ func benchContext(b *testing.B) *experiments.Context {
 
 func benchExperiment(b *testing.B, id string) {
 	base := benchContext(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewFrom(base)
@@ -92,6 +93,7 @@ func BenchmarkFutureWork(b *testing.B) { benchExperiment(b, "future_work") }
 func benchExpAll(b *testing.B, parallel int) {
 	base := benchContext(b)
 	ids := experiments.IDs()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewFrom(base)
@@ -131,6 +133,7 @@ func benchOneRun(b *testing.B, name string, opt sim.Options) {
 		}
 		opt.Model = m
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(cal, opt); err != nil {
@@ -201,6 +204,7 @@ func BenchmarkModelPredict(b *testing.B) {
 func BenchmarkModelTrain(b *testing.B) {
 	machine := perf.Machine{CPU: cpu.XeonGold6148(), Mem: mem.DDR4SD530()}
 	pw := power.SD530Coeffs()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := model.TrainForCPU(machine, pw); err != nil {
 			b.Fatal(err)
@@ -231,6 +235,7 @@ func BenchmarkSimSecond(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(cal, sim.Options{Policy: "none", Seed: int64(i)}); err != nil {
@@ -238,3 +243,55 @@ func BenchmarkSimSecond(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNodeTick measures one pass of the simulator's inner loop —
+// tick, perf evaluation, dynais, EARL — in isolation via sim.Stepper,
+// the per-step cost every experiment above pays millions of times.
+func BenchmarkNodeTick(b *testing.B) {
+	cal := mustCal(b, workload.BTMZC)
+	opt := sim.Options{Policy: "none", Seed: 1}
+	s, err := sim.NewStepper(cal, 0, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Done() {
+			b.StopTimer()
+			if s, err = sim.NewStepper(cal, 0, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Trace on/off pair: the delta is the cost of per-interval trace
+// sampling, the off case is the production configuration.
+
+func benchTraceRun(b *testing.B, trace bool) {
+	spec, err := workload.Lookup(workload.BTMZC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.TargetTimeSec = 1.2 // one iteration, as BenchmarkSimSecond
+	cal, err := spec.Calibrate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := sim.Options{Policy: "none", Seed: 1, Trace: trace, TraceStepSec: 0.1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cal, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceOff(b *testing.B) { benchTraceRun(b, false) }
+func BenchmarkTraceOn(b *testing.B)  { benchTraceRun(b, true) }

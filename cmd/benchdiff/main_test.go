@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: goear
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1-8     	       1	  92606924 ns/op	21569040 B/op	  224938 allocs/op
+BenchmarkSimSecond-8  	   12217	     82110 ns/op	   12928 B/op	      46 allocs/op
+BenchmarkModelTrain-8 	     100	  11000000 ns/op
+PASS
+ok  	goear	37.578s
+`
+
+func TestParseBench(t *testing.T) {
+	got, cpu, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(got), got)
+	}
+	sim := got["BenchmarkSimSecond"]
+	if sim.NsPerOp != 82110 || sim.BytesPerOp != 12928 || sim.AllocsPerOp != 46 {
+		t.Errorf("BenchmarkSimSecond = %+v", sim)
+	}
+	if mt := got["BenchmarkModelTrain"]; mt.NsPerOp != 11000000 || mt.AllocsPerOp != 0 {
+		t.Errorf("entry without -benchmem fields = %+v", mt)
+	}
+}
+
+// writeBaseline commits a synthetic baseline to a temp dir and returns
+// its path.
+func writeBaseline(t *testing.T, benches map[string]Entry) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	data, err := json.Marshal(Snapshot{Date: "2026-01-01", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func diff(t *testing.T, baseline, bench string, extra ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	args := append([]string{"-baseline", baseline}, extra...)
+	err := run(args, strings.NewReader(bench), &out)
+	return out.String(), err
+}
+
+// TestInjectedRegressionFails is the harness's own acceptance test: a
+// synthetic +50% ns/op regression on a gated benchmark must make run()
+// fail (non-zero exit in main).
+func TestInjectedRegressionFails(t *testing.T) {
+	base := writeBaseline(t, map[string]Entry{
+		"BenchmarkSimSecond": {NsPerOp: 82110, AllocsPerOp: 46},
+	})
+	bench := "BenchmarkSimSecond-8 \t 100 \t 123165 ns/op \t 12928 B/op \t 46 allocs/op\n"
+	out, err := diff(t, base, bench)
+	if err == nil {
+		t.Fatalf("synthetic regression passed; output:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSimSecond") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", out)
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	base := writeBaseline(t, map[string]Entry{
+		"BenchmarkSimSecond": {NsPerOp: 82110, AllocsPerOp: 46},
+	})
+	bench := "BenchmarkSimSecond-8 \t 100 \t 86000 ns/op\n" // +4.7%
+	if out, err := diff(t, base, bench); err != nil {
+		t.Errorf("within-threshold run failed: %v\n%s", err, out)
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	base := writeBaseline(t, map[string]Entry{
+		"BenchmarkNodeTick": {NsPerOp: 433.3},
+	})
+	bench := "BenchmarkNodeTick-8 \t 100 \t 133.5 ns/op \t 0 B/op \t 0 allocs/op\n"
+	out, err := diff(t, base, bench)
+	if err != nil {
+		t.Errorf("improvement failed the gate: %v", err)
+	}
+	if !strings.Contains(out, "faster") {
+		t.Errorf("report does not note the improvement:\n%s", out)
+	}
+}
+
+// TestUngatedRegressionPasses: only BenchmarkTable*/Fig*/Sim*/NodeTick
+// gate by default; a training benchmark may slow down without failing.
+func TestUngatedRegressionPasses(t *testing.T) {
+	base := writeBaseline(t, map[string]Entry{
+		"BenchmarkModelTrain": {NsPerOp: 10000000},
+	})
+	bench := "BenchmarkModelTrain-8 \t 10 \t 20000000 ns/op\n"
+	if out, err := diff(t, base, bench); err != nil {
+		t.Errorf("ungated regression failed the run: %v\n%s", err, out)
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	base := writeBaseline(t, map[string]Entry{
+		"BenchmarkFig7": {NsPerOp: 1000},
+	})
+	bench := "BenchmarkFig7 \t 10 \t 1150 ns/op\n" // +15%
+	if _, err := diff(t, base, bench); err == nil {
+		t.Error("a 15% slowdown passed the default 10% gate")
+	}
+	if _, err := diff(t, base, bench, "-threshold", "0.20"); err != nil {
+		t.Errorf("a 15%% slowdown failed a 20%% gate: %v", err)
+	}
+}
+
+// TestTrajectoryEmit verifies -out writes a loadable snapshot carrying
+// the parsed entries and the requested date stamp.
+func TestTrajectoryEmit(t *testing.T) {
+	base := writeBaseline(t, map[string]Entry{
+		"BenchmarkSimSecond": {NsPerOp: 82110, AllocsPerOp: 46},
+	})
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "BENCH_2026-08-06.json")
+	bench := "BenchmarkSimSecond-8 \t 100 \t 42105 ns/op \t 944 B/op \t 4 allocs/op\n"
+	if _, err := diff(t, base, bench, "-out", outPath, "-date", "2026-08-06", "-label", "post-opt"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := loadSnapshot(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Date != "2026-08-06" || snap.Label != "post-opt" {
+		t.Errorf("snapshot stamps = (%q, %q)", snap.Date, snap.Label)
+	}
+	e := snap.Benchmarks["BenchmarkSimSecond"]
+	if e.NsPerOp != 42105 || e.AllocsPerOp != 4 {
+		t.Errorf("snapshot entry = %+v", e)
+	}
+}
+
+func TestMissingBaselineFile(t *testing.T) {
+	if _, err := diff(t, filepath.Join(t.TempDir(), "nope.json"), sampleBench); err == nil {
+		t.Error("missing baseline file did not error")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"goear/internal/experiments"
 	"goear/internal/par"
@@ -51,11 +52,38 @@ func run(args []string, out io.Writer) error {
 	runs := fs.Int("runs", 3, "averaged runs per configuration (the paper uses 3)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker bound for concurrent experiment generation (1 = sequential; output is identical at any setting)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile (alloc_space) to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// The allocs profile covers the whole run; no GC trigger is
+			// needed since alloc_space counts cumulative allocation.
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	ctx := experiments.New()

@@ -121,8 +121,8 @@ func run(args []string, out io.Writer) error {
 
 	opt := sim.Options{
 		Policy:       *pol,
-		CPUTh:        *cpuTh,
-		UncTh:        *uncTh,
+		CPUTh:        sim.F(*cpuTh),
+		UncTh:        sim.F(*uncTh),
 		HWGuidedOff:  *notGuided,
 		Seed:         *seed,
 		Trace:        *tracePath != "",

@@ -142,10 +142,16 @@ func ExperimentIDs() []string { return experiments.IDs() }
 func (c Config) toOptions() sim.Options {
 	opt := sim.Options{
 		Policy:      c.Policy,
-		CPUTh:       c.CPUPolicyTh,
-		UncTh:       c.UncPolicyTh,
 		HWGuidedOff: c.NotGuided,
 		Seed:        c.Seed,
+	}
+	// The facade keeps zero-means-default threshold semantics; explicit
+	// zeros are a sim.Options-level capability (sim.F(0)).
+	if c.CPUPolicyTh != 0 {
+		opt.CPUTh = sim.F(c.CPUPolicyTh)
+	}
+	if c.UncPolicyTh != 0 {
+		opt.UncTh = sim.F(c.UncPolicyTh)
 	}
 	if c.FixedCPUPstate > 0 || (c.FixedCPUPstate == 0 && c.FixedUncoreGHz > 0) {
 		p := c.FixedCPUPstate

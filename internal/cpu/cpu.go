@@ -177,30 +177,46 @@ func (m Model) EffectiveRatio(requested uint64, avx512Active bool) uint64 {
 }
 
 // Socket is one package of a node: its MSR file plus cached topology.
+// The register file is embedded so one Socket is one allocation; MSR
+// points at the embedded file, so a constructed Socket must not be
+// copied by value.
 type Socket struct {
 	Model Model
 	ID    int
 	MSR   *msr.File
+
+	file msr.File
 }
 
 // NewSocket builds a socket with power-on MSR defaults and the perf
 // control register requesting the nominal ratio.
 func NewSocket(m Model, id int) (*Socket, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	s := &Socket{Model: m, ID: id, MSR: msr.NewFile(m.UncoreMinRatio, m.UncoreMaxRatio)}
-	if err := s.MSR.WriteHw(msr.IA32PerfCtl, msr.EncodePerfCtl(m.NominalRatio)); err != nil {
-		return nil, err
-	}
-	if err := s.MSR.WriteHw(msr.IA32PerfStatus, msr.EncodePerfCtl(m.NominalRatio)); err != nil {
-		return nil, err
-	}
-	if err := s.MSR.WriteHw(msr.MSRUncorePerfStatus,
-		msr.EncodeUncorePerfStatus(m.UncoreMinRatio)); err != nil {
+	s := &Socket{}
+	if err := s.Init(m, id); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// Init (re)initialises the socket in place to the power-on state, as
+// NewSocket does, without allocating. It is the construction path for
+// sockets living inside a larger allocation (the simulator's per-node
+// state).
+func (s *Socket) Init(m Model, id int) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.Model, s.ID = m, id
+	s.file.Init(m.UncoreMinRatio, m.UncoreMaxRatio)
+	s.MSR = &s.file
+	if err := s.MSR.WriteHw(msr.IA32PerfCtl, msr.EncodePerfCtl(m.NominalRatio)); err != nil {
+		return err
+	}
+	if err := s.MSR.WriteHw(msr.IA32PerfStatus, msr.EncodePerfCtl(m.NominalRatio)); err != nil {
+		return err
+	}
+	return s.MSR.WriteHw(msr.MSRUncorePerfStatus,
+		msr.EncodeUncorePerfStatus(m.UncoreMinRatio))
 }
 
 // RequestRatio writes the requested core ratio through IA32_PERF_CTL,

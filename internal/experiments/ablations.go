@@ -117,7 +117,7 @@ func (c *Context) ablationUncTh() (report.Table, error) {
 	for _, unc := range []float64{0.005, 0.01, 0.02, 0.03, 0.05} {
 		cfgs = append(cfgs, runCfg{
 			"unc_th " + report.F(unc*100, 1) + "%", name,
-			sim.Options{Policy: "min_energy_eufs", UncTh: unc, Seed: 40},
+			sim.Options{Policy: "min_energy_eufs", UncTh: sim.F(unc), Seed: 40},
 		})
 	}
 	return c.figTableOf("Ablation A4: unc_policy_th sensitivity (SP-MZ.C, ME+eU)", cfgs)

@@ -102,8 +102,12 @@ func (c *Context) modelFor(pl workload.Platform) (*model.Model, error) {
 	})
 }
 
-// runKey canonicalises the options that distinguish cached runs.
+// runKey canonicalises the options that distinguish cached runs. The
+// options are resolved to their defaults first, so an unset threshold
+// and an explicitly-supplied default value share a cache entry — they
+// run identically.
 func runKey(name string, o sim.Options, runs int) string {
+	o = o.WithDefaults()
 	fp := -1
 	if o.FixedCPUPstate != nil {
 		fp = *o.FixedCPUPstate
@@ -113,9 +117,9 @@ func runKey(name string, o sim.Options, runs int) string {
 		fu = *o.FixedUncoreRatio
 	}
 	return fmt.Sprintf("%s|%s|%.4f|%.4f|g%v|a%v|p%v|fp%d|fu%d|r%d|s%d|sc%.4f|w%.2f|st%.4f|n%.4f",
-		name, o.Policy, o.CPUTh, o.UncTh, o.HWGuidedOff, o.NoAVX512Model,
+		name, o.Policy, *o.CPUTh, *o.UncTh, o.HWGuidedOff, o.NoAVX512Model,
 		o.PinBothUncoreLimits, fp, fu, runs,
-		o.Seed, o.SigChangeTh, o.MinWindowSec, o.StepSec, o.NoiseSD)
+		o.Seed, o.SigChangeTh, o.MinWindowSec, o.StepSec, *o.NoiseSD)
 }
 
 // run executes (or recalls) an averaged run of the named workload.

@@ -200,10 +200,10 @@ func TestRunCacheReuse(t *testing.T) {
 		t.Errorf("cache grew on identical run: %d -> %d", n, got)
 	}
 	// Different thresholds are distinct entries.
-	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 100}); err != nil {
+	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "min_energy", CPUTh: sim.F(0.03), Seed: 100}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "min_energy", CPUTh: 0.05, Seed: 100}); err != nil {
+	if _, err := c.run(workload.BTMZC, sim.Options{Policy: "min_energy", CPUTh: sim.F(0.05), Seed: 100}); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats(); got.Runs != n+2 || got.RunsExecuted != got.Runs {

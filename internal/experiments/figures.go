@@ -90,12 +90,12 @@ func (c *Context) Fig3() ([]report.Table, error) {
 	}
 	name := workload.BQCD
 	cfgs := []runCfg{
-		{"ME", name, sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 30}},
+		{"ME", name, sim.Options{Policy: "min_energy", CPUTh: sim.F(0.03), Seed: 30}},
 	}
 	for _, unc := range []float64{0.01, 0.02, 0.03} {
 		cfgs = append(cfgs, runCfg{
 			fmt.Sprintf("ME+eU %d%%", int(unc*100)), name,
-			sim.Options{Policy: "min_energy_eufs", CPUTh: 0.03, UncTh: unc, Seed: 30},
+			sim.Options{Policy: "min_energy_eufs", CPUTh: sim.F(0.03), UncTh: sim.F(unc), Seed: 30},
 		})
 	}
 	ds, err := c.compareAll(cfgs)
@@ -119,7 +119,7 @@ func (c *Context) Fig4() ([]report.Table, error) {
 	}
 	name := workload.BTMZD
 	cfgs := []runCfg{
-		{"ME", name, sim.Options{Policy: "min_energy", CPUTh: 0.03, Seed: 30}},
+		{"ME", name, sim.Options{Policy: "min_energy", CPUTh: sim.F(0.03), Seed: 30}},
 	}
 	for _, unc := range []float64{0.001, 0.01, 0.02} {
 		label := fmt.Sprintf("ME+eU %g%%", unc*100)
@@ -128,7 +128,7 @@ func (c *Context) Fig4() ([]report.Table, error) {
 		}
 		cfgs = append(cfgs, runCfg{
 			label, name,
-			sim.Options{Policy: "min_energy_eufs", CPUTh: 0.03, UncTh: unc, Seed: 30},
+			sim.Options{Policy: "min_energy_eufs", CPUTh: sim.F(0.03), UncTh: sim.F(unc), Seed: 30},
 		})
 	}
 	ds, err := c.compareAll(cfgs)
@@ -157,11 +157,11 @@ func (c *Context) Fig5() ([]report.Table, error) {
 		pct := int(th * 100)
 		cfgs = append(cfgs,
 			runCfg{fmt.Sprintf("ME (cpu_th %d%%)", pct), name,
-				sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30}},
+				sim.Options{Policy: "min_energy", CPUTh: sim.F(th), Seed: 30}},
 			runCfg{fmt.Sprintf("ME+NG-U (cpu_th %d%%)", pct), name,
-				sim.Options{Policy: "min_energy_eufs", CPUTh: th, HWGuidedOff: true, Seed: 30}},
+				sim.Options{Policy: "min_energy_eufs", CPUTh: sim.F(th), HWGuidedOff: true, Seed: 30}},
 			runCfg{fmt.Sprintf("ME+eU (cpu_th %d%%)", pct), name,
-				sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30}},
+				sim.Options{Policy: "min_energy_eufs", CPUTh: sim.F(th), Seed: 30}},
 		)
 	}
 	ds, err := c.compareAll(cfgs)
@@ -247,9 +247,9 @@ func (c *Context) Fig8() ([]report.Table, error) {
 			pct := int(th * 100)
 			cfgs = append(cfgs,
 				runCfg{fmt.Sprintf("ME (cpu_th %d%%)", pct), name,
-					sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30}},
+					sim.Options{Policy: "min_energy", CPUTh: sim.F(th), Seed: 30}},
 				runCfg{fmt.Sprintf("ME+eU (cpu_th %d%%)", pct), name,
-					sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30}},
+					sim.Options{Policy: "min_energy_eufs", CPUTh: sim.F(th), Seed: 30}},
 			)
 		}
 	}

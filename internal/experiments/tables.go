@@ -187,11 +187,11 @@ func (c *Context) Table6() ([]report.Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		me, err := c.run(name, sim.Options{Policy: "min_energy", CPUTh: th, Seed: 30})
+		me, err := c.run(name, sim.Options{Policy: "min_energy", CPUTh: sim.F(th), Seed: 30})
 		if err != nil {
 			return row{}, err
 		}
-		eu, err := c.run(name, sim.Options{Policy: "min_energy_eufs", CPUTh: th, Seed: 30})
+		eu, err := c.run(name, sim.Options{Policy: "min_energy_eufs", CPUTh: sim.F(th), Seed: 30})
 		if err != nil {
 			return row{}, err
 		}
@@ -232,7 +232,7 @@ func (c *Context) Table7() ([]report.Table, error) {
 	}
 	rows, err := mapRows(c, table7Apps(), func(name string) (Delta, error) {
 		return c.compare(name, sim.Options{
-			Policy: "min_energy_eufs", CPUTh: appCPUTh(name), Seed: 30,
+			Policy: "min_energy_eufs", CPUTh: sim.F(appCPUTh(name)), Seed: 30,
 		})
 	})
 	if err != nil {
@@ -257,7 +257,7 @@ func (c *Context) Summary() ([]report.Table, error) {
 	}
 	deltas, err := mapRows(c, workload.Applications(), func(name string) (Delta, error) {
 		return c.compare(name, sim.Options{
-			Policy: "min_energy_eufs", CPUTh: appCPUTh(name), Seed: 30,
+			Policy: "min_energy_eufs", CPUTh: sim.F(appCPUTh(name)), Seed: 30,
 		})
 	})
 	if err != nil {

@@ -201,6 +201,50 @@ func (m *Model) PredictDefault(sig metrics.Signature, from, to int) (Prediction,
 	return m.projectDefault(sig, from, to), nil
 }
 
+// Table is a per-signature-window prediction lookup table: the
+// projections of one measured signature from one source pstate onto
+// every target pstate. The pstate-search policies evaluate the same
+// (sig, from) pair against every candidate pstate — and the reference
+// pstate twice — so they build a Table once per signature window and
+// rank by lookup instead of re-projecting.
+type Table struct {
+	// From is the source pstate the entries were projected from.
+	From int
+	// Preds is indexed by target pstate.
+	Preds []Prediction
+}
+
+// BuildTable fills dst with the prediction at every target pstate,
+// reusing dst's backing storage across windows. Every entry is produced
+// by the same Predict (or PredictDefault, when useAVX512 is false) call
+// a direct evaluation would make, so table-driven policies are
+// bit-identical to call-per-pstate policies.
+func (m *Model) BuildTable(dst *Table, sig metrics.Signature, from int, useAVX512 bool) error {
+	n := m.PstateCount()
+	if cap(dst.Preds) < n {
+		dst.Preds = make([]Prediction, n)
+	} else {
+		dst.Preds = dst.Preds[:n]
+	}
+	dst.From = from
+	for to := 0; to < n; to++ {
+		var (
+			p   Prediction
+			err error
+		)
+		if useAVX512 {
+			p, err = m.Predict(sig, from, to)
+		} else {
+			p, err = m.PredictDefault(sig, from, to)
+		}
+		if err != nil {
+			return err
+		}
+		dst.Preds[to] = p
+	}
+	return nil
+}
+
 func (m *Model) checkPstates(from, to int) error {
 	if from < 0 || from >= len(m.FreqGHz) || to < 0 || to >= len(m.FreqGHz) {
 		return fmt.Errorf("model: pstate pair (%d,%d) outside table of %d", from, to, len(m.FreqGHz))

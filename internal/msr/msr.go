@@ -14,7 +14,7 @@ package msr
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Architectural and model-specific register addresses (Intel SDM vol. 4).
@@ -58,80 +58,119 @@ func (e ErrReadOnly) Error() string {
 	return fmt.Sprintf("msr: register 0x%X is read-only", e.Addr)
 }
 
+// numRegs is the number of implemented registers. Register storage is a
+// dense array indexed by regIndex: the register file sits on the
+// simulator's per-step hot path (the uncore controller and RAPL touch it
+// every tick), and a fixed array of atomics is both allocation-free and
+// an order of magnitude cheaper than the map+mutex it replaces, with
+// identical values and visibility semantics.
+const numRegs = 13
+
+// regIndex maps a register address to its slot, or -1 when the socket
+// does not implement it.
+func regIndex(addr uint32) int {
+	switch addr {
+	case IA32MPerf:
+		return 0
+	case IA32APerf:
+		return 1
+	case IA32PerfStatus:
+		return 2
+	case IA32PerfCtl:
+		return 3
+	case IA32EnergyPerfBias:
+		return 4
+	case IA32FixedCtr0:
+		return 5
+	case IA32FixedCtr1:
+		return 6
+	case IA32FixedCtr2:
+		return 7
+	case MSRRaplPowerUnit:
+		return 8
+	case MSRPkgEnergyStatus:
+		return 9
+	case MSRDramEnergyStatus:
+		return 10
+	case MSRUncoreRatioLimit:
+		return 11
+	case MSRUncorePerfStatus:
+		return 12
+	default:
+		return -1
+	}
+}
+
 // File is the register file of one socket. The zero value is not usable;
 // construct with NewFile.
 type File struct {
-	mu   sync.Mutex
-	regs map[uint32]uint64
+	regs [numRegs]atomic.Uint64
 }
 
-// writableBySoftware lists the registers EARL may write.
-var writableBySoftware = map[uint32]bool{
-	IA32PerfCtl:         true,
-	IA32EnergyPerfBias:  true,
-	MSRUncoreRatioLimit: true,
+// writableBySoftware reports whether EARL may write the register.
+func writableBySoftware(addr uint32) bool {
+	switch addr {
+	case IA32PerfCtl, IA32EnergyPerfBias, MSRUncoreRatioLimit:
+		return true
+	}
+	return false
 }
 
 // NewFile returns a register file with power-on defaults: uncore ratio
 // limits set to the given hardware range, RAPL units programmed, and all
 // counters zero.
 func NewFile(uncoreMinRatio, uncoreMaxRatio uint64) *File {
-	f := &File{regs: map[uint32]uint64{
-		IA32MPerf:           0,
-		IA32APerf:           0,
-		IA32PerfStatus:      0,
-		IA32PerfCtl:         0,
-		IA32EnergyPerfBias:  6, // BIOS default: balanced
-		IA32FixedCtr0:       0,
-		IA32FixedCtr1:       0,
-		IA32FixedCtr2:       0,
-		MSRRaplPowerUnit:    DefaultEnergyStatusUnit << 8,
-		MSRPkgEnergyStatus:  0,
-		MSRDramEnergyStatus: 0,
-		MSRUncorePerfStatus: 0,
-	}}
-	f.regs[MSRUncoreRatioLimit] = EncodeUncoreRatioLimit(UncoreRatioLimit{
+	f := &File{}
+	f.Init(uncoreMinRatio, uncoreMaxRatio)
+	return f
+}
+
+// Init (re)programs power-on defaults in place, so a File embedded in a
+// larger allocation — or recycled from a pool — starts from the same
+// state NewFile produces.
+func (f *File) Init(uncoreMinRatio, uncoreMaxRatio uint64) {
+	for i := range f.regs {
+		f.regs[i].Store(0)
+	}
+	f.regs[regIndex(IA32EnergyPerfBias)].Store(6) // BIOS default: balanced
+	f.regs[regIndex(MSRRaplPowerUnit)].Store(DefaultEnergyStatusUnit << 8)
+	f.regs[regIndex(MSRUncoreRatioLimit)].Store(EncodeUncoreRatioLimit(UncoreRatioLimit{
 		MinRatio: uncoreMinRatio,
 		MaxRatio: uncoreMaxRatio,
-	})
-	return f
+	}))
 }
 
 // Read returns the value of the register at addr.
 func (f *File) Read(addr uint32) (uint64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	v, ok := f.regs[addr]
-	if !ok {
+	i := regIndex(addr)
+	if i < 0 {
 		return 0, ErrUnknownRegister{addr}
 	}
-	return v, nil
+	return f.regs[i].Load(), nil
 }
 
 // Write stores v into the register at addr, enforcing software
 // writability rules.
 func (f *File) Write(addr uint32, v uint64) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, ok := f.regs[addr]; !ok {
+	i := regIndex(addr)
+	if i < 0 {
 		return ErrUnknownRegister{addr}
 	}
-	if !writableBySoftware[addr] {
+	if !writableBySoftware(addr) {
 		return ErrReadOnly{addr}
 	}
-	f.regs[addr] = v
+	f.regs[i].Store(v)
 	return nil
 }
 
 // WriteHw stores v into any implemented register, bypassing software
 // writability. It is the hardware-side update path used by the simulator.
 func (f *File) WriteHw(addr uint32, v uint64) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, ok := f.regs[addr]; !ok {
+	i := regIndex(addr)
+	if i < 0 {
 		return ErrUnknownRegister{addr}
 	}
-	f.regs[addr] = v
+	f.regs[i].Store(v)
 	return nil
 }
 
@@ -139,15 +178,11 @@ func (f *File) WriteHw(addr uint32, v uint64) error {
 // returning the new value. RAPL energy counters wrap at 32 bits; callers
 // must use AddEnergyHw for those.
 func (f *File) AddHw(addr uint32, delta uint64) (uint64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	v, ok := f.regs[addr]
-	if !ok {
+	i := regIndex(addr)
+	if i < 0 {
 		return 0, ErrUnknownRegister{addr}
 	}
-	v += delta
-	f.regs[addr] = v
-	return v, nil
+	return f.regs[i].Add(delta), nil
 }
 
 // AddEnergyHw accumulates joules into a RAPL energy-status register,
@@ -156,24 +191,25 @@ func (f *File) AddHw(addr uint32, delta uint64) (uint64, error) {
 // method truncates, so callers should accumulate joules and convert once
 // per update tick. It returns the new raw counter value.
 func (f *File) AddEnergyHw(addr uint32, joules float64) (uint64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, ok := f.regs[addr]; !ok {
+	i := regIndex(addr)
+	if i < 0 {
 		return 0, ErrUnknownRegister{addr}
 	}
-	esu := (f.regs[MSRRaplPowerUnit] >> 8) & 0x1F
+	esu := (f.regs[regIndex(MSRRaplPowerUnit)].Load() >> 8) & 0x1F
 	counts := uint64(joules * float64(uint64(1)<<esu))
-	v := (f.regs[addr] + counts) & 0xFFFFFFFF
-	f.regs[addr] = v
-	return v, nil
+	for {
+		old := f.regs[i].Load()
+		v := (old + counts) & 0xFFFFFFFF
+		if f.regs[i].CompareAndSwap(old, v) {
+			return v, nil
+		}
+	}
 }
 
 // EnergyJoules converts a raw energy-status delta (already unwrapped) to
 // joules using the programmed energy unit.
 func (f *File) EnergyJoules(rawDelta uint64) float64 {
-	f.mu.Lock()
-	esu := (f.regs[MSRRaplPowerUnit] >> 8) & 0x1F
-	f.mu.Unlock()
+	esu := (f.regs[regIndex(MSRRaplPowerUnit)].Load() >> 8) & 0x1F
 	return float64(rawDelta) / float64(uint64(1)<<esu)
 }
 

@@ -41,6 +41,10 @@ func (m *monitoring) Reset() {}
 type minEnergy struct {
 	cfg Config
 
+	// tbl is the per-signature-window prediction table; its buffer is
+	// reused across windows.
+	tbl model.Table
+
 	selected   int
 	havePred   bool
 	predTime   float64 // predicted iteration time at the selection
@@ -88,22 +92,23 @@ func (p *minEnergy) selectPstate(in Inputs) (int, model.Prediction, error) {
 		return sel, pred, nil
 	}
 
-	// Reference time: the projection of the current signature onto the
-	// default pstate (the penalty budget is relative to default).
-	refPred, err := p.predict(sig, from, def)
-	if err != nil {
+	// Build the window's prediction table once; the search below (and
+	// the reference projection, which the former code computed twice)
+	// become lookups with bit-identical values.
+	if err := p.cfg.Model.BuildTable(&p.tbl, sig, from, p.cfg.UseAVX512Model); err != nil {
 		return 0, model.Prediction{}, err
 	}
+
+	// Reference time: the projection of the current signature onto the
+	// default pstate (the penalty budget is relative to default).
+	refPred := p.tbl.Preds[def]
 	limit := refPred.TimeSec * (1 + p.cfg.CPUPolicyTh)
 
 	best := def
 	bestPred := refPred
 	bestEnergy := refPred.TimeSec * refPred.PowerW
 	for ps := def; ps < p.cfg.Model.PstateCount(); ps++ {
-		pred, err := p.predict(sig, from, ps)
-		if err != nil {
-			return 0, model.Prediction{}, err
-		}
+		pred := p.tbl.Preds[ps]
 		if pred.TimeSec > limit {
 			continue
 		}

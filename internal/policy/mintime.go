@@ -2,6 +2,8 @@ package policy
 
 import (
 	"fmt"
+
+	"goear/internal/model"
 )
 
 func init() {
@@ -23,7 +25,12 @@ const minTimeDefaultDrop = 4
 // ongoing work; it is provided here with the same uncore stage as
 // min_energy (via the shared eufs wrapper).
 type minTime struct {
-	cfg      Config
+	cfg Config
+
+	// tbl is the per-signature-window prediction table; its buffer is
+	// reused across windows.
+	tbl model.Table
+
 	defPst   int
 	selected int
 	havePred bool
@@ -55,23 +62,18 @@ func (p *minTime) Apply(in Inputs) (NodeFreqs, State, error) {
 		return NodeFreqs{CPUPstate: sel}, Ready, nil
 	}
 
-	predict := p.cfg.Model.Predict
-	if !p.cfg.UseAVX512Model {
-		predict = p.cfg.Model.PredictDefault
+	// One table build per signature window; the climb is lookups with
+	// bit-identical values to per-pstate Predict calls.
+	if err := p.cfg.Model.BuildTable(&p.tbl, sig, from, p.cfg.UseAVX512Model); err != nil {
+		return NodeFreqs{}, Ready, err
 	}
 
 	sel := p.defPst
-	cur, err := predict(sig, from, sel)
-	if err != nil {
-		return NodeFreqs{}, Ready, err
-	}
+	cur := p.tbl.Preds[sel]
 	// Climb toward pstate 1 (nominal) while each step still buys at
 	// least MinTimeMinGain of relative time.
 	for ps := sel - 1; ps >= 1; ps-- {
-		next, err := predict(sig, from, ps)
-		if err != nil {
-			return NodeFreqs{}, Ready, err
-		}
+		next := p.tbl.Preds[ps]
 		gain := (cur.TimeSec - next.TimeSec) / cur.TimeSec
 		if gain < p.cfg.MinTimeMinGain {
 			break

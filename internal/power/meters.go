@@ -21,10 +21,31 @@ type Rapl struct {
 
 // NewRapl wires the RAPL emulation to the given per-socket MSR files.
 func NewRapl(sockets []*msr.File) (*Rapl, error) {
-	if len(sockets) == 0 {
-		return nil, fmt.Errorf("power: RAPL needs at least one socket")
+	r := &Rapl{}
+	if err := r.Init(sockets); err != nil {
+		return nil, err
 	}
-	return &Rapl{sockets: sockets, carryPkg: make([]float64, len(sockets))}, nil
+	return r, nil
+}
+
+// Init (re)wires the emulation in place with zeroed carries, as NewRapl
+// does but reusing the receiver's buffers, for meters embedded in
+// recycled per-run state.
+func (r *Rapl) Init(sockets []*msr.File) error {
+	if len(sockets) == 0 {
+		return fmt.Errorf("power: RAPL needs at least one socket")
+	}
+	r.sockets = sockets
+	if cap(r.carryPkg) < len(sockets) {
+		r.carryPkg = make([]float64, len(sockets))
+	} else {
+		r.carryPkg = r.carryPkg[:len(sockets)]
+		for i := range r.carryPkg {
+			r.carryPkg[i] = 0
+		}
+	}
+	r.carryDram = 0
+	return nil
 }
 
 // Advance accounts dt seconds of the given breakdown into the counters.
@@ -87,6 +108,14 @@ type NodeManager struct {
 
 // NewNodeManager returns a meter starting at time zero with zero energy.
 func NewNodeManager() *NodeManager { return &NodeManager{} }
+
+// Init resets the meter to time zero with zero energy, for meters
+// embedded in recycled per-run state.
+func (nm *NodeManager) Init() {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	nm.trueJ, nm.published, nm.lastPub, nm.now = 0, 0, 0, 0
+}
 
 // Advance integrates power over dt simulated seconds and publishes the
 // counter at every whole-second boundary crossed.

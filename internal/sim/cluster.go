@@ -34,6 +34,9 @@ func RunCoordinated(cal workload.Calibrated, opt Options, gm PowerManager) (Resu
 	if opt.Policy != "none" && opt.Model == nil {
 		return Result{}, fmt.Errorf("sim: policy %q needs a trained model", opt.Policy)
 	}
+	// Coordinated runs advance in lock-step slices; a macro step would
+	// overshoot the barrier, so the fast-forward is always off here.
+	opt.MacroStep = false
 
 	nodes := make([]*node, cal.Nodes)
 	for i := range nodes {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"goear/internal/cpu"
 	"goear/internal/eard"
@@ -22,10 +23,22 @@ type node struct {
 	cal workload.Calibrated
 	opt Options
 
-	sockets []*cpu.Socket
-	ctls    []*uncore.Controller
-	rapl    *power.Rapl
-	inm     *power.NodeManager
+	// sockets and ctls point into sockStore/ctlStore so each node makes
+	// two backing allocations instead of one per socket; the pointer
+	// slices keep call sites (and the no-copy discipline around the MSR
+	// atomics) unchanged.
+	sockets   []*cpu.Socket
+	ctls      []*uncore.Controller
+	sockStore []cpu.Socket
+	ctlStore  []uncore.Controller
+	files     []*msr.File
+	rapl      power.Rapl
+	inm       power.NodeManager
+
+	// curve adapts the workload's HW heuristic curve. It captures the
+	// node (not the workload), so one closure allocation serves every
+	// run the node is recycled for.
+	curve uncore.Curve
 
 	now float64
 
@@ -35,9 +48,26 @@ type node struct {
 	// True energy integrals by scope (simulator bookkeeping).
 	pkgJ, dramJ float64
 
-	cache map[cacheKey]evalEntry
-	rng   *rand.Rand
-	lib   *earl.Library
+	// Steady-state evaluation cache. The operating point changes rarely
+	// relative to the 10 ms step, so a same-key fast path plus a linear
+	// scan over the handful of visited points beats a map: no hashing
+	// on the hot path and no per-node map allocation.
+	lastKey   cacheKey
+	lastEntry evalEntry
+	haveEval  bool
+	cacheKeys []cacheKey
+	cacheVals []evalEntry
+
+	// mpiEvents is the per-iteration MPI call-site sequence, computed
+	// once: Spec.MPIEvents allocates and hashes per call.
+	mpiEvents []uint32
+
+	// nctl is the earl.Ctl adapter over this node, embedded so the
+	// actuation path never allocates.
+	nctl nodeCtl
+
+	rng *rand.Rand
+	lib *earl.Library
 
 	// capRatio, when non-zero, is a node-daemon-enforced ceiling on the
 	// core ratio (the EARGM powercap path); the policy's requests are
@@ -57,6 +87,16 @@ type node struct {
 	iterActive        bool
 	done              bool
 	tNoise, pNoise    float64
+
+	// Macro-step (Options.MacroStep) bookkeeping: iterKey/iterSingle
+	// track whether the in-flight iteration has run entirely at one
+	// operating point; prevIterKey/prevIterSingle hold the completed
+	// iteration's verdict. A new iteration that starts at the same
+	// stable point is consumed in one analytic step.
+	iterKey        cacheKey
+	iterSingle     bool
+	prevIterKey    cacheKey
+	prevIterSingle bool
 }
 
 type cacheKey struct {
@@ -74,10 +114,23 @@ type evalEntry struct {
 	effRatio uint64
 }
 
+// nodePool recycles per-node state across runs. Every field is reset by
+// (*node).init, so reuse cannot leak state between runs; it exists purely
+// to keep the per-run constant-size allocations (sockets, MSR files,
+// meters, caches) out of the steady-state experiment loop.
+var nodePool = sync.Pool{New: func() any { return new(node) }}
+
 // runNode simulates the whole workload on one node.
 func runNode(cal workload.Calibrated, nodeID int, opt Options) (NodeResult, error) {
-	n, err := newNode(cal, nodeID, opt)
-	if err != nil {
+	n := nodePool.Get().(*node)
+	defer func() {
+		// The trace slice and EARL instance escape into the result;
+		// drop them so reuse cannot alias a returned NodeResult.
+		n.trace = nil
+		n.lib = nil
+		nodePool.Put(n)
+	}()
+	if err := n.init(cal, nodeID, opt); err != nil {
 		return NodeResult{}, err
 	}
 	for !n.done {
@@ -90,8 +143,9 @@ func runNode(cal workload.Calibrated, nodeID int, opt Options) (NodeResult, erro
 
 // startIteration draws this iteration's noise and work budget.
 func (n *node) startIteration() {
-	n.tNoise = 1 + n.opt.NoiseSD*n.rng.NormFloat64()
-	n.pNoise = 1 + n.opt.NoiseSD*n.rng.NormFloat64()
+	sd := *n.opt.NoiseSD
+	n.tNoise = 1 + sd*n.rng.NormFloat64()
+	n.pNoise = 1 + sd*n.rng.NormFloat64()
 	if n.tNoise < 0.9 {
 		n.tNoise = 0.9
 	}
@@ -117,20 +171,61 @@ func (n *node) stepOnce() error {
 	if n.done {
 		return nil
 	}
+	first := false
 	if !n.iterActive {
 		n.startIteration()
+		first = true
 	}
 	e, err := n.evalAt(n.segIdx)
 	if err != nil {
 		return err
 	}
+	key := n.lastKey
+	if first {
+		n.iterKey, n.iterSingle = key, true
+	} else if key != n.iterKey {
+		n.iterSingle = false
+	}
+
+	// Steady-phase fast-forward: the previous iteration ran entirely at
+	// this operating point, so this one will too (noise scales the
+	// whole iteration uniformly) — consume it in one analytic step.
+	// Noise draws, EARL events and policy cadence are identical to
+	// exact mode; only the integral summation order differs.
+	macro := first && n.opt.MacroStep && !n.opt.Trace &&
+		n.prevIterSingle && key == n.prevIterKey
+	if macro {
+		// A still-ramping uncore controller would move mid-iteration
+		// (and exact mode would re-evaluate at each new ratio), so the
+		// fast-forward additionally requires every controller settled.
+		for _, c := range n.ctls {
+			ok, err := c.Settled(e.effRatio)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				macro = false
+				break
+			}
+		}
+	}
+
 	spi := e.res.SecPerInstr * n.tNoise
 	var dt, nInstr float64
-	if n.cal.Class == workload.Accelerator {
+	switch {
+	case macro && n.cal.Class == workload.Accelerator:
+		dt = n.wallLeft
+		nInstr = dt / spi
+		n.wallLeft = 0
+	case macro:
+		nInstr = n.instrLeft
+		dt = nInstr * spi
+		n.instrLeft = 0
+	case n.cal.Class == workload.Accelerator:
 		dt = math.Min(n.opt.StepSec, n.wallLeft)
 		nInstr = dt / spi
 		n.wallLeft -= dt
-	} else {
+	default:
 		nInstr = n.opt.StepSec / spi
 		if nInstr > n.instrLeft {
 			nInstr = n.instrLeft
@@ -147,6 +242,7 @@ func (n *node) stepOnce() error {
 		return nil
 	}
 	n.iterActive = false
+	n.prevIterKey, n.prevIterSingle = n.iterKey, n.iterSingle
 	if err := n.iterationBoundary(); err != nil {
 		return err
 	}
@@ -179,35 +275,80 @@ func (n *node) setCapRatio(r uint64) {
 }
 
 func newNode(cal workload.Calibrated, nodeID int, opt Options) (*node, error) {
-	m := cal.Platform.Machine
-	n := &node{
-		cal:   cal,
-		opt:   opt,
-		cache: map[cacheKey]evalEntry{},
-		rng:   rand.New(rand.NewSource(opt.Seed*1000003 + int64(nodeID)*7907 + 1)),
-	}
-	for s := 0; s < m.CPU.Sockets; s++ {
-		sock, err := cpu.NewSocket(m.CPU, s)
-		if err != nil {
-			return nil, err
-		}
-		ctl, err := uncore.NewController(sock.MSR, n.hwCurve())
-		if err != nil {
-			return nil, err
-		}
-		n.sockets = append(n.sockets, sock)
-		n.ctls = append(n.ctls, ctl)
-	}
-	files := make([]*msr.File, len(n.sockets))
-	for i, s := range n.sockets {
-		files[i] = s.MSR
-	}
-	rapl, err := power.NewRapl(files)
-	if err != nil {
+	n := new(node)
+	if err := n.init(cal, nodeID, opt); err != nil {
 		return nil, err
 	}
-	n.rapl = rapl
-	n.inm = power.NewNodeManager()
+	return n, nil
+}
+
+// init (re)builds the node in place for one run, reusing every buffer
+// the receiver already owns. It must reset all run state: recycled
+// nodes come out of nodePool mid-campaign.
+func (n *node) init(cal workload.Calibrated, nodeID int, opt Options) error {
+	m := cal.Platform.Machine
+	n.cal, n.opt = cal, opt
+	n.now = 0
+	n.instr, n.cycles, n.avx, n.bytes = 0, 0, 0, 0
+	n.coreFreqSec, n.imcFreqSec = 0, 0
+	n.pkgJ, n.dramJ = 0, 0
+	n.haveEval = false
+	n.cacheKeys = n.cacheKeys[:0]
+	n.cacheVals = n.cacheVals[:0]
+	n.capRatio = 0
+	n.trace = nil
+	n.lastTraceT, n.lastTraceE, n.lastTraceB = 0, 0, 0
+	n.segIdx, n.iterInSeg = 0, 0
+	n.instrLeft, n.wallLeft = 0, 0
+	n.iterActive, n.done = false, false
+	n.tNoise, n.pNoise = 0, 0
+	n.iterKey, n.prevIterKey = cacheKey{}, cacheKey{}
+	n.iterSingle, n.prevIterSingle = false, false
+	n.lib = nil
+	n.mpiEvents = cal.AppendMPIEvents(n.mpiEvents)
+	n.nctl.n = n
+	if n.curve == nil {
+		n.curve = n.hwCurve()
+	}
+
+	seed := opt.Seed*1000003 + int64(nodeID)*7907 + 1
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(seed))
+	} else {
+		// Seed restores the exact generator state NewSource(seed)
+		// produces, so recycled nodes draw identical noise sequences.
+		n.rng.Seed(seed)
+	}
+
+	ns := m.CPU.Sockets
+	if cap(n.sockStore) < ns {
+		n.sockStore = make([]cpu.Socket, ns)
+		n.ctlStore = make([]uncore.Controller, ns)
+		n.sockets = make([]*cpu.Socket, ns)
+		n.ctls = make([]*uncore.Controller, ns)
+		n.files = make([]*msr.File, ns)
+	} else {
+		n.sockStore = n.sockStore[:ns]
+		n.ctlStore = n.ctlStore[:ns]
+		n.sockets = n.sockets[:ns]
+		n.ctls = n.ctls[:ns]
+		n.files = n.files[:ns]
+	}
+	for s := 0; s < ns; s++ {
+		sock := &n.sockStore[s]
+		if err := sock.Init(m.CPU, s); err != nil {
+			return err
+		}
+		ctl := &n.ctlStore[s]
+		if err := ctl.Init(sock.MSR, n.curve); err != nil {
+			return err
+		}
+		n.sockets[s], n.ctls[s], n.files[s] = sock, ctl, sock.MSR
+	}
+	if err := n.rapl.Init(n.files); err != nil {
+		return err
+	}
+	n.inm.Init()
 
 	// Initial operating point: the paper's baseline is the nominal
 	// frequency with the hardware uncore range wide open.
@@ -215,14 +356,14 @@ func newNode(cal workload.Calibrated, nodeID int, opt Options) (*node, error) {
 	if opt.FixedCPUPstate != nil {
 		p0 = *opt.FixedCPUPstate
 	}
-	nctl := &nodeCtl{n: n}
+	nctl := &n.nctl
 	if err := nctl.SetCPUPstate(p0); err != nil {
-		return nil, err
+		return err
 	}
 	if opt.FixedUncoreRatio != nil {
 		r := *opt.FixedUncoreRatio
 		if err := nctl.SetUncoreLimits(r, r); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -231,14 +372,14 @@ func newNode(cal workload.Calibrated, nodeID int, opt Options) (*node, error) {
 		if opt.DaemonLimits != nil {
 			d, err := eard.NewDaemon(nctl, *opt.DaemonLimits)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			libCtl = d
 		}
 		pcfg := policy.Config{
 			Model:          opt.Model,
-			CPUPolicyTh:    opt.CPUTh,
-			UncPolicyTh:    opt.UncTh,
+			CPUPolicyTh:    *opt.CPUTh,
+			UncPolicyTh:    *opt.UncTh,
 			HWGuided:       !opt.HWGuidedOff,
 			UseAVX512Model: !opt.NoAVX512Model,
 			DefaultPstate:  1,
@@ -249,7 +390,7 @@ func newNode(cal workload.Calibrated, nodeID int, opt Options) (*node, error) {
 		}
 		pol, err := policy.New(opt.Policy, pcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lib, err := earl.New(earl.Config{
 			Policy:       pol,
@@ -257,14 +398,14 @@ func newNode(cal workload.Calibrated, nodeID int, opt Options) (*node, error) {
 			SigChangeTh:  opt.SigChangeTh,
 		}, libCtl)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := lib.Start(0); err != nil {
-			return nil, err
+			return err
 		}
 		n.lib = lib
 	}
-	return n, nil
+	return nil
 }
 
 // hwCurve adapts the workload's heuristic-response curve; the paper's
@@ -292,8 +433,14 @@ func (n *node) evalAt(segIdx int) (evalEntry, error) {
 		uncRatio = n.cal.Platform.Machine.CPU.UncoreMinRatio
 	}
 	key := cacheKey{segIdx, coreRatio, uncRatio, n.capRatio}
-	if e, ok := n.cache[key]; ok {
-		return e, nil
+	if n.haveEval && key == n.lastKey {
+		return n.lastEntry, nil
+	}
+	for i := range n.cacheKeys {
+		if n.cacheKeys[i] == key {
+			n.lastKey, n.lastEntry, n.haveEval = key, n.cacheVals[i], true
+			return n.lastEntry, nil
+		}
 	}
 	seg := n.cal.Segs[segIdx]
 	m := n.cal.Platform.Machine
@@ -318,7 +465,9 @@ func (n *node) evalAt(segIdx int) (evalEntry, error) {
 		brk:      brk,
 		effRatio: uint64(math.Round(res.EffCoreFreq.GHzF() * 10)),
 	}
-	n.cache[key] = e
+	n.cacheKeys = append(n.cacheKeys, key)
+	n.cacheVals = append(n.cacheVals, e)
+	n.lastKey, n.lastEntry, n.haveEval = key, e, true
 	return e, nil
 }
 
@@ -370,8 +519,7 @@ func (n *node) traceSample(e evalEntry) error {
 	dt := n.now - n.lastTraceT
 	energy := n.inm.TrueEnergy()
 	bytes := n.bytes
-	nctl := &nodeCtl{n: n}
-	ps, err := nctl.CurrentPstate()
+	ps, err := n.nctl.CurrentPstate()
 	if err != nil {
 		return err
 	}
@@ -404,7 +552,7 @@ func (n *node) iterationBoundary() error {
 	if n.lib == nil {
 		return nil
 	}
-	if evs := n.cal.MPIEvents(); len(evs) > 0 {
+	if evs := n.mpiEvents; len(evs) > 0 {
 		inner := n.cal.InnerLoopsPerIter
 		if inner < 1 {
 			inner = 1
@@ -426,8 +574,7 @@ func (n *node) result() (NodeResult, error) {
 	if n.now <= 0 || n.instr <= 0 {
 		return NodeResult{}, fmt.Errorf("sim: empty run")
 	}
-	nctl := &nodeCtl{n: n}
-	ps, err := nctl.CurrentPstate()
+	ps, err := n.nctl.CurrentPstate()
 	if err != nil {
 		return NodeResult{}, err
 	}

@@ -11,7 +11,6 @@ import (
 	"goear/internal/eard"
 	"goear/internal/model"
 	"goear/internal/par"
-	"goear/internal/stats"
 	"goear/internal/workload"
 )
 
@@ -20,9 +19,12 @@ type Options struct {
 	// Policy is a registered policy name, or "" / "none" to run without
 	// EARL (the paper's nominal-frequency baseline).
 	Policy string
-	// CPUTh and UncTh are the policy thresholds (defaults 5 % and 2 %).
-	CPUTh float64
-	UncTh float64
+	// CPUTh and UncTh are the policy thresholds. nil means "use the
+	// default" (5 % and 2 %); F(0) requests an explicit zero threshold,
+	// which a plain float64 field could not distinguish from unset —
+	// the ablations need that distinction.
+	CPUTh *float64
+	UncTh *float64
 	// HWGuidedOff disables the HW-guided IMC search start (Fig. 5's
 	// ME+NG-U configuration).
 	HWGuidedOff bool
@@ -43,8 +45,9 @@ type Options struct {
 	// StepSec is the simulation step (default 10 ms, the uncore
 	// controller tick).
 	StepSec float64
-	// NoiseSD is the per-iteration multiplicative noise (default 0.3 %).
-	NoiseSD float64
+	// NoiseSD is the per-iteration multiplicative noise standard
+	// deviation. nil means the default 0.3 %; F(0) runs noiseless.
+	NoiseSD *float64
 	// SigChangeTh overrides EARL's signature-change threshold.
 	SigChangeTh float64
 	// MinWindowSec overrides EARL's signature window.
@@ -52,6 +55,20 @@ type Options struct {
 	// DaemonLimits, when set, routes EARL's actuation through the node
 	// daemon's enforcement (site pstate bounds, uncore floor).
 	DaemonLimits *eard.Limits
+	// MacroStep enables steady-phase fast-forwarding: when an entire
+	// iteration ran at one operating point (no policy actuation, no
+	// uncore controller movement) and the next iteration starts at that
+	// same point, the simulator consumes the whole iteration in one
+	// analytic step instead of walking it in StepSec ticks. Per-
+	// iteration noise draws, EARL events and policy decisions are
+	// unchanged; only the float summation order of the integrals
+	// differs, so results agree with exact mode to a small tolerance
+	// (~1e-3 relative, see DESIGN.md § Performance) instead of being
+	// byte-identical. Off by default; all paper experiments run exact.
+	// Ignored while Trace is on (trace points need per-step sampling)
+	// and by coordinated (powercapped) cluster runs, which must stop at
+	// exact time boundaries.
+	MacroStep bool
 	// Trace records a per-node time series (one point per TraceStepSec
 	// of simulated time) in NodeResult.Trace.
 	Trace bool
@@ -73,28 +90,50 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
-// withDefaults fills unset options.
-func (o Options) withDefaults() Options {
+// F wraps a float64 for the pointer-valued Options fields, so callers
+// can supply explicit values — including zero — inline:
+//
+//	sim.Options{Policy: "min_energy_eufs", UncTh: sim.F(0)}
+func F(v float64) *float64 { return &v }
+
+// WithDefaults returns the options with every unset field resolved to
+// its default. Run and friends apply it internally; it is exported so
+// callers that key caches on option values (the experiment engine) can
+// canonicalise first — two Options that resolve identically behave
+// identically.
+// Shared targets for the defaulted threshold pointers: resolving an
+// unset option must not allocate (Run sits on the experiment hot path).
+// Callers treat Options fields as read-only, so aliasing is safe.
+var (
+	defCPUTh   = 0.05
+	defUncTh   = 0.02
+	defNoiseSD = 0.003
+)
+
+func (o Options) WithDefaults() Options {
 	if o.Policy == "" {
 		o.Policy = "none"
 	}
-	if o.CPUTh == 0 {
-		o.CPUTh = 0.05
+	if o.CPUTh == nil {
+		o.CPUTh = &defCPUTh
 	}
-	if o.UncTh == 0 {
-		o.UncTh = 0.02
+	if o.UncTh == nil {
+		o.UncTh = &defUncTh
 	}
 	if o.StepSec == 0 {
 		o.StepSec = 0.01
 	}
-	if o.NoiseSD == 0 {
-		o.NoiseSD = 0.003
+	if o.NoiseSD == nil {
+		o.NoiseSD = &defNoiseSD
 	}
 	if o.TraceStepSec == 0 {
 		o.TraceStepSec = 1
 	}
 	return o
 }
+
+// withDefaults is the internal spelling of WithDefaults.
+func (o Options) withDefaults() Options { return o.WithDefaults() }
 
 // TracePoint is one sample of a node's operating state.
 type TracePoint struct {
@@ -154,27 +193,39 @@ type Result struct {
 	AvgGBs       float64
 }
 
-// aggregate fills the cluster-level fields from Nodes.
+// aggregate fills the cluster-level fields from Nodes. The accumulation
+// runs in node order with the same operations stats.Max/stats.Mean
+// perform (running maximum; ordered sum, then one divide), so the
+// aggregates are bit-identical to the slice-based formulation while
+// staying allocation-free — this sits inside every run.
 func (r *Result) aggregate() {
-	var times, pows, pkgs, energies, cpus, imcs, cpis, gbs []float64
-	for _, n := range r.Nodes {
-		times = append(times, n.TimeSec)
-		pows = append(pows, n.AvgPowerW)
-		pkgs = append(pkgs, n.AvgPkgPowerW)
-		energies = append(energies, n.EnergyJ)
-		cpus = append(cpus, n.AvgCPUGHz)
-		imcs = append(imcs, n.AvgIMCGHz)
-		cpis = append(cpis, n.AvgCPI)
-		gbs = append(gbs, n.AvgGBs)
+	if len(r.Nodes) == 0 {
+		return
 	}
-	r.TimeSec = stats.Max(times)
-	r.AvgPowerW = stats.Mean(pows)
-	r.AvgPkgPowerW = stats.Mean(pkgs)
-	r.EnergyJ = stats.Mean(energies)
-	r.AvgCPUGHz = stats.Mean(cpus)
-	r.AvgIMCGHz = stats.Mean(imcs)
-	r.AvgCPI = stats.Mean(cpis)
-	r.AvgGBs = stats.Mean(gbs)
+	var pows, pkgs, energies, cpus, imcs, cpis, gbs float64
+	maxT := r.Nodes[0].TimeSec
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		if n.TimeSec > maxT {
+			maxT = n.TimeSec
+		}
+		pows += n.AvgPowerW
+		pkgs += n.AvgPkgPowerW
+		energies += n.EnergyJ
+		cpus += n.AvgCPUGHz
+		imcs += n.AvgIMCGHz
+		cpis += n.AvgCPI
+		gbs += n.AvgGBs
+	}
+	cnt := float64(len(r.Nodes))
+	r.TimeSec = maxT
+	r.AvgPowerW = pows / cnt
+	r.AvgPkgPowerW = pkgs / cnt
+	r.EnergyJ = energies / cnt
+	r.AvgCPUGHz = cpus / cnt
+	r.AvgIMCGHz = imcs / cnt
+	r.AvgCPI = cpis / cnt
+	r.AvgGBs = gbs / cnt
 }
 
 // Run executes the workload on all its nodes under the given options.
@@ -188,6 +239,20 @@ func Run(cal workload.Calibrated, opt Options) (Result, error) {
 	}
 	res := Result{Workload: cal.Name, Policy: opt.Policy}
 	res.Nodes = make([]NodeResult, cal.Nodes)
+	if opt.workers() == 1 || cal.Nodes == 1 {
+		// Same in-order execution par.ForEach performs at limit 1,
+		// without the closure (and the resulting escapes) a parallel
+		// dispatch needs; single-node runs dominate the campaign loop.
+		for nodeID := 0; nodeID < cal.Nodes; nodeID++ {
+			nr, err := runNode(cal, nodeID, opt)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: %s node %d: %w", cal.Name, nodeID, err)
+			}
+			res.Nodes[nodeID] = nr
+		}
+		res.aggregate()
+		return res, nil
+	}
 	err := par.ForEach(opt.workers(), cal.Nodes, func(nodeID int) error {
 		nr, err := runNode(cal, nodeID, opt)
 		if err != nil {
@@ -236,25 +301,30 @@ func RunAveraged(cal workload.Calibrated, opt Options, runs int) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
-	var times, pows, pkgs, energies, cpus, imcs, cpis, gbs []float64
-	for _, r := range results {
-		times = append(times, r.TimeSec)
-		pows = append(pows, r.AvgPowerW)
-		pkgs = append(pkgs, r.AvgPkgPowerW)
-		energies = append(energies, r.EnergyJ)
-		cpus = append(cpus, r.AvgCPUGHz)
-		imcs = append(imcs, r.AvgIMCGHz)
-		cpis = append(cpis, r.AvgCPI)
-		gbs = append(gbs, r.AvgGBs)
+	// Accumulate in run order with stats.Mean's exact operations
+	// (ordered sum, one divide) so the averages are bit-identical to
+	// the former slice-based version at any Workers count.
+	var times, pows, pkgs, energies, cpus, imcs, cpis, gbs float64
+	for i := range results {
+		r := &results[i]
+		times += r.TimeSec
+		pows += r.AvgPowerW
+		pkgs += r.AvgPkgPowerW
+		energies += r.EnergyJ
+		cpus += r.AvgCPUGHz
+		imcs += r.AvgIMCGHz
+		cpis += r.AvgCPI
+		gbs += r.AvgGBs
 	}
+	cnt := float64(runs)
 	acc := results[runs-1]
-	acc.TimeSec = stats.Mean(times)
-	acc.AvgPowerW = stats.Mean(pows)
-	acc.AvgPkgPowerW = stats.Mean(pkgs)
-	acc.EnergyJ = stats.Mean(energies)
-	acc.AvgCPUGHz = stats.Mean(cpus)
-	acc.AvgIMCGHz = stats.Mean(imcs)
-	acc.AvgCPI = stats.Mean(cpis)
-	acc.AvgGBs = stats.Mean(gbs)
+	acc.TimeSec = times / cnt
+	acc.AvgPowerW = pows / cnt
+	acc.AvgPkgPowerW = pkgs / cnt
+	acc.EnergyJ = energies / cnt
+	acc.AvgCPUGHz = cpus / cnt
+	acc.AvgIMCGHz = imcs / cnt
+	acc.AvgCPI = cpis / cnt
+	acc.AvgGBs = gbs / cnt
 	return acc, nil
 }

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+
+	"goear/internal/workload"
+)
+
+// Stepper drives one simulated node tick by tick. It exposes the same
+// resumable core RunCoordinated uses internally, so benchmarks and
+// diagnostics can measure the per-step cost of the simulator's inner
+// loop (tick → perf evaluation → meters → controller → EARL) in
+// isolation from run setup and aggregation.
+type Stepper struct {
+	n *node
+}
+
+// NewStepper builds a node ready to step through the calibrated
+// workload. Options are defaulted exactly as Run does.
+func NewStepper(cal workload.Calibrated, nodeID int, opt Options) (*Stepper, error) {
+	opt = opt.withDefaults()
+	if opt.Policy != "none" && opt.Model == nil {
+		return nil, fmt.Errorf("sim: policy %q needs a trained model", opt.Policy)
+	}
+	n, err := newNode(cal, nodeID, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Stepper{n: n}, nil
+}
+
+// Step advances the node by at most one simulation step. Stepping a
+// finished node is a no-op.
+func (s *Stepper) Step() error { return s.n.stepOnce() }
+
+// Done reports whether the workload has completed.
+func (s *Stepper) Done() bool { return s.n.done }
+
+// Now returns the node's simulated time in seconds.
+func (s *Stepper) Now() float64 { return s.n.now }
+
+// Result assembles the node's outcome; valid once some work has run.
+func (s *Stepper) Result() (NodeResult, error) { return s.n.result() }

@@ -84,13 +84,24 @@ type Controller struct {
 // workload's level is visible in averages, as it is in the paper's
 // 2.39-vs-2.40 GHz readings).
 func NewController(m *msr.File, curve Curve) (*Controller, error) {
+	c := &Controller{}
+	if err := c.Init(m, curve); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Init (re)attaches the controller in place, as NewController does but
+// without allocating, for controllers embedded in a larger allocation.
+func (c *Controller) Init(m *msr.File, curve Curve) error {
 	if m == nil {
-		return nil, fmt.Errorf("uncore: nil MSR file")
+		return fmt.Errorf("uncore: nil MSR file")
 	}
 	if curve == nil {
-		return nil, fmt.Errorf("uncore: nil curve")
+		return fmt.Errorf("uncore: nil curve")
 	}
-	return &Controller{msrs: m, curve: curve}, nil
+	c.msrs, c.curve, c.acc = m, curve, 0
+	return nil
 }
 
 // SetCurve replaces the workload-response curve (used when the simulated
@@ -123,11 +134,13 @@ func (c *Controller) Advance(dt float64, coreRatio uint64) error {
 	return nil
 }
 
-// tick performs one control step.
-func (c *Controller) tick(coreRatio uint64) error {
+// step computes one control decision: the current operating ratio and
+// the ratio the next tick moves to (equal when the controller is
+// settled at its clamped target).
+func (c *Controller) step(coreRatio uint64) (cur, next uint64, err error) {
 	limV, err := c.msrs.Read(msr.MSRUncoreRatioLimit)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	lim := msr.DecodeUncoreRatioLimit(limV)
 
@@ -153,23 +166,53 @@ func (c *Controller) tick(coreRatio uint64) error {
 
 	curV, err := c.msrs.Read(msr.MSRUncorePerfStatus)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
-	cur := msr.DecodeUncorePerfStatus(curV)
+	cur = msr.DecodeUncorePerfStatus(curV)
+	next = cur
 
 	// Re-clamp the operating point immediately if software narrowed the
 	// window under it: the silicon honours 0x620 on the next tick.
 	switch {
-	case cur > lim.MaxRatio:
-		cur = lim.MaxRatio
-	case cur < lim.MinRatio:
-		cur = lim.MinRatio
-	case cur < target:
-		cur++
-	case cur > target:
-		cur--
+	case next > lim.MaxRatio:
+		next = lim.MaxRatio
+	case next < lim.MinRatio:
+		next = lim.MinRatio
+	case next < target:
+		next++
+	case next > target:
+		next--
 	}
-	return c.msrs.WriteHw(msr.MSRUncorePerfStatus, msr.EncodeUncorePerfStatus(cur))
+	return cur, next, nil
+}
+
+// tick performs one control step.
+func (c *Controller) tick(coreRatio uint64) error {
+	cur, next, err := c.step(coreRatio)
+	if err != nil {
+		return err
+	}
+	if next == cur {
+		// Settled at the (clamped) target: nothing to publish. This is
+		// the steady state the controller spends almost all its ticks
+		// in, so skipping the register write keeps the per-step cost at
+		// three atomic loads.
+		return nil
+	}
+	return c.msrs.WriteHw(msr.MSRUncorePerfStatus, msr.EncodeUncorePerfStatus(next))
+}
+
+// Settled reports whether a tick at the given effective core ratio
+// would leave the operating ratio where it is — i.e. the control loop
+// has converged under the current limits. The simulator's macro-step
+// fast-forward requires this: while the controller is still ramping,
+// per-tick stepping is what produces the ramp.
+func (c *Controller) Settled(coreRatio uint64) (bool, error) {
+	cur, next, err := c.step(coreRatio)
+	if err != nil {
+		return false, err
+	}
+	return next == cur, nil
 }
 
 // Current returns the operating uncore ratio.

@@ -297,14 +297,25 @@ func (s Spec) MPIEvents() []uint32 {
 	if s.MPICallsPerIter == 0 {
 		return nil
 	}
-	ev := make([]uint32, s.MPICallsPerIter)
-	for i := range ev {
+	return s.AppendMPIEvents(make([]uint32, 0, s.MPICallsPerIter))
+}
+
+// AppendMPIEvents writes the iteration's call-site sequence into dst
+// (reusing its capacity) and returns the result. It lets per-run state
+// that is recycled across runs keep one event buffer instead of
+// reallocating per iteration or per run.
+func (s Spec) AppendMPIEvents(dst []uint32) []uint32 {
+	dst = dst[:0]
+	if s.MPICallsPerIter == 0 {
+		return dst
+	}
+	for i := 0; i < s.MPICallsPerIter; i++ {
 		// Call-site identifiers: stable hash of name and position.
 		h := uint32(2166136261)
 		for _, c := range s.Name {
 			h = (h ^ uint32(c)) * 16777619
 		}
-		ev[i] = h ^ uint32(i+1)
+		dst = append(dst, h^uint32(i+1))
 	}
-	return ev
+	return dst
 }
