@@ -24,6 +24,7 @@ import (
 	"goear/internal/perf"
 	"goear/internal/power"
 	"goear/internal/sim"
+	"goear/internal/telemetry"
 	"goear/internal/workload"
 )
 
@@ -224,8 +225,12 @@ func BenchmarkDynaisPush(b *testing.B) {
 	}
 }
 
-func BenchmarkSimSecond(b *testing.B) {
+func benchSimSecond(b *testing.B, telemetryOn bool) {
 	// One simulated node-second of BT-MZ.C per iteration (policy off).
+	if telemetryOn {
+		telemetry.Enable()
+		b.Cleanup(telemetry.Disable)
+	}
 	spec, err := workload.Lookup(workload.BTMZC)
 	if err != nil {
 		b.Fatal(err)
@@ -244,10 +249,21 @@ func BenchmarkSimSecond(b *testing.B) {
 	}
 }
 
-// BenchmarkNodeTick measures one pass of the simulator's inner loop —
+func BenchmarkSimSecond(b *testing.B) { benchSimSecond(b, false) }
+
+// BenchmarkSimSecondTelemetry is BenchmarkSimSecond with the global
+// telemetry set enabled; the delta against the plain benchmark is the
+// enabled-instrumentation overhead (DESIGN.md §9).
+func BenchmarkSimSecondTelemetry(b *testing.B) { benchSimSecond(b, true) }
+
+// benchNodeTick measures one pass of the simulator's inner loop —
 // tick, perf evaluation, dynais, EARL — in isolation via sim.Stepper,
 // the per-step cost every experiment above pays millions of times.
-func BenchmarkNodeTick(b *testing.B) {
+func benchNodeTick(b *testing.B, telemetryOn bool) {
+	if telemetryOn {
+		telemetry.Enable()
+		b.Cleanup(telemetry.Disable)
+	}
 	cal := mustCal(b, workload.BTMZC)
 	opt := sim.Options{Policy: "none", Seed: 1}
 	s, err := sim.NewStepper(cal, 0, opt)
@@ -269,6 +285,13 @@ func BenchmarkNodeTick(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkNodeTick(b *testing.B) { benchNodeTick(b, false) }
+
+// BenchmarkNodeTickTelemetry is BenchmarkNodeTick with the global
+// telemetry set enabled (per-step counting is node-local and flushed
+// once per run, so the expected delta is ~zero).
+func BenchmarkNodeTickTelemetry(b *testing.B) { benchNodeTick(b, true) }
 
 // Trace on/off pair: the delta is the cost of per-interval trace
 // sampling, the off case is the production configuration.

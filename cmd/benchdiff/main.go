@@ -109,7 +109,10 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	if *outFile != "" {
 		name := *outFile
 		if name == "auto" {
-			name = "BENCH_" + *date + ".json"
+			name, err = datedSnapshotName(*date)
+			if err != nil {
+				return err
+			}
 		}
 		snap := Snapshot{Date: *date, Label: *label, Go: runtime.Version(), CPU: cpu, Benchmarks: cur}
 		if err := writeSnapshot(name, snap); err != nil {
@@ -264,6 +267,27 @@ func loadSnapshot(path string) (Snapshot, error) {
 		return s, fmt.Errorf("%s: no benchmarks", path)
 	}
 	return s, nil
+}
+
+// datedSnapshotName resolves '-out auto' to BENCH_<date>.json without
+// clobbering an earlier snapshot from the same day: when the dated
+// name is taken, a "-N" suffix is appended (BENCH_<date>-1.json, -2,
+// ...), so repeated runs accumulate instead of silently overwriting.
+func datedSnapshotName(date string) (string, error) {
+	name := "BENCH_" + date + ".json"
+	if _, err := os.Stat(name); os.IsNotExist(err) {
+		return name, nil
+	} else if err != nil {
+		return "", err
+	}
+	for n := 1; ; n++ {
+		name = fmt.Sprintf("BENCH_%s-%d.json", date, n)
+		if _, err := os.Stat(name); os.IsNotExist(err) {
+			return name, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
 }
 
 func writeSnapshot(path string, s Snapshot) error {

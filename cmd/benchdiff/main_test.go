@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -154,6 +155,60 @@ func TestTrajectoryEmit(t *testing.T) {
 	e := snap.Benchmarks["BenchmarkSimSecond"]
 	if e.NsPerOp != 42105 || e.AllocsPerOp != 4 {
 		t.Errorf("snapshot entry = %+v", e)
+	}
+}
+
+// TestAutoSnapshotFreshDate verifies '-out auto' takes the plain dated
+// name when no snapshot from that day exists.
+func TestAutoSnapshotFreshDate(t *testing.T) {
+	base := writeBaseline(t, map[string]Entry{
+		"BenchmarkSimSecond": {NsPerOp: 82110},
+	})
+	t.Chdir(t.TempDir())
+	bench := "BenchmarkSimSecond-8 \t 100 \t 82000 ns/op\n"
+	out, err := diff(t, base, bench, "-out", "auto", "-date", "2026-08-06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote BENCH_2026-08-06.json") {
+		t.Errorf("auto emit output = %q", out)
+	}
+	if _, err := loadSnapshot("BENCH_2026-08-06.json"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoSnapshotSuffix verifies repeated same-day '-out auto' runs
+// append -N suffixes instead of silently overwriting the earlier
+// snapshot.
+func TestAutoSnapshotSuffix(t *testing.T) {
+	base := writeBaseline(t, map[string]Entry{
+		"BenchmarkSimSecond": {NsPerOp: 82110},
+	})
+	t.Chdir(t.TempDir())
+	bench := "BenchmarkSimSecond-8 \t 100 \t 82000 ns/op\n"
+	for i, wantFile := range []string{
+		"BENCH_2026-08-06.json", "BENCH_2026-08-06-1.json", "BENCH_2026-08-06-2.json",
+	} {
+		label := fmt.Sprintf("run-%d", i)
+		if _, err := diff(t, base, bench, "-out", "auto", "-date", "2026-08-06", "-label", label); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := loadSnapshot(wantFile)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if snap.Label != label {
+			t.Errorf("%s label = %q, want %q", wantFile, snap.Label, label)
+		}
+	}
+	// The first snapshot survived untouched.
+	first, err := loadSnapshot("BENCH_2026-08-06.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Label != "run-0" {
+		t.Errorf("first snapshot was overwritten: label = %q", first.Label)
 	}
 }
 

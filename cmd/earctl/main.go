@@ -14,6 +14,7 @@
 //	earctl conf [-f ear.conf]  show the effective site configuration
 //	earctl report -db jobs.json per-application and per-policy energy report
 //	earctl dbd -addr host:port <stats|aggregate|jobs|summary> query a live eardbd
+//	earctl metrics -addr host:port  scrape a daemon's telemetry endpoint
 package main
 
 import (
@@ -22,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
+	"strconv"
 
 	"goear/internal/cpu"
 	"goear/internal/earconf"
@@ -32,6 +35,7 @@ import (
 	"goear/internal/msr"
 	"goear/internal/policy"
 	"goear/internal/report"
+	"goear/internal/telemetry"
 	"goear/internal/wire"
 	"goear/internal/workload"
 )
@@ -45,7 +49,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report|dbd> [flags]")
+		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report|dbd|metrics> [flags]")
 	}
 	switch args[0] {
 	case "workloads":
@@ -72,6 +76,8 @@ func run(args []string, out io.Writer) error {
 		return reportCmd(args[1:], out)
 	case "dbd":
 		return dbdCmd(args[1:], out)
+	case "metrics":
+		return metricsCmd(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -392,6 +398,52 @@ func dbdCmd(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown dbd query %q (stats, aggregate, jobs, summary)", kind)
 	}
+}
+
+// metricsCmd scrapes a daemon's telemetry HTTP endpoint (eardbd
+// -telemetry, earsim -telemetry) and renders the snapshot.
+func metricsCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	addr := fs.String("addr", "", "telemetry HTTP address (host:port)")
+	raw := fs.Bool("raw", false, "print the raw Prometheus exposition instead of a table")
+	events := fs.Bool("events", false, "fetch the event log (/events) instead of the metrics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("metrics needs -addr")
+	}
+	path := "/metrics"
+	if *events {
+		path = "/events"
+	}
+	resp, err := http.Get("http://" + *addr + path)
+	if err != nil {
+		return fmt.Errorf("scrape telemetry: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape telemetry: %s returned %s", path, resp.Status)
+	}
+	if *events || *raw {
+		_, err := io.Copy(out, resp.Body)
+		return err
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return err
+	}
+	t := report.Table{Title: "telemetry snapshot", Columns: []string{"metric", "labels", "value"}}
+	for _, s := range samples {
+		labels := s.Labels
+		if labels == "" {
+			labels = "-"
+		}
+		if err := t.AddRow(s.Name, labels, strconv.FormatFloat(s.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return t.Render(out)
 }
 
 func acct(args []string, out io.Writer) error {

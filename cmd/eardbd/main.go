@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"goear/internal/eard"
 	"goear/internal/eardbd"
+	"goear/internal/telemetry"
 )
 
 func main() {
@@ -48,11 +50,32 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 	dbPath := fs.String("db", "", "JSON accounting database to load and persist")
 	maxFrame := fs.Int("max-frame", 0, "per-frame payload byte limit (default 1 MiB)")
 	maxBatch := fs.Int("max-batch", 0, "records per batch limit (default 1024)")
+	telAddr := fs.String("telemetry", "", "HTTP address serving /metrics and /events (empty = telemetry off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *listen == "" && *unix == "" {
 		return fmt.Errorf("nothing to listen on: pass -listen and/or -unix")
+	}
+
+	// Telemetry must be live before the server is built: instrument
+	// handles are resolved in NewServer.
+	var telLn net.Listener
+	var telSet *telemetry.Set
+	if *telAddr != "" {
+		telSet = telemetry.Enable()
+		var err error
+		telLn, err = net.Listen("tcp", *telAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = telLn.Close() }()
+		fmt.Fprintf(out, "eardbd: telemetry on http://%s/metrics\n", telLn.Addr())
+		go func() {
+			// Serve returns when the listener closes at shutdown; the
+			// daemon's fate is decided by the wire listeners, not this one.
+			_ = http.Serve(telLn, telSet.Handler())
+		}()
 	}
 
 	db := eard.NewDB()
@@ -76,7 +99,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		}
 	}
 
-	srv := eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch})
+	srv := eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch, Telemetry: telSet})
 	var addrs []string
 	serveErr := make(chan error, 2)
 	listenAndServe := func(network, addr string) error {
@@ -100,6 +123,11 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		}
 	}
 	if ready != nil {
+		// The telemetry address (when enabled) rides last so tests can
+		// scrape it; wire addresses keep their positions.
+		if telLn != nil {
+			addrs = append(addrs, telLn.Addr().String())
+		}
 		ready <- addrs
 	}
 

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"goear/internal/earconf"
@@ -24,6 +26,7 @@ import (
 	"goear/internal/eargm"
 	"goear/internal/model"
 	"goear/internal/sim"
+	"goear/internal/telemetry"
 	"goear/internal/units"
 	"goear/internal/workload"
 )
@@ -56,9 +59,32 @@ func run(args []string, out io.Writer) error {
 		template  = fs.Bool("spec-template", false, "print a starter workload definition and exit")
 		powercapW = fs.Float64("powercap", 0, "cluster DC power budget in watts (0 = unmanaged); runs under the global manager")
 		confPath  = fs.String("conf", "", "ear.conf-style site configuration providing defaults and policy authorisation")
+		telAddr   = fs.String("telemetry", "", "HTTP address serving /metrics and /events for the run's duration")
+		metricsTo = fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- = stdout)")
+		eventsTo  = fs.String("events-out", "", "write the final telemetry event log as JSON lines to this file (- = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Telemetry is opt-in: either exposure flag turns the global set on
+	// before any simulation objects resolve their instrument handles.
+	if *telAddr != "" || *metricsTo != "" || *eventsTo != "" {
+		set := telemetry.Enable()
+		if *telAddr != "" {
+			ln, err := net.Listen("tcp", *telAddr)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = ln.Close() }()
+			fmt.Fprintf(out, "telemetry: serving http://%s/metrics for the run\n", ln.Addr())
+			go func() { _ = http.Serve(ln, set.Handler()) }()
+		}
+		defer func() {
+			if err := dumpTelemetry(set, *metricsTo, *eventsTo, out); err != nil {
+				fmt.Fprintln(os.Stderr, "earsim: telemetry dump:", err)
+			}
+		}()
 	}
 
 	conf := earconf.Default()
@@ -128,6 +154,7 @@ func run(args []string, out io.Writer) error {
 		Trace:        *tracePath != "",
 		MinWindowSec: conf.MinSignatureWindowSec,
 		SigChangeTh:  conf.SignatureChangeTh,
+		DecisionLog:  telemetry.Enabled(),
 	}
 	if *pinCPU >= 0 {
 		opt.FixedCPUPstate = pinCPU
@@ -166,6 +193,12 @@ func run(args []string, out io.Writer) error {
 		printResult(out, "run", res)
 	}
 
+	// Feed the run's policy decisions into the global event recorder so
+	// /events and -events-out carry them.
+	if set := telemetry.Default(); set != nil {
+		res.RecordDecisions(set.Rec())
+	}
+
 	if *compare {
 		base, err := sim.RunAveraged(cal, sim.Options{Policy: "none", Seed: 100}, *runs)
 		if err != nil {
@@ -195,6 +228,33 @@ func run(args []string, out io.Writer) error {
 			len(res.Nodes[0].Trace), *tracePath)
 	}
 	return nil
+}
+
+// dumpTelemetry writes the final metrics and event snapshots to the
+// requested sinks ("-" = the command's own output stream).
+func dumpTelemetry(set *telemetry.Set, metricsTo, eventsTo string, out io.Writer) error {
+	sink := func(path string, write func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			return write(out)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		werr := write(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := sink(metricsTo, set.Reg().WritePrometheus); err != nil {
+		return err
+	}
+	return sink(eventsTo, set.Rec().WriteJSONLines)
 }
 
 // writeTrace dumps a node time series as CSV for plotting.

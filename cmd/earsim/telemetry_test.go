@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryDump runs a policy workload with telemetry on and
+// checks the final metrics and event snapshots: simulator and policy
+// families must be populated and every policy decision logged.
+func TestTelemetryDump(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "metrics.prom")
+	ePath := filepath.Join(dir, "events.jsonl")
+	var b strings.Builder
+	err := run([]string{
+		"-workload", "BT-MZ.C", "-policy", "min_energy_eufs", "-runs", "1",
+		"-metrics-out", mPath, "-events-out", ePath,
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metrics, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE goear_sim_steps_total counter",
+		"goear_sim_node_runs_total",
+		`goear_policy_decisions_total{policy="min_energy_eufs",state="ready"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+
+	events, err := os.ReadFile(ePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(events), `"kind":"policy.decision"`) ||
+		!strings.Contains(string(events), `"policy":"min_energy_eufs"`) {
+		t.Errorf("event log missing policy decisions:\n%.400s", events)
+	}
+}
+
+// TestTelemetryHTTP serves the run's telemetry over HTTP and checks
+// the bound address is announced.
+func TestTelemetryHTTP(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-workload", "DGEMM", "-runs", "1", "-telemetry", "127.0.0.1:0",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "telemetry: serving http://") {
+		t.Errorf("output missing telemetry address:\n%s", b.String())
+	}
+}

@@ -58,7 +58,8 @@ func TestAllAnalyzersDisabled(t *testing.T) {
 	var out, errOut strings.Builder
 	args := []string{
 		"-determinism=false", "-unitsafety=false", "-msrfield=false",
-		"-errcheck=false", "-concurrency=false", "goear/internal/units",
+		"-errcheck=false", "-concurrency=false", "-telemetry=false",
+		"goear/internal/units",
 	}
 	if code := run(args, &out, &errOut); code != 2 {
 		t.Errorf("exit = %d, want 2 when every analyzer is disabled", code)

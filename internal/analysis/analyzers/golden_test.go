@@ -30,6 +30,7 @@ func TestGolden(t *testing.T) {
 		{MSRField, "fix/internal/msr", "../testdata/src/msrfield"},
 		{ErrCheck, "fix/internal/errs", "../testdata/src/errcheck"},
 		{Concurrency, "fix2/internal/sim", "../testdata/src/concurrency"},
+		{Telemetry, "fix/internal/telemetrytest", "../testdata/src/telemetry"},
 	}
 	for _, c := range cases {
 		loader.AddDir(c.importPath, c.fixture)
@@ -165,7 +166,7 @@ func TestAllRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"determinism", "unitsafety", "msrfield", "errcheck", "concurrency"} {
+	for _, want := range []string{"determinism", "unitsafety", "msrfield", "errcheck", "concurrency", "telemetry"} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

@@ -14,6 +14,9 @@
 //   - concurrency: no by-value copies of sync primitives, and no raw
 //     goroutines in simulation/experiment code (fan-out goes through
 //     internal/par so determinism and bounds are preserved).
+//   - telemetry: metric names registered with the telemetry registry
+//     must be package-level constants matching ^goear_[a-z0-9_]+$,
+//     each registered at exactly one call site.
 package analyzers
 
 import (
@@ -32,6 +35,7 @@ func All() []*analysis.Analyzer {
 		Determinism,
 		ErrCheck,
 		MSRField,
+		Telemetry,
 		UnitSafety,
 	}
 }

@@ -1,0 +1,123 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"goear/internal/analysis"
+)
+
+// Telemetry enforces the observability naming contract: every metric
+// name handed to a telemetry Registry registration (Counter, Gauge,
+// Histogram and their Vec variants) must be a package-level string
+// constant whose value matches ^goear_[a-z0-9_]+$, and each constant
+// must be registered at exactly one call site. The registry itself is
+// get-or-create (so instance-scoped bundles can share families), which
+// is exactly why the single-call-site rule lives in the analyzer: a
+// second registration of the same name is silently folded at runtime
+// and would hide a copy-paste family collision forever.
+var Telemetry = &analysis.Analyzer{
+	Name: "telemetry",
+	Doc: "metric names passed to telemetry registry registrations must be package-level " +
+		"constants matching ^goear_[a-z0-9_]+$, each registered at exactly one call site",
+	Run: runTelemetry,
+}
+
+var metricNameRx = regexp.MustCompile(`^goear_[a-z0-9_]+$`)
+
+// registryMethods are the Registry methods whose first argument is a
+// metric family name.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+func runTelemetry(pass *analysis.Pass) error {
+	type site struct {
+		pos  token.Pos
+		name string
+	}
+	sites := map[*types.Const][]site{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			s, isMethod := pass.Info.Selections[sel]
+			if !isMethod || !isTelemetryRegistry(s.Recv()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg := stripParens(call.Args[0])
+			c := constOf(pass, arg)
+			if c == nil || c.Pkg() == nil || c.Parent() != c.Pkg().Scope() {
+				pass.Reportf(arg.Pos(), "metric name passed to %s must be a package-level constant", sel.Sel.Name)
+				return true
+			}
+			if c.Val().Kind() == constant.String {
+				if v := constant.StringVal(c.Val()); !metricNameRx.MatchString(v) {
+					pass.Reportf(arg.Pos(), "metric name %q does not match ^goear_[a-z0-9_]+$", v)
+				}
+			}
+			sites[c] = append(sites[c], site{pos: arg.Pos(), name: c.Name()})
+			return true
+		})
+	}
+	// A constant registered from two call sites is a latent family
+	// collision; report every site past the first, in source order.
+	consts := make([]*types.Const, 0, len(sites))
+	for c := range sites {
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool { return sites[consts[i]][0].pos < sites[consts[j]][0].pos })
+	for _, c := range consts {
+		ss := sites[c]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].pos < ss[j].pos })
+		for _, s := range ss[1:] {
+			pass.Reportf(s.pos, "metric constant %s is registered at more than one call site", s.name)
+		}
+	}
+	return nil
+}
+
+// constOf resolves an expression to the constant object it names, if
+// any (a bare identifier or a pkg.Const selector).
+func constOf(pass *analysis.Pass, e ast.Expr) *types.Const {
+	switch e := e.(type) {
+	case *ast.Ident:
+		c, _ := pass.Info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := pass.Info.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// isTelemetryRegistry reports whether t is (a pointer to) the
+// telemetry package's Registry type.
+func isTelemetryRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return analysis.PathMatches(named.Obj().Pkg().Path(), "internal/telemetry") &&
+		named.Obj().Name() == "Registry"
+}

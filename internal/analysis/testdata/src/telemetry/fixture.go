@@ -1,0 +1,77 @@
+// Package telemetrytest is a goearvet test fixture exercising the
+// metric-naming checks over the real goear/internal/telemetry
+// registry.
+package telemetrytest
+
+import "goear/internal/telemetry"
+
+// The clean pattern: one package-level constant, one registration.
+const (
+	metricGoodCounter = "goear_fixture_requests_total"
+	metricGoodGauge   = "goear_fixture_power_watts"
+	metricGoodHist    = "goear_fixture_latency_seconds"
+	metricGoodVec     = "goear_fixture_batches_total"
+)
+
+// Names violating the ^goear_[a-z0-9_]+$ contract.
+const (
+	metricNoPrefix  = "fixture_requests_total"
+	metricUpperCase = "goear_Fixture_Requests"
+	metricHyphen    = "goear_fixture-requests"
+)
+
+var latencyBounds = []float64{0.1, 1, 10}
+
+func goodRegistrations(r *telemetry.Registry) {
+	r.Counter(metricGoodCounter, "requests served")
+	r.Gauge(metricGoodGauge, "instantaneous power draw")
+	r.Histogram(metricGoodHist, "request latency", latencyBounds)
+	r.CounterVec(metricGoodVec, "batches by result", "result")
+}
+
+func literalName(r *telemetry.Registry) {
+	r.Counter("goear_fixture_literal_total", "literal name") // want `metric name passed to Counter must be a package-level constant`
+}
+
+func localConstName(r *telemetry.Registry) {
+	const local = "goear_fixture_local_total"
+	r.Gauge(local, "local constant") // want `metric name passed to Gauge must be a package-level constant`
+}
+
+var varName = "goear_fixture_var_total"
+
+func variableName(r *telemetry.Registry) {
+	r.CounterVec(varName, "package-level var, still not a constant", "result") // want `metric name passed to CounterVec must be a package-level constant`
+}
+
+func computedName(r *telemetry.Registry, suffix string) {
+	r.Counter("goear_fixture_"+suffix, "computed name") // want `metric name passed to Counter must be a package-level constant`
+}
+
+func badNames(r *telemetry.Registry) {
+	r.Counter(metricNoPrefix, "missing goear_ prefix")  // want `metric name "fixture_requests_total" does not match`
+	r.Gauge(metricUpperCase, "upper-case letters")      // want `metric name "goear_Fixture_Requests" does not match`
+	r.HistogramVec(metricHyphen, "hyphen", nil, "node") // want `metric name "goear_fixture-requests" does not match`
+}
+
+const metricTwice = "goear_fixture_twice_total"
+
+func firstRegistration(r *telemetry.Registry) {
+	r.Counter(metricTwice, "registered here first")
+}
+
+func secondRegistration(r *telemetry.Registry) {
+	r.Counter(metricTwice, "and again here") // want `metric constant metricTwice is registered at more than one call site`
+}
+
+// notARegistry has the same method names as Registry; calls through it
+// must not be flagged.
+type notARegistry struct{}
+
+func (notARegistry) Counter(name, help string) {}
+func (notARegistry) Gauge(name, help string)   {}
+
+func unrelatedReceiver(n notARegistry) {
+	n.Counter("whatever name", "different receiver type")
+	n.Gauge("GOES_unchecked", "ditto")
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"goear/internal/eard"
+	"goear/internal/telemetry"
 	"goear/internal/wire"
 )
 
@@ -67,6 +68,11 @@ type ClientConfig struct {
 	// without one, undeliverable batches stay queued and new records are
 	// dropped once the queue fills.
 	Journal *Journal
+	// Telemetry, when set, mirrors the ClientStats counters into that
+	// set's registry (goear_eardbd_client_* families) and logs spill and
+	// replay events. Falls back to the process-global telemetry set; nil
+	// when that is disabled too, making every instrument a no-op.
+	Telemetry *telemetry.Set
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -128,6 +134,7 @@ type ClientStats struct {
 // concurrent use; all time and randomness are injected.
 type Client struct {
 	cfg ClientConfig
+	tel clientTel
 
 	mu        sync.Mutex
 	conn      net.Conn
@@ -144,7 +151,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	c := &Client{cfg: cfg, lastFlush: cfg.Clock.Now()}
+	ts := cfg.Telemetry
+	if ts == nil {
+		ts = telemetry.Default()
+	}
+	c := &Client{cfg: cfg, tel: newClientTel(ts), lastFlush: cfg.Clock.Now()}
 	if cfg.Journal != nil {
 		// Resume the batch sequence past anything a previous process
 		// spilled: reusing an ID would make the server's seen-window drop
@@ -187,10 +198,12 @@ func (c *Client) Enqueue(r eard.JobRecord) error {
 	if len(c.queue) >= c.cfg.QueueCap {
 		if c.cfg.Journal == nil {
 			c.stats.RecordsDropped++
+			c.tel.dropped.Inc()
 			return ErrQueueFull
 		}
 		if err := c.spillQueueLocked(); err != nil {
 			c.stats.RecordsDropped++
+			c.tel.dropped.Inc()
 			return err
 		}
 	}
@@ -258,6 +271,7 @@ func (c *Client) Queued() int {
 // redelivery after a lost ack detectable server-side.
 func (c *Client) flushLocked() error {
 	c.stats.Flushes++
+	c.tel.flushes.Inc()
 	c.lastFlush = c.cfg.Clock.Now()
 	if err := c.replayLocked(); err != nil {
 		// The daemon is unreachable; spill the live queue too and let a
@@ -295,6 +309,8 @@ func (c *Client) flushLocked() error {
 			// Permanent: drop the poison batch.
 			c.stats.BatchesRejected++
 			c.stats.RecordsDropped += len(c.queue)
+			c.tel.rejected.Inc()
+			c.tel.dropped.Add(uint64(len(c.queue)))
 			c.queue = nil
 		}
 	}
@@ -313,11 +329,15 @@ func (c *Client) replayLocked() error {
 		switch {
 		case err == nil:
 			c.stats.BatchesReplayed++
+			c.tel.replayed.Inc()
+			c.tel.event(c.cfg.Clock.Now(), "eardbd.replay", c.cfg.Node, b.ID, len(b.Records))
 		case errors.As(err, &rej):
 			// The daemon will never take this batch; keeping it would
 			// wedge the journal forever.
 			c.stats.BatchesRejected++
 			c.stats.RecordsDropped += len(b.Records)
+			c.tel.rejected.Inc()
+			c.tel.dropped.Add(uint64(len(b.Records)))
 		default:
 			return err
 		}
@@ -339,7 +359,10 @@ func (c *Client) sendBatchLocked(b wire.Batch) error {
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.stats.Retries++
-			c.cfg.Clock.Sleep(c.backoff(attempt))
+			c.tel.retries.Inc()
+			d := c.backoff(attempt)
+			c.tel.backoff.Observe(d)
+			c.cfg.Clock.Sleep(d)
 		}
 		if c.conn == nil {
 			conn, err := c.cfg.Dial()
@@ -347,6 +370,7 @@ func (c *Client) sendBatchLocked(b wire.Batch) error {
 				continue
 			}
 			c.stats.Redials++
+			c.tel.redials.Inc()
 			c.conn = conn
 		}
 		if err := wire.WriteFrame(c.conn, f, c.cfg.MaxFramePayload); err != nil {
@@ -367,6 +391,8 @@ func (c *Client) sendBatchLocked(b wire.Batch) error {
 			}
 			c.stats.BatchesSent++
 			c.stats.RecordsSent += len(b.Records)
+			c.tel.sent.Inc()
+			c.tel.recSent.Add(uint64(len(b.Records)))
 			return nil
 		case wire.TypeError:
 			ef, err := resp.AsError()
@@ -422,6 +448,8 @@ func (c *Client) journalBatchLocked(b wire.Batch) error {
 	}
 	c.stats.BatchesSpilled++
 	c.stats.RecordsSpilled += len(b.Records)
+	c.tel.spilled.Inc()
+	c.tel.event(c.cfg.Clock.Now(), "eardbd.spill", c.cfg.Node, b.ID, len(b.Records))
 	return nil
 }
 

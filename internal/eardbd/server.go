@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"goear/internal/eard"
+	"goear/internal/telemetry"
 	"goear/internal/wire"
 )
 
@@ -39,6 +40,11 @@ type Config struct {
 	// replays a batch older than the window, and even then the replay is
 	// caught record-by-record against the database.
 	MaxSeenBatches int
+	// Telemetry, when set, mirrors the Stats counters into that set's
+	// registry (goear_eardbd_* families) and logs batch outcomes to its
+	// event recorder. Falls back to the process-global telemetry set;
+	// nil when that is disabled too, making every instrument a no-op.
+	Telemetry *telemetry.Set
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +88,7 @@ type Aggregate struct {
 type Server struct {
 	cfg Config
 	db  *eard.DB
+	tel serverTel
 
 	mu        sync.Mutex
 	seen      map[string]bool
@@ -96,11 +103,18 @@ type Server struct {
 	wg        sync.WaitGroup
 }
 
-// NewServer builds a server folding records into db.
+// NewServer builds a server folding records into db. Telemetry
+// handles are resolved here, once: enabling the global set after
+// construction does not retrofit an existing server.
 func NewServer(db *eard.DB, cfg Config) *Server {
+	ts := cfg.Telemetry
+	if ts == nil {
+		ts = telemetry.Default()
+	}
 	return &Server{
 		cfg:       cfg.withDefaults(),
 		db:        db,
+		tel:       newServerTel(ts),
 		seen:      map[string]bool{},
 		nodeW:     map[string]float64{},
 		listeners: map[net.Listener]struct{}{},
@@ -191,6 +205,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Lock()
 	s.stats.Connections++
 	s.mu.Unlock()
+	s.tel.conns.Inc()
 	for {
 		f, err := wire.ReadFrame(conn, s.cfg.MaxFramePayload)
 		if err != nil {
@@ -251,6 +266,9 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 		s.stats.Batches++
 		s.stats.DuplicateBatches++
 		s.mu.Unlock()
+		s.tel.batchDup.Inc()
+		s.tel.recDup.Add(uint64(len(b.Records)))
+		s.tel.batchEvent(b.Node, b.ID, "duplicate", &int3{b: len(b.Records)})
 		return s.reply(conn, mustAck(wire.Ack{BatchID: b.ID, Duplicate: len(b.Records)}))
 	}
 	s.mu.Unlock()
@@ -293,6 +311,11 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 		s.seenQueue = s.seenQueue[1:]
 	}
 	s.mu.Unlock()
+	s.tel.batchOK.Inc()
+	s.tel.recAccept.Add(uint64(ack.Accepted))
+	s.tel.recDup.Add(uint64(ack.Duplicate))
+	s.tel.recReplace.Add(uint64(ack.Replaced))
+	s.tel.batchEvent(b.Node, b.ID, "accepted", &int3{ack.Accepted, ack.Duplicate, ack.Replaced})
 	return s.reply(conn, mustAck(ack))
 }
 
@@ -308,6 +331,7 @@ func (s *Server) handleQuery(conn net.Conn, f wire.Frame) bool {
 	s.mu.Lock()
 	s.stats.Queries++
 	s.mu.Unlock()
+	s.tel.queries.Inc()
 	var resp wire.Frame
 	switch q.Kind {
 	case wire.QueryStats:
@@ -391,6 +415,7 @@ func (s *Server) countProtocolError() {
 	s.mu.Lock()
 	s.stats.ProtocolErrors++
 	s.mu.Unlock()
+	s.tel.protoErrs.Inc()
 }
 
 // rejectBatch counts and reports a permanent (non-retryable) batch
@@ -399,6 +424,8 @@ func (s *Server) rejectBatch(conn net.Conn, msg string) {
 	s.mu.Lock()
 	s.stats.BatchesRejected++
 	s.mu.Unlock()
+	s.tel.batchRej.Inc()
+	s.tel.batchEvent("", "", "rejected", nil)
 	s.reply(conn, mustError(msg))
 }
 

@@ -1,0 +1,144 @@
+package eardbd
+
+import (
+	"goear/internal/telemetry"
+)
+
+// Metric names (package-level constants per the goearvet telemetry
+// analyzer). Server- and client-side families are distinct so one
+// process hosting both (tests, simulations) keeps them apart.
+const (
+	metricDBDConnections = "goear_eardbd_connections_total"
+	metricDBDBatches     = "goear_eardbd_batches_total"
+	metricDBDRecords     = "goear_eardbd_records_total"
+	metricDBDProtoErrors = "goear_eardbd_protocol_errors_total"
+	metricDBDQueries     = "goear_eardbd_queries_total"
+
+	metricDBDClientFlushes     = "goear_eardbd_client_flushes_total"
+	metricDBDClientBatchesSent = "goear_eardbd_client_batches_sent_total"
+	metricDBDClientRecordsSent = "goear_eardbd_client_records_sent_total"
+	metricDBDClientRetries     = "goear_eardbd_client_retries_total"
+	metricDBDClientRedials     = "goear_eardbd_client_redials_total"
+	metricDBDClientSpilled     = "goear_eardbd_client_batches_spilled_total"
+	metricDBDClientReplayed    = "goear_eardbd_client_batches_replayed_total"
+	metricDBDClientRejected    = "goear_eardbd_client_batches_rejected_total"
+	metricDBDClientDropped     = "goear_eardbd_client_records_dropped_total"
+	metricDBDClientBackoff     = "goear_eardbd_client_backoff_seconds"
+)
+
+// backoffBounds buckets client backoff sleeps in seconds, spanning the
+// default schedule (base 0.5 s doubling to the 30 s cap, jittered down
+// to half).
+var backoffBounds = []float64{0.1, 0.25, 0.5, 1, 2, 5, 10, 30}
+
+// serverTel is a server's pre-resolved instrument bundle. Handles are
+// resolved once in NewServer; with telemetry absent every field is nil
+// and each use is a nil-receiver no-op. The registry's get-or-create
+// family semantics let several servers (or servers and clients) share
+// one Set: they fold into the same series.
+type serverTel struct {
+	conns      *telemetry.Counter
+	batchOK    *telemetry.Counter // result="accepted"
+	batchDup   *telemetry.Counter // result="duplicate" (dedup-window hit)
+	batchRej   *telemetry.Counter // result="rejected"
+	recAccept  *telemetry.Counter // result="accepted"
+	recDup     *telemetry.Counter // result="duplicate"
+	recReplace *telemetry.Counter // result="replaced"
+	protoErrs  *telemetry.Counter
+	queries    *telemetry.Counter
+	rec        *telemetry.Recorder
+}
+
+func newServerTel(s *telemetry.Set) serverTel {
+	r := s.Reg()
+	batches := r.CounterVec(metricDBDBatches, "batches handled by outcome", "result")
+	records := r.CounterVec(metricDBDRecords, "records folded into the database by outcome", "result")
+	return serverTel{
+		conns:      r.Counter(metricDBDConnections, "connections accepted"),
+		batchOK:    batches.With("accepted"),
+		batchDup:   batches.With("duplicate"),
+		batchRej:   batches.With("rejected"),
+		recAccept:  records.With("accepted"),
+		recDup:     records.With("duplicate"),
+		recReplace: records.With("replaced"),
+		protoErrs:  r.Counter(metricDBDProtoErrors, "malformed frames and internal store failures"),
+		queries:    r.Counter(metricDBDQueries, "snapshot queries answered"),
+		rec:        s.Rec(),
+	}
+}
+
+// batchEvent records one batch outcome in the event log. The daemon
+// has no injected clock (wall time is banned repo-wide), so events
+// carry no timestamp; the recorder's sequence numbers order them.
+func (t serverTel) batchEvent(node, id, result string, ack *int3) {
+	if t.rec == nil {
+		return
+	}
+	ev := telemetry.Event{
+		Kind: "eardbd.batch",
+		Src:  node,
+		Str:  map[string]string{"result": result},
+	}
+	if id != "" {
+		ev.Str["id"] = id
+	}
+	if ack != nil {
+		ev.Num = map[string]float64{
+			"accepted":  float64(ack.a),
+			"duplicate": float64(ack.b),
+			"replaced":  float64(ack.c),
+		}
+	}
+	t.rec.Record(ev)
+}
+
+// int3 carries a batch ack's three record counts to batchEvent without
+// importing wire types here.
+type int3 struct{ a, b, c int }
+
+// clientTel is a client's pre-resolved instrument bundle; same nil
+// no-op semantics as serverTel.
+type clientTel struct {
+	flushes  *telemetry.Counter
+	sent     *telemetry.Counter
+	recSent  *telemetry.Counter
+	retries  *telemetry.Counter
+	redials  *telemetry.Counter
+	spilled  *telemetry.Counter
+	replayed *telemetry.Counter
+	rejected *telemetry.Counter
+	dropped  *telemetry.Counter
+	backoff  *telemetry.Histogram
+	rec      *telemetry.Recorder
+}
+
+func newClientTel(s *telemetry.Set) clientTel {
+	r := s.Reg()
+	return clientTel{
+		flushes:  r.Counter(metricDBDClientFlushes, "flush cycles started"),
+		sent:     r.Counter(metricDBDClientBatchesSent, "batches acked by the daemon"),
+		recSent:  r.Counter(metricDBDClientRecordsSent, "records acked by the daemon"),
+		retries:  r.Counter(metricDBDClientRetries, "delivery retries after a failed attempt"),
+		redials:  r.Counter(metricDBDClientRedials, "connections (re)established to the daemon"),
+		spilled:  r.Counter(metricDBDClientSpilled, "batches spilled to the journal"),
+		replayed: r.Counter(metricDBDClientReplayed, "journaled batches redelivered and acked"),
+		rejected: r.Counter(metricDBDClientRejected, "batches dropped on permanent server rejection"),
+		dropped:  r.Counter(metricDBDClientDropped, "records lost to queue overflow or rejection"),
+		backoff:  r.Histogram(metricDBDClientBackoff, "backoff sleep before a retry, seconds", backoffBounds),
+		rec:      s.Rec(),
+	}
+}
+
+// event records one client-side event stamped with the injected clock.
+func (t clientTel) event(now float64, kind, node, id string, records int) {
+	if t.rec == nil {
+		return
+	}
+	t.rec.Record(telemetry.Event{
+		TimeSec: now,
+		Kind:    kind,
+		Src:     node,
+		Str:     map[string]string{"id": id},
+		Num:     map[string]float64{"records": float64(records)},
+	})
+}

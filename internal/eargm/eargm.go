@@ -14,6 +14,8 @@ package eargm
 
 import (
 	"fmt"
+
+	"goear/internal/telemetry"
 )
 
 // Config parameterises the manager.
@@ -36,6 +38,12 @@ type Config struct {
 	// SettleIntervals is how many consecutive below-release intervals
 	// are required before relaxing (default 2).
 	SettleIntervals int
+	// Telemetry, when set, exposes the manager's activity as
+	// goear_eargm_* instruments and logs ratchet transitions to that
+	// set's event recorder. Falls back to the process-global telemetry
+	// set; nil when that is disabled too, making every instrument a
+	// no-op.
+	Telemetry *telemetry.Set
 }
 
 // Defaults fills unset fields.
@@ -86,6 +94,7 @@ type Event struct {
 // Manager is the global power manager. It implements sim.PowerManager.
 type Manager struct {
 	cfg Config
+	tel gmTel
 
 	cap        int // 0 = released
 	belowCount int
@@ -101,7 +110,11 @@ func New(cfg Config) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Manager{cfg: cfg}, nil
+	ts := cfg.Telemetry
+	if ts == nil {
+		ts = telemetry.Default()
+	}
+	return &Manager{cfg: cfg, tel: newGMTel(ts)}, nil
 }
 
 // Interval implements sim.PowerManager.
@@ -152,6 +165,17 @@ func (m *Manager) Update(now float64, nodePowerW []float64) (int, error) {
 
 	ev.Cap = m.cap
 	m.events = append(m.events, ev)
+	m.tel.intervals.Inc()
+	m.tel.cap.Set(float64(m.cap))
+	m.tel.power.Set(total)
+	switch {
+	case ev.Deepened:
+		m.tel.deepened.Inc()
+		m.tel.transition(now, "deepen", m.cap, total)
+	case ev.Relaxed:
+		m.tel.relaxed.Inc()
+		m.tel.transition(now, "relax", m.cap, total)
+	}
 	return m.cap, nil
 }
 

@@ -1,0 +1,53 @@
+package eargm
+
+import (
+	"goear/internal/telemetry"
+)
+
+// Metric names (package-level constants per the goearvet telemetry
+// analyzer).
+const (
+	metricGMIntervals = "goear_eargm_intervals_total"
+	metricGMDeepened  = "goear_eargm_cap_deepened_total"
+	metricGMRelaxed   = "goear_eargm_cap_relaxed_total"
+	metricGMCap       = "goear_eargm_cap_pstate"
+	metricGMPower     = "goear_eargm_total_power_watts"
+)
+
+// gmTel is a manager's pre-resolved instrument bundle; nil fields
+// (telemetry absent) make every use a nil-receiver no-op.
+type gmTel struct {
+	intervals *telemetry.Counter
+	deepened  *telemetry.Counter
+	relaxed   *telemetry.Counter
+	cap       *telemetry.Gauge
+	power     *telemetry.Gauge
+	rec       *telemetry.Recorder
+}
+
+func newGMTel(s *telemetry.Set) gmTel {
+	r := s.Reg()
+	return gmTel{
+		intervals: r.Counter(metricGMIntervals, "control intervals evaluated"),
+		deepened:  r.Counter(metricGMDeepened, "intervals that deepened the pstate cap"),
+		relaxed:   r.Counter(metricGMRelaxed, "intervals that relaxed the pstate cap"),
+		cap:       r.Gauge(metricGMCap, "current cluster pstate ceiling (0 = released)"),
+		power:     r.Gauge(metricGMPower, "last observed total cluster DC power"),
+		rec:       s.Rec(),
+	}
+}
+
+// transition logs one ratchet transition (a deepen or relax decision)
+// to the event recorder, stamped with simulated time.
+func (t gmTel) transition(now float64, action string, capP int, totalW float64) {
+	if t.rec == nil {
+		return
+	}
+	t.rec.Record(telemetry.Event{
+		TimeSec: now,
+		Kind:    "eargm.ratchet",
+		Src:     "eargm",
+		Str:     map[string]string{"action": action},
+		Num:     map[string]float64{"cap_pstate": float64(capP), "total_power_w": totalW},
+	})
+}

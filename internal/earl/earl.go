@@ -107,6 +107,10 @@ type Event struct {
 	Applied     bool
 	Validated   bool
 	SigChange   bool
+	// Pred is the policy's model projection behind this decision (zero
+	// when the policy exposes none); HavePred distinguishes the two.
+	Pred     policy.PredictionView
+	HavePred bool
 }
 
 // Library is one node's EARL instance.
@@ -234,6 +238,9 @@ func (l *Library) newSignature(sig metrics.Signature, now float64, timeGuided bo
 			return err
 		}
 		ev.PolicyState, ev.Freqs, ev.Applied = pst, nf, true
+		if pr, ok := l.cfg.Policy.(policy.Predictor); ok {
+			ev.Pred, ev.HavePred = pr.LastPrediction()
+		}
 		if pst == policy.Ready {
 			l.state = ValidatePolicy
 			l.haveStable = false

@@ -18,12 +18,12 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"goear/internal/eargm"
 	"goear/internal/model"
 	"goear/internal/report"
 	"goear/internal/sim"
+	"goear/internal/telemetry"
 	"goear/internal/units"
 	"goear/internal/workload"
 )
@@ -43,9 +43,16 @@ type Context struct {
 	cals   flight[workload.Calibrated]
 	runs   flight[sim.Result]
 
-	modelsTrained   atomic.Int64
-	calibrationsRun atomic.Int64
-	runsExecuted    atomic.Int64
+	// Cache activity, kept directly in telemetry counters (standalone
+	// instruments; Stats() is a thin view over them). With global
+	// telemetry enabled the same activity is also mirrored into the
+	// goear_experiments_cache_* families across all contexts.
+	modelRequests   telemetry.Counter
+	calRequests     telemetry.Counter
+	runRequests     telemetry.Counter
+	modelsTrained   telemetry.Counter
+	calibrationsRun telemetry.Counter
+	runsExecuted    telemetry.Counter
 }
 
 // New returns a context with the paper's protocol (three runs).
@@ -79,12 +86,19 @@ func (c *Context) runCount() int {
 // cal returns the cached calibration of a catalogue workload,
 // calibrating it exactly once however many goroutines ask.
 func (c *Context) cal(name string) (workload.Calibrated, error) {
+	c.calRequests.Inc()
+	if t := tel.Load(); t != nil {
+		t.calReq.Inc()
+	}
 	return c.cals.do(name, func() (workload.Calibrated, error) {
 		spec, err := workload.Lookup(name)
 		if err != nil {
 			return workload.Calibrated{}, err
 		}
-		c.calibrationsRun.Add(1)
+		c.calibrationsRun.Inc()
+		if t := tel.Load(); t != nil {
+			t.calComp.Inc()
+		}
 		return spec.Calibrate()
 	})
 }
@@ -92,8 +106,15 @@ func (c *Context) cal(name string) (workload.Calibrated, error) {
 // modelFor returns the (lazily trained) energy model of a platform,
 // training it exactly once however many goroutines ask.
 func (c *Context) modelFor(pl workload.Platform) (*model.Model, error) {
+	c.modelRequests.Inc()
+	if t := tel.Load(); t != nil {
+		t.modelReq.Inc()
+	}
 	return c.models.do(pl.Name, func() (*model.Model, error) {
-		c.modelsTrained.Add(1)
+		c.modelsTrained.Inc()
+		if t := tel.Load(); t != nil {
+			t.modelComp.Inc()
+		}
 		m, err := model.TrainForCPU(pl.Machine, pl.Power)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: training model for %s: %w", pl.Name, err)
@@ -116,10 +137,10 @@ func runKey(name string, o sim.Options, runs int) string {
 	if o.FixedUncoreRatio != nil {
 		fu = *o.FixedUncoreRatio
 	}
-	return fmt.Sprintf("%s|%s|%.4f|%.4f|g%v|a%v|p%v|fp%d|fu%d|r%d|s%d|sc%.4f|w%.2f|st%.4f|n%.4f",
+	return fmt.Sprintf("%s|%s|%.4f|%.4f|g%v|a%v|p%v|fp%d|fu%d|r%d|s%d|sc%.4f|w%.2f|st%.4f|n%.4f|d%v",
 		name, o.Policy, *o.CPUTh, *o.UncTh, o.HWGuidedOff, o.NoAVX512Model,
 		o.PinBothUncoreLimits, fp, fu, runs,
-		o.Seed, o.SigChangeTh, o.MinWindowSec, o.StepSec, *o.NoiseSD)
+		o.Seed, o.SigChangeTh, o.MinWindowSec, o.StepSec, *o.NoiseSD, o.DecisionLog)
 }
 
 // run executes (or recalls) an averaged run of the named workload.
@@ -138,8 +159,15 @@ func (c *Context) run(name string, opt sim.Options) (sim.Result, error) {
 	}
 	opt.Workers = c.workers()
 	runs := c.runCount()
+	c.runRequests.Inc()
+	if t := tel.Load(); t != nil {
+		t.runReq.Inc()
+	}
 	return c.runs.do(runKey(name, opt, runs), func() (sim.Result, error) {
-		c.runsExecuted.Add(1)
+		c.runsExecuted.Inc()
+		if t := tel.Load(); t != nil {
+			t.runComp.Inc()
+		}
 		return sim.RunAveraged(calw, opt, runs)
 	})
 }

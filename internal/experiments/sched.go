@@ -84,8 +84,10 @@ func (f *flight[V]) snapshot() map[string]V {
 
 // CacheStats reports the context's cache population and how much work
 // was actually executed to build it. With singleflight deduplication
-// the two columns are equal — each distinct model, calibration and run
-// is computed exactly once regardless of concurrency.
+// the key and execution columns are equal — each distinct model,
+// calibration and run is computed exactly once regardless of
+// concurrency. It is a thin view assembled on demand from the
+// context's telemetry counters (see Context's counter fields).
 type CacheStats struct {
 	// Models / Calibrations / Runs count distinct cache keys requested.
 	Models       int
@@ -96,6 +98,11 @@ type CacheStats struct {
 	ModelsTrained   int
 	CalibrationsRun int
 	RunsExecuted    int
+	// ModelHits / CalibrationHits / RunHits count requests served from
+	// the cache (requests minus computations).
+	ModelHits       int
+	CalibrationHits int
+	RunHits         int
 }
 
 // Stats snapshots the context's cache counters.
@@ -104,9 +111,12 @@ func (c *Context) Stats() CacheStats {
 		Models:          c.models.len(),
 		Calibrations:    c.cals.len(),
 		Runs:            c.runs.len(),
-		ModelsTrained:   int(c.modelsTrained.Load()),
-		CalibrationsRun: int(c.calibrationsRun.Load()),
-		RunsExecuted:    int(c.runsExecuted.Load()),
+		ModelsTrained:   int(c.modelsTrained.Value()),
+		CalibrationsRun: int(c.calibrationsRun.Value()),
+		RunsExecuted:    int(c.runsExecuted.Value()),
+		ModelHits:       int(c.modelRequests.Value() - c.modelsTrained.Value()),
+		CalibrationHits: int(c.calRequests.Value() - c.calibrationsRun.Value()),
+		RunHits:         int(c.runRequests.Value() - c.runsExecuted.Value()),
 	}
 }
 

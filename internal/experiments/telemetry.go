@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"goear/internal/telemetry"
+)
+
+// Metric names (package-level constants per the goearvet telemetry
+// analyzer).
+const (
+	metricExpCacheRequests = "goear_experiments_cache_requests_total"
+	metricExpCacheComputes = "goear_experiments_cache_computes_total"
+)
+
+// expTel mirrors every context's cache activity into the global
+// registry; handles are pre-resolved per cache label so the request
+// path never hashes label strings.
+type expTel struct {
+	modelReq, calReq, runReq    *telemetry.Counter
+	modelComp, calComp, runComp *telemetry.Counter
+}
+
+var tel atomic.Pointer[expTel]
+
+func init() {
+	telemetry.OnEnable(func(s *telemetry.Set) {
+		if s == nil {
+			tel.Store(nil)
+			return
+		}
+		r := s.Registry
+		req := r.CounterVec(metricExpCacheRequests, "singleflight cache requests by cache", "cache")
+		comp := r.CounterVec(metricExpCacheComputes, "singleflight cache computations (misses) by cache", "cache")
+		tel.Store(&expTel{
+			modelReq:  req.With("model"),
+			calReq:    req.With("calibration"),
+			runReq:    req.With("run"),
+			modelComp: comp.With("model"),
+			calComp:   comp.With("calibration"),
+			runComp:   comp.With("run"),
+		})
+	})
+}

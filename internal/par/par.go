@@ -25,16 +25,30 @@ func ForEach(limit, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	tl := tel.Load()
 	if limit <= 1 || n == 1 {
+		if tl != nil {
+			tl.inline.Inc()
+		}
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
+				if tl != nil {
+					tl.tasks.Add(uint64(i))
+				}
 				return err
 			}
+		}
+		if tl != nil {
+			tl.tasks.Add(uint64(n))
 		}
 		return nil
 	}
 	if limit > n {
 		limit = n
+	}
+	if tl != nil {
+		tl.workers.Add(uint64(limit))
+		tl.queue.Add(float64(n))
 	}
 
 	var (
@@ -43,6 +57,7 @@ func ForEach(limit, n int, fn func(i int) error) error {
 		mu     sync.Mutex
 		errIdx = n
 		first  error
+		done   atomic.Int64
 		wg     sync.WaitGroup
 	)
 	record := func(i int, err error) {
@@ -57,6 +72,16 @@ func ForEach(limit, n int, fn func(i int) error) error {
 	for w := 0; w < limit; w++ {
 		go func() {
 			defer wg.Done()
+			completed := 0
+			if tl != nil {
+				tl.active.Add(1)
+				defer func() {
+					tl.active.Add(-1)
+					tl.tasks.Add(uint64(completed))
+					tl.queue.Add(-float64(completed))
+					done.Add(int64(completed))
+				}()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
@@ -66,10 +91,16 @@ func ForEach(limit, n int, fn func(i int) error) error {
 					record(i, err)
 					return
 				}
+				completed++
 			}
 		}()
 	}
 	wg.Wait()
+	if tl != nil {
+		// Indices skipped after an error were never executed; return
+		// the queue gauge to its pre-call level regardless.
+		tl.queue.Add(-float64(int64(n) - done.Load()))
+	}
 	return first
 }
 

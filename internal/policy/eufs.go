@@ -222,6 +222,15 @@ func (p *eufs) settle() NodeFreqs {
 	return p.lastDone
 }
 
+// LastPrediction forwards the base policy's prediction view, so the
+// eUFS wrapper stays transparent to telemetry and decision logging.
+func (p *eufs) LastPrediction() (PredictionView, bool) {
+	if pr, ok := p.base.(Predictor); ok {
+		return pr.LastPrediction()
+	}
+	return PredictionView{}, false
+}
+
 // Validate reports whether the stable behaviour still matches the
 // reference within the signature-change threshold.
 func (p *eufs) Validate(in Inputs) bool {

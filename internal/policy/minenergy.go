@@ -50,6 +50,8 @@ type minEnergy struct {
 	predTime   float64 // predicted iteration time at the selection
 	predCPI    float64
 	predPower  float64
+	refTime    float64 // default-pstate projection (zero for busy-wait)
+	refPower   float64
 	isBusyWait bool
 }
 
@@ -87,8 +89,10 @@ func (p *minEnergy) selectPstate(in Inputs) (int, model.Prediction, error) {
 			return 0, model.Prediction{}, err
 		}
 		// The host core's spinning does not gate the accelerator:
-		// expected time is unchanged.
+		// expected time is unchanged. No default-pstate reference
+		// applies here.
 		pred.TimeSec = sig.IterTimeSec
+		p.refTime, p.refPower = 0, 0
 		return sel, pred, nil
 	}
 
@@ -103,6 +107,7 @@ func (p *minEnergy) selectPstate(in Inputs) (int, model.Prediction, error) {
 	// default pstate (the penalty budget is relative to default).
 	refPred := p.tbl.Preds[def]
 	limit := refPred.TimeSec * (1 + p.cfg.CPUPolicyTh)
+	p.refTime, p.refPower = refPred.TimeSec, refPred.PowerW
 
 	best := def
 	bestPred := refPred
@@ -157,9 +162,23 @@ func (p *minEnergy) Default() NodeFreqs {
 	return NodeFreqs{CPUPstate: p.cfg.DefaultPstate}
 }
 
+// LastPrediction implements Predictor.
+func (p *minEnergy) LastPrediction() (PredictionView, bool) {
+	if !p.havePred {
+		return PredictionView{}, false
+	}
+	return PredictionView{
+		TimeSec:    p.predTime,
+		PowerW:     p.predPower,
+		RefTimeSec: p.refTime,
+		RefPowerW:  p.refPower,
+	}, true
+}
+
 func (p *minEnergy) Reset() {
 	p.selected = p.cfg.DefaultPstate
 	p.havePred = false
 	p.predTime, p.predCPI, p.predPower = 0, 0, 0
+	p.refTime, p.refPower = 0, 0
 	p.isBusyWait = false
 }

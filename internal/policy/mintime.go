@@ -31,10 +31,14 @@ type minTime struct {
 	// reused across windows.
 	tbl model.Table
 
-	defPst   int
-	selected int
-	havePred bool
-	predCPI  float64
+	defPst    int
+	selected  int
+	havePred  bool
+	predCPI   float64
+	predTime  float64
+	predPower float64
+	refTime   float64 // projection onto the policy's default pstate
+	refPower  float64
 }
 
 func newMinTime(cfg Config) *minTime {
@@ -59,6 +63,7 @@ func (p *minTime) Apply(in Inputs) (NodeFreqs, State, error) {
 		sel := p.defPst
 		p.selected = sel
 		p.havePred = false
+		p.predTime, p.predPower, p.refTime, p.refPower = 0, 0, 0, 0
 		return NodeFreqs{CPUPstate: sel}, Ready, nil
 	}
 
@@ -82,6 +87,9 @@ func (p *minTime) Apply(in Inputs) (NodeFreqs, State, error) {
 	}
 	p.selected = sel
 	p.predCPI = cur.CPI
+	p.predTime, p.predPower = cur.TimeSec, cur.PowerW
+	ref := p.tbl.Preds[p.defPst]
+	p.refTime, p.refPower = ref.TimeSec, ref.PowerW
 	p.havePred = true
 	return NodeFreqs{CPUPstate: sel}, Ready, nil
 }
@@ -98,8 +106,23 @@ func (p *minTime) Default() NodeFreqs {
 	return NodeFreqs{CPUPstate: p.defPst}
 }
 
+// LastPrediction implements Predictor.
+func (p *minTime) LastPrediction() (PredictionView, bool) {
+	if !p.havePred {
+		return PredictionView{}, false
+	}
+	return PredictionView{
+		TimeSec:    p.predTime,
+		PowerW:     p.predPower,
+		RefTimeSec: p.refTime,
+		RefPowerW:  p.refPower,
+	}, true
+}
+
 func (p *minTime) Reset() {
 	p.selected = p.defPst
 	p.havePred = false
 	p.predCPI = 0
+	p.predTime, p.predPower = 0, 0
+	p.refTime, p.refPower = 0, 0
 }

@@ -72,6 +72,26 @@ type Inputs struct {
 	TimeGuided bool
 }
 
+// PredictionView is a policy's latest model projection, exposed for
+// telemetry and decision logging: the predicted iteration time and
+// power at the chosen operating point, plus the same projection onto
+// the policy's default pstate (the reference the penalty budget is
+// relative to). Ref fields are zero when no reference applies (e.g.
+// busy-wait phases).
+type PredictionView struct {
+	TimeSec    float64
+	PowerW     float64
+	RefTimeSec float64
+	RefPowerW  float64
+}
+
+// Predictor is optionally implemented by policies that can report the
+// prediction behind their last Apply.
+type Predictor interface {
+	// LastPrediction returns the view and whether a prediction exists.
+	LastPrediction() (PredictionView, bool)
+}
+
 // Policy is the plugin interface (the paper's policy_operations).
 type Policy interface {
 	// Name returns the registered policy name.
@@ -210,7 +230,14 @@ func New(name string, cfg Config) (Policy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return f(cfg)
+	p, err := f(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// With telemetry enabled, every constructed policy is wrapped in the
+	// counting decorator (instrument handles resolve here, at setup
+	// time, never inside Apply/Validate).
+	return maybeInstrument(p), nil
 }
 
 // Names lists registered policies, sorted.

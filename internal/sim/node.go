@@ -88,6 +88,15 @@ type node struct {
 	done              bool
 	tNoise, pNoise    float64
 
+	// stepCount/macroCount tally stepOnce calls and macro-step
+	// activations for this run; plain ints on purpose — runNode flushes
+	// them into the telemetry counters in one atomic Add each.
+	// everUsed marks a node that already served a run (i.e. a pool
+	// recycle on the next Get); init must NOT reset it.
+	stepCount  uint64
+	macroCount uint64
+	everUsed   bool
+
 	// Macro-step (Options.MacroStep) bookkeeping: iterKey/iterSingle
 	// track whether the in-flight iteration has run entirely at one
 	// operating point; prevIterKey/prevIterSingle hold the completed
@@ -123,6 +132,11 @@ var nodePool = sync.Pool{New: func() any { return new(node) }}
 // runNode simulates the whole workload on one node.
 func runNode(cal workload.Calibrated, nodeID int, opt Options) (NodeResult, error) {
 	n := nodePool.Get().(*node)
+	tl := tel.Load()
+	if tl != nil && n.everUsed {
+		tl.recycles.Inc()
+	}
+	n.everUsed = true
 	defer func() {
 		// The trace slice and EARL instance escape into the result;
 		// drop them so reuse cannot alias a returned NodeResult.
@@ -138,7 +152,13 @@ func runNode(cal workload.Calibrated, nodeID int, opt Options) (NodeResult, erro
 			return NodeResult{}, err
 		}
 	}
-	return n.result()
+	res, err := n.result()
+	if err == nil && tl != nil {
+		tl.runs.Inc()
+		tl.steps.Add(n.stepCount)
+		tl.macro.Add(n.macroCount)
+	}
+	return res, err
 }
 
 // startIteration draws this iteration's noise and work budget.
@@ -171,6 +191,7 @@ func (n *node) stepOnce() error {
 	if n.done {
 		return nil
 	}
+	n.stepCount++
 	first := false
 	if !n.iterActive {
 		n.startIteration()
@@ -208,6 +229,10 @@ func (n *node) stepOnce() error {
 				break
 			}
 		}
+	}
+
+	if macro {
+		n.macroCount++
 	}
 
 	spi := e.res.SecPerInstr * n.tNoise
@@ -301,6 +326,7 @@ func (n *node) init(cal workload.Calibrated, nodeID int, opt Options) error {
 	n.segIdx, n.iterInSeg = 0, 0
 	n.instrLeft, n.wallLeft = 0, 0
 	n.iterActive, n.done = false, false
+	n.stepCount, n.macroCount = 0, 0
 	n.tNoise, n.pNoise = 0, 0
 	n.iterKey, n.prevIterKey = cacheKey{}, cacheKey{}
 	n.iterSingle, n.prevIterSingle = false, false
@@ -605,6 +631,9 @@ func (n *node) result() (NodeResult, error) {
 			if ev.Applied {
 				r.PolicyApplies++
 			}
+		}
+		if n.opt.DecisionLog {
+			r.Decisions = decisionsFromEvents(n.lib.Events())
 		}
 	}
 	return r, nil

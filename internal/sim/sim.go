@@ -69,6 +69,11 @@ type Options struct {
 	// and by coordinated (powercapped) cluster runs, which must stop at
 	// exact time boundaries.
 	MacroStep bool
+	// DecisionLog collects every EARL signature-handling event into
+	// NodeResult.Decisions (see Result.WriteDecisionLog). Collection is
+	// per-node and ordered, so the log is byte-identical at any Workers
+	// count. Off by default: the conversion allocates per node run.
+	DecisionLog bool
 	// Trace records a per-node time series (one point per TraceStepSec
 	// of simulated time) in NodeResult.Trace.
 	Trace bool
@@ -173,6 +178,9 @@ type NodeResult struct {
 	NestedPeriod int
 	// Trace is the sampled time series when Options.Trace is set.
 	Trace []TracePoint
+	// Decisions is the EARL decision trace when Options.DecisionLog is
+	// set (node ids are assigned by Result.WriteDecisionLog).
+	Decisions []Decision
 }
 
 // Result aggregates a cluster run.

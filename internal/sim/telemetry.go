@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"goear/internal/telemetry"
+)
+
+// Metric names (package-level constants per the goearvet telemetry
+// analyzer).
+const (
+	metricSimSteps    = "goear_sim_steps_total"
+	metricSimMacro    = "goear_sim_macro_steps_total"
+	metricSimNodeRuns = "goear_sim_node_runs_total"
+	metricSimRecycles = "goear_sim_pool_recycles_total"
+)
+
+// simTel is the package instrument bundle. The pointer stays nil until
+// global telemetry is enabled; runNode loads it once per node run and
+// flushes the node's plain step counters in one Add each, so the
+// per-step hot path carries no atomics for telemetry.
+type simTel struct {
+	steps    *telemetry.Counter
+	macro    *telemetry.Counter
+	runs     *telemetry.Counter
+	recycles *telemetry.Counter
+}
+
+var tel atomic.Pointer[simTel]
+
+func init() {
+	telemetry.OnEnable(func(s *telemetry.Set) {
+		if s == nil {
+			tel.Store(nil)
+			return
+		}
+		r := s.Registry
+		tel.Store(&simTel{
+			steps:    r.Counter(metricSimSteps, "simulation steps executed"),
+			macro:    r.Counter(metricSimMacro, "steady-phase macro-step activations"),
+			runs:     r.Counter(metricSimNodeRuns, "node runs completed"),
+			recycles: r.Counter(metricSimRecycles, "node allocations recycled from the pool"),
+		})
+	})
+}

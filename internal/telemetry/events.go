@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured telemetry event. The JSON shape is stable:
+// encoding/json marshals the Str/Num maps with sorted keys, so an
+// event always serialises to the same bytes.
+//
+// Seq is assigned by the Recorder in arrival order; TimeSec is
+// simulated (or injected-clock) time — components never stamp wall
+// time, per the repo's determinism contract.
+type Event struct {
+	Seq     uint64             `json:"seq"`
+	TimeSec float64            `json:"t,omitempty"`
+	Kind    string             `json:"kind"`
+	Src     string             `json:"src,omitempty"`
+	Str     map[string]string  `json:"str,omitempty"`
+	Num     map[string]float64 `json:"num,omitempty"`
+}
+
+// DefaultRecorderCap is the ring capacity NewRecorder(0) uses.
+const DefaultRecorderCap = 4096
+
+// Recorder is a bounded ring buffer of events. When full, recording
+// overwrites the oldest event and counts it as dropped. All methods
+// are nil-safe.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events
+	seq     uint64
+	dropped uint64
+}
+
+// NewRecorder returns a recorder holding up to capacity events
+// (DefaultRecorderCap when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends ev, assigning its sequence number. The oldest event
+// is overwritten when the ring is full.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+	} else {
+		r.buf[r.start] = ev
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSONLines writes the buffered events as one JSON object per
+// line, oldest first.
+func (r *Recorder) WriteJSONLines(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The process-global Set. Telemetry is disabled by default: Default()
+// returns nil and every package-level instrument stays nil, so the
+// hot paths run pure nil-check no-ops.
+var (
+	gmu   sync.Mutex
+	def   atomic.Pointer[Set]
+	hooks []func(*Set)
+)
+
+// OnEnable registers a hook that binds a package's instruments to the
+// global Set. The hook runs on every Enable with the fresh Set, on
+// every Disable with nil (the package must reset its instruments), and
+// immediately if telemetry is already enabled. Call from package init.
+func OnEnable(hook func(*Set)) {
+	gmu.Lock()
+	defer gmu.Unlock()
+	hooks = append(hooks, hook)
+	if s := def.Load(); s != nil {
+		hook(s)
+	}
+}
+
+// Enable turns global telemetry on, creating a fresh Set and running
+// all registered hooks against it. Idempotent: if already enabled it
+// returns the current Set. Enable and Disable must not race with work
+// in flight (enable before starting runs, disable after they finish).
+func Enable() *Set {
+	gmu.Lock()
+	defer gmu.Unlock()
+	if s := def.Load(); s != nil {
+		return s
+	}
+	s := NewSet()
+	def.Store(s)
+	for _, h := range hooks {
+		h(s)
+	}
+	return s
+}
+
+// Disable turns global telemetry off, running all hooks with nil so
+// packages drop their instruments. The previous Set stays readable by
+// anyone still holding it.
+func Disable() {
+	gmu.Lock()
+	defer gmu.Unlock()
+	if def.Load() == nil {
+		return
+	}
+	def.Store(nil)
+	for _, h := range hooks {
+		h(nil)
+	}
+}
+
+// Default returns the global Set, nil while disabled.
+func Default() *Set { return def.Load() }
+
+// Enabled reports whether global telemetry is on.
+func Enabled() bool { return def.Load() != nil }

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler serves the set over HTTP:
+//
+//	GET /metrics  Prometheus text exposition of the registry
+//	GET /events   buffered events as JSON lines, oldest first
+//	GET /         a plain-text index
+//
+// A nil Set serves empty bodies, so callers can wire the handler
+// unconditionally. Write errors mean the client went away mid-response
+// and are ignored.
+func (s *Set) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Reg().WritePrometheus(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if rec := s.Rec(); rec != nil {
+			_ = rec.WriteJSONLines(w)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var sb strings.Builder
+		sb.WriteString("goear telemetry\n\n")
+		sb.WriteString("/metrics  Prometheus text format\n")
+		sb.WriteString("/events   JSON-lines event buffer\n")
+		_, _ = w.Write([]byte(sb.String()))
+	})
+	return mux
+}
