@@ -61,8 +61,9 @@ type Snapshot struct {
 }
 
 // defaultGates are the name prefixes whose ns/op regressions fail the
-// run: the paper-artifact benchmarks and the simulator hot-path micros.
-const defaultGates = "BenchmarkTable,BenchmarkFig,BenchmarkSim,BenchmarkNodeTick"
+// run: the paper-artifact benchmarks, the simulator hot-path micros and
+// the federation load-generator burst.
+const defaultGates = "BenchmarkTable,BenchmarkFig,BenchmarkSim,BenchmarkNodeTick,BenchmarkEarload"
 
 func run(args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)

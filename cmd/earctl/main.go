@@ -13,7 +13,7 @@
 //	earctl acct -db jobs.json list accounting records
 //	earctl conf [-f ear.conf]  show the effective site configuration
 //	earctl report -db jobs.json per-application and per-policy energy report
-//	earctl dbd -addr host:port <stats|aggregate|jobs|summary> query a live eardbd
+//	earctl dbd -addr host:port[,host:port...] <stats|aggregate|jobs|summary> query a live eardbd or a shard fleet
 //	earctl metrics -addr host:port  scrape a daemon's telemetry endpoint
 package main
 
@@ -26,11 +26,13 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 
 	"goear/internal/cpu"
 	"goear/internal/earconf"
 	"goear/internal/eard"
 	"goear/internal/eardbd"
+	"goear/internal/eardbd/fed"
 	"goear/internal/experiments"
 	"goear/internal/msr"
 	"goear/internal/policy"
@@ -290,37 +292,78 @@ func reportCmd(args []string, out io.Writer) error {
 	return byPol.Render(out)
 }
 
-// dbdCmd queries a running eardbd daemon over its wire protocol.
+// parseEndpoints resolves the dbd target flags into a dial plan: a
+// unix socket path, a single TCP endpoint, or a comma-separated list
+// of shard endpoints (queried through an in-process federation root).
+func parseEndpoints(addr, unixSock string) (network string, targets []string, err error) {
+	if (addr == "") == (unixSock == "") {
+		return "", nil, fmt.Errorf("dbd needs exactly one of -addr or -unix")
+	}
+	if unixSock != "" {
+		return "unix", []string{unixSock}, nil
+	}
+	for _, part := range strings.Split(addr, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			targets = append(targets, part)
+		}
+	}
+	if len(targets) == 0 {
+		return "", nil, fmt.Errorf("-addr lists no endpoints")
+	}
+	return "tcp", targets, nil
+}
+
+// dbdCmd queries a running eardbd daemon over its wire protocol. When
+// -addr lists several shard endpoints, the answers are merged through
+// a federation root, so the rendered snapshot is the cluster view.
 func dbdCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dbd", flag.ContinueOnError)
-	addr := fs.String("addr", "", "eardbd TCP address (host:port)")
+	addr := fs.String("addr", "", "eardbd TCP address, or a comma-separated shard list to federate over")
 	unixSock := fs.String("unix", "", "eardbd unix socket path")
 	job := fs.String("job", "", "job id for the summary query")
 	step := fs.String("step", "", "step id for the summary query")
+	maxFrame := fs.Int("max-frame", 0, "frame payload cap in bytes (default 1 MiB; raise to match the daemons' -max-frame)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*addr == "") == (*unixSock == "") {
-		return fmt.Errorf("dbd needs exactly one of -addr or -unix")
+	network, targets, err := parseEndpoints(*addr, *unixSock)
+	if err != nil {
+		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: earctl dbd -addr host:port <stats|aggregate|jobs|summary>")
+		return fmt.Errorf("usage: earctl dbd -addr host:port[,host:port...] <stats|aggregate|jobs|summary>")
 	}
 	kind := fs.Arg(0)
 
-	network, target := "tcp", *addr
-	if *unixSock != "" {
-		network, target = "unix", *unixSock
-	}
-	conn, err := net.Dial(network, target)
-	if err != nil {
-		return fmt.Errorf("dial eardbd: %w", err)
+	var conn net.Conn
+	if len(targets) == 1 {
+		conn, err = net.Dial(network, targets[0])
+		if err != nil {
+			return fmt.Errorf("dial eardbd: %w", err)
+		}
+	} else {
+		cfg := fed.Config{MaxFramePayload: *maxFrame}
+		for _, a := range targets {
+			a := a
+			cfg.Shards = append(cfg.Shards, fed.Shard{
+				Name: a,
+				Dial: func() (net.Conn, error) { return net.Dial("tcp", a) },
+			})
+		}
+		root, err := fed.NewRoot(cfg)
+		if err != nil {
+			return err
+		}
+		defer root.Close()
+		var server net.Conn
+		conn, server = net.Pipe()
+		go root.ServeConn(server)
 	}
 	defer conn.Close()
 
 	switch kind {
 	case wire.QueryStats:
-		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, 0)
+		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, *maxFrame)
 		if err != nil {
 			return err
 		}
@@ -346,7 +389,7 @@ func dbdCmd(args []string, out io.Writer) error {
 		}
 		return t.Render(out)
 	case wire.QueryAggregate:
-		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, 0)
+		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, *maxFrame)
 		if err != nil {
 			return err
 		}
@@ -361,7 +404,7 @@ func dbdCmd(args []string, out io.Writer) error {
 		}
 		return t.Render(out)
 	case wire.QueryJobs:
-		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, 0)
+		res, err := eardbd.Query(conn, wire.Query{Kind: kind}, *maxFrame)
 		if err != nil {
 			return err
 		}
@@ -381,7 +424,7 @@ func dbdCmd(args []string, out io.Writer) error {
 		if *job == "" {
 			return fmt.Errorf("summary needs -job (and usually -step)")
 		}
-		res, err := eardbd.Query(conn, wire.Query{Kind: kind, Job: *job, Step: *step}, 0)
+		res, err := eardbd.Query(conn, wire.Query{Kind: kind, Job: *job, Step: *step}, *maxFrame)
 		if err != nil {
 			return err
 		}

@@ -224,6 +224,95 @@ func TestDbdQueries(t *testing.T) {
 	}
 }
 
+// TestParseEndpoints pins the dbd target-flag grammar: one unix
+// socket, one TCP endpoint, or a comma-separated shard list.
+func TestParseEndpoints(t *testing.T) {
+	cases := []struct {
+		name        string
+		addr, unix  string
+		wantNetwork string
+		wantTargets []string
+		wantErr     bool
+	}{
+		{name: "single tcp", addr: "127.0.0.1:4711", wantNetwork: "tcp", wantTargets: []string{"127.0.0.1:4711"}},
+		{name: "two shards", addr: "a:1,b:2", wantNetwork: "tcp", wantTargets: []string{"a:1", "b:2"}},
+		{name: "spaces and trailing comma", addr: " a:1 , b:2 ,", wantNetwork: "tcp", wantTargets: []string{"a:1", "b:2"}},
+		{name: "unix socket", unix: "/run/eardbd.sock", wantNetwork: "unix", wantTargets: []string{"/run/eardbd.sock"}},
+		{name: "neither", wantErr: true},
+		{name: "both", addr: "a:1", unix: "/sock", wantErr: true},
+		{name: "only commas", addr: ",,", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			network, targets, err := parseEndpoints(tc.addr, tc.unix)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parseEndpoints(%q, %q) accepted", tc.addr, tc.unix)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if network != tc.wantNetwork {
+				t.Errorf("network = %q, want %q", network, tc.wantNetwork)
+			}
+			if len(targets) != len(tc.wantTargets) {
+				t.Fatalf("targets = %v, want %v", targets, tc.wantTargets)
+			}
+			for i := range targets {
+				if targets[i] != tc.wantTargets[i] {
+					t.Errorf("targets[%d] = %q, want %q", i, targets[i], tc.wantTargets[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDbdFederatedQuery points dbd at two shard daemons at once: the
+// in-process federation root must merge their snapshots into the
+// cluster view.
+func TestDbdFederatedQuery(t *testing.T) {
+	addr1 := startDBD(t) // n01 250 W + n02 310 W
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := eardbd.NewServer(eard.NewDB(), eardbd.Config{})
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	f, err := wire.EncodeBatch(wire.Batch{ID: "seed2/1", Node: "n03", Records: []eard.JobRecord{
+		{JobID: "j3", StepID: "0", Node: "n03", App: "lulesh", TimeSec: 100, EnergyJ: 40000, AvgPower: 400},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := wire.ReadFrame(conn, 0); err != nil || resp.Type != wire.TypeAck {
+		t.Fatalf("seed batch not acked: %v %v", resp.Type, err)
+	}
+
+	both := addr1 + "," + l.Addr().String()
+	// 250 + 310 + 400 W across three nodes.
+	out := capture(t, []string{"dbd", "-addr", both, "aggregate"})
+	if !strings.Contains(out, "960.0") || !strings.Contains(out, "3") {
+		t.Errorf("federated aggregate output = %q", out)
+	}
+	out = capture(t, []string{"dbd", "-addr", both, "jobs"})
+	for _, want := range []string{"j1", "j2", "j3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federated jobs output missing %q: %q", want, out)
+		}
+	}
+}
+
 func TestDbdErrors(t *testing.T) {
 	addr := startDBD(t)
 	var b strings.Builder

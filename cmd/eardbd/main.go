@@ -5,8 +5,16 @@
 // snapshot queries (earctl dbd ...), and persists the database as JSON
 // on shutdown.
 //
+// With -fed the daemon runs as a federation root instead: a query-only
+// tier over a fleet of shard daemons that merges their snapshots and
+// serves the same wire API, so earctl and eargm feeds point at one
+// daemon or a sharded cluster interchangeably. A root keeps no
+// database and refuses record batches — reports go to the shard that
+// owns the node.
+//
 //	eardbd -listen 127.0.0.1:4711 -db /var/lib/ear/jobs.json
 //	eardbd -unix /run/eardbd.sock
+//	eardbd -listen 127.0.0.1:4700 -fed 127.0.0.1:4711,127.0.0.1:4712
 //
 // Stop with SIGINT/SIGTERM; the database file is written on exit.
 package main
@@ -19,12 +27,21 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"goear/internal/eard"
 	"goear/internal/eardbd"
+	"goear/internal/eardbd/fed"
 	"goear/internal/telemetry"
 )
+
+// wireService is the part of a Server or a fed.Root the listener
+// plumbing needs; both speak the same wire protocol.
+type wireService interface {
+	Serve(net.Listener) error
+	Close() error
+}
 
 func main() {
 	quit := make(chan struct{})
@@ -48,6 +65,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 	listen := fs.String("listen", "", "TCP listen address (host:port)")
 	unix := fs.String("unix", "", "unix socket path to listen on")
 	dbPath := fs.String("db", "", "JSON accounting database to load and persist")
+	fedShards := fs.String("fed", "", "comma-separated shard TCP endpoints: run as a federation root (query-only)")
 	maxFrame := fs.Int("max-frame", 0, "per-frame payload byte limit (default 1 MiB)")
 	maxBatch := fs.Int("max-batch", 0, "records per batch limit (default 1024)")
 	telAddr := fs.String("telemetry", "", "HTTP address serving /metrics and /events (empty = telemetry off)")
@@ -78,28 +96,55 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		}()
 	}
 
-	db := eard.NewDB()
-	if *dbPath != "" {
-		f, err := os.Open(*dbPath)
+	var svc wireService
+	var db *eard.DB
+	var srv *eardbd.Server
+	if *fedShards != "" {
 		switch {
-		case os.IsNotExist(err):
-			// First boot: the file appears at shutdown.
-		case err != nil:
-			return err
-		default:
-			lerr := db.Load(f)
-			cerr := f.Close()
-			if lerr != nil {
-				return lerr
-			}
-			if cerr != nil {
-				return cerr
-			}
-			fmt.Fprintf(out, "eardbd: loaded %d records from %s\n", db.Len(), *dbPath)
+		case *dbPath != "":
+			return fmt.Errorf("-db is ingest-only: a federation root keeps no database")
+		case *maxBatch != 0:
+			return fmt.Errorf("-max-batch is ingest-only: a federation root refuses batches")
 		}
+		cfg := fed.Config{MaxFramePayload: *maxFrame, Telemetry: telSet}
+		for _, addr := range splitList(*fedShards) {
+			addr := addr
+			cfg.Shards = append(cfg.Shards, fed.Shard{
+				Name: addr,
+				Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			})
+		}
+		root, err := fed.NewRoot(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "eardbd: federation root over %d shards\n", len(cfg.Shards))
+		svc = root
+	} else {
+		db = eard.NewDB()
+		if *dbPath != "" {
+			f, err := os.Open(*dbPath)
+			switch {
+			case os.IsNotExist(err):
+				// First boot: the file appears at shutdown.
+			case err != nil:
+				return err
+			default:
+				lerr := db.Load(f)
+				cerr := f.Close()
+				if lerr != nil {
+					return lerr
+				}
+				if cerr != nil {
+					return cerr
+				}
+				fmt.Fprintf(out, "eardbd: loaded %d records from %s\n", db.Len(), *dbPath)
+			}
+		}
+		srv = eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch, Telemetry: telSet})
+		svc = srv
 	}
 
-	srv := eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch, Telemetry: telSet})
 	var addrs []string
 	serveErr := make(chan error, 2)
 	listenAndServe := func(network, addr string) error {
@@ -109,7 +154,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		}
 		addrs = append(addrs, l.Addr().String())
 		fmt.Fprintf(out, "eardbd: listening on %s %s\n", network, l.Addr())
-		go func() { serveErr <- srv.Serve(l) }()
+		go func() { serveErr <- svc.Serve(l) }()
 		return nil
 	}
 	if *listen != "" {
@@ -137,7 +182,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 	case <-quit:
 		fmt.Fprintln(out, "eardbd: shutting down")
 	}
-	if err := srv.Close(); err != nil && firstErr == nil {
+	if err := svc.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	if *unix != "" {
@@ -165,4 +210,15 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 			db.Len(), *dbPath, st.Batches, st.RecordsAccepted, st.RecordsDuplicate, st.RecordsReplaced)
 	}
 	return firstErr
+}
+
+// splitList splits a comma-separated list, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

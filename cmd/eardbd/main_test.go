@@ -135,10 +135,75 @@ func TestDaemonUnixSocket(t *testing.T) {
 	}
 }
 
+// TestFederationRootDaemon runs two ingest daemons and a -fed root
+// over them: the root must serve the merged cluster snapshot and
+// refuse record batches.
+func TestFederationRootDaemon(t *testing.T) {
+	addr1, stop1 := startDaemon(t)
+	defer stop1()
+	addr2, stop2 := startDaemon(t)
+	defer stop2()
+	sendBatch(t, addr1, wire.Batch{ID: "n01/1", Node: "n01", Records: []eard.JobRecord{
+		{JobID: "j1", StepID: "0", Node: "n01", App: "X", TimeSec: 10, EnergyJ: 3000, AvgPower: 300},
+	}})
+	sendBatch(t, addr2, wire.Batch{ID: "n02/1", Node: "n02", Records: []eard.JobRecord{
+		{JobID: "j1", StepID: "0", Node: "n02", App: "X", TimeSec: 10, EnergyJ: 3100, AvgPower: 310},
+	}})
+
+	rootAddr, stopRoot := startDaemon(t, "-fed", addr1+","+addr2)
+	defer stopRoot()
+	conn, err := net.Dial("tcp", rootAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := eardbd.Query(conn, wire.Query{Kind: wire.QueryAggregate}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"nodes":2`, `"records":2`, `"total_power_w":610`} {
+		if !strings.Contains(string(res.Data), want) {
+			t.Errorf("root aggregate missing %s: %s", want, res.Data)
+		}
+	}
+
+	// The root is a read path: batches must be refused, not merged.
+	conn2, err := net.Dial("tcp", rootAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	f, err := wire.EncodeBatch(wire.Batch{ID: "n03/1", Node: "n03", Records: []eard.JobRecord{
+		{JobID: "j2", StepID: "0", Node: "n03", App: "X", TimeSec: 10, EnergyJ: 1000, AvgPower: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn2, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadFrame(conn2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.TypeError {
+		t.Errorf("batch to root answered %s, want error", resp.Type)
+	}
+}
+
 func TestDaemonFlagErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, &out, nil, nil); err == nil {
 		t.Error("no listener accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-fed", "a:1", "-db", "x.json"}, &out, nil, nil); err == nil {
+		t.Error("-fed with -db accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-fed", "a:1", "-max-batch", "9"}, &out, nil, nil); err == nil {
+		t.Error("-fed with -max-batch accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-fed", ",,"}, &out, nil, nil); err == nil {
+		t.Error("empty -fed list accepted")
 	}
 	if err := run([]string{"-listen", "no-such-host-xyz:99999"}, &out, nil, nil); err == nil {
 		t.Error("bad listen address accepted")

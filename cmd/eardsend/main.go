@@ -6,8 +6,14 @@
 // with the same -journal once the daemon is back and the spilled
 // batches are replayed exactly once.
 //
+// Against a sharded cluster, -addrs lists every shard endpoint and the
+// feeder routes its node to the owning shard by the same consistent
+// hash ring the daemons federate over — the node lands on the same
+// shard every client and the load generator would pick.
+//
 //	eardsend -addr 127.0.0.1:4711 -records jobs.json -node n01
 //	eardsend -unix /run/eardbd.sock -records jobs.json -journal n01.journal
+//	eardsend -addrs 127.0.0.1:4711,127.0.0.1:4712 -records jobs.json
 package main
 
 import (
@@ -19,10 +25,12 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"goear/internal/eard"
 	"goear/internal/eardbd"
+	"goear/internal/eardbd/ring"
 )
 
 // wallClock adapts the real clock to the client's injected interface.
@@ -44,6 +52,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("eardsend", flag.ContinueOnError)
 	addr := fs.String("addr", "", "eardbd TCP address (host:port)")
+	addrList := fs.String("addrs", "", "comma-separated shard TCP endpoints; the node routes to its ring owner")
 	unix := fs.String("unix", "", "eardbd unix socket path")
 	records := fs.String("records", "", "JSON record file to send (eard.DB format)")
 	node := fs.String("node", "", "reporting node name (default: first record's node)")
@@ -54,8 +63,14 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*addr == "") == (*unix == "") {
-		return fmt.Errorf("pass exactly one of -addr or -unix")
+	targets := 0
+	for _, t := range []string{*addr, *addrList, *unix} {
+		if t != "" {
+			targets++
+		}
+	}
+	if targets != 1 {
+		return fmt.Errorf("pass exactly one of -addr, -addrs or -unix")
 	}
 	if *records == "" {
 		return fmt.Errorf("pass -records")
@@ -89,8 +104,24 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "eardsend: journal holds %d spilled batch(es) to replay\n", n)
 	}
 	network, target := "tcp", *addr
-	if *unix != "" {
+	switch {
+	case *unix != "":
 		network, target = "unix", *unix
+	case *addrList != "":
+		// Ring placement: the same owner every reporting client and the
+		// federation pick for this node.
+		rg := ring.New(0)
+		for _, a := range splitList(*addrList) {
+			if err := rg.Add(a); err != nil {
+				return err
+			}
+		}
+		owner, ok := rg.Owner(*node)
+		if !ok {
+			return fmt.Errorf("-addrs lists no endpoints")
+		}
+		fmt.Fprintf(out, "eardsend: node %s routes to shard %s\n", *node, owner)
+		target = owner
 	}
 	c, err := eardbd.NewClient(eardbd.ClientConfig{
 		Node:         *node,
@@ -132,4 +163,15 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return firstErr
+}
+
+// splitList splits a comma-separated list, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

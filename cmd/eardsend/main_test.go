@@ -140,12 +140,40 @@ func TestSendLostWithoutJournal(t *testing.T) {
 	}
 }
 
+// TestSendAddrsRoutesByRing feeds one node through a two-shard -addrs
+// list: every record must land on the single shard the hash ring owns
+// the node on, the same owner the load generator and federation use.
+func TestSendAddrsRoutesByRing(t *testing.T) {
+	srv1, addr1 := startServer(t)
+	srv2, addr2 := startServer(t)
+	recs := testRecords(4)
+	for i := range recs {
+		recs[i].Node = "n01"
+		recs[i].JobID = "j" + string(rune('1'+i))
+	}
+	path := writeRecords(t, recs)
+
+	var out strings.Builder
+	err := run([]string{"-addrs", addr1 + "," + addr2, "-records", path, "-node", "n01"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "routes to shard") {
+		t.Errorf("output missing routing line: %q", out.String())
+	}
+	got1, got2 := srv1.DB().Len(), srv2.DB().Len()
+	if got1+got2 != 4 || (got1 != 0 && got2 != 0) {
+		t.Errorf("records split %d/%d across shards, want all 4 on one", got1, got2)
+	}
+}
+
 func TestSendFlagErrors(t *testing.T) {
 	var out strings.Builder
 	cases := [][]string{
-		nil,                                // neither -addr nor -unix
-		{"-addr", "x", "-unix", "y"},       // both
-		{"-addr", "x"},                     // no -records
+		nil,                           // no target at all
+		{"-addr", "x", "-unix", "y"},  // two targets
+		{"-addr", "x", "-addrs", "y"}, // two targets again
+		{"-addr", "x"},                // no -records
 		{"-addr", "x", "-records", "nope"}, // missing file
 	}
 	for _, args := range cases {

@@ -1,0 +1,214 @@
+// Command earload drives cluster-scale synthetic load through the
+// EARDBD reporting tier: tens of thousands of simulated node
+// reporters, each a real buffering client speaking the real wire
+// protocol, placed over a shard fleet by consistent hashing. By
+// default the shards are in-process daemons, which enables fault
+// injection — kill a shard mid-burst, restart it later, and watch the
+// spill journals drain with exactly-once replay; with -addrs the same
+// burst targets externally launched eardbd daemons.
+//
+//	earload -nodes 10000 -shards 4 -snapshot -
+//	earload -nodes 2000 -shards 3 -kill shard1@500 -restart shard1@1500
+//	earload -nodes 500 -addrs 127.0.0.1:4711,127.0.0.1:4712
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"goear/internal/eardbd"
+	"goear/internal/eardbd/fed"
+	"goear/internal/loadgen"
+	"goear/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "earload:", err)
+		os.Exit(1)
+	}
+}
+
+// faultSpec is a parsed "<shard>@<nodes-done>" trigger.
+type faultSpec struct {
+	shard string
+	after int64
+}
+
+// parseFaultSpec parses "<shard>@<n>": fire on shard once n node
+// reporters have completed.
+func parseFaultSpec(s string) (faultSpec, error) {
+	at := strings.LastIndex(s, "@")
+	if at <= 0 || at == len(s)-1 {
+		return faultSpec{}, fmt.Errorf("fault spec %q is not <shard>@<nodes-done>", s)
+	}
+	n, err := strconv.ParseInt(s[at+1:], 10, 64)
+	if err != nil || n < 1 {
+		return faultSpec{}, fmt.Errorf("fault spec %q needs a positive node count", s)
+	}
+	return faultSpec{shard: s[:at], after: n}, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("earload", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 1000, "simulated node reporters to drive")
+	records := fs.Int("records", 10, "job records per node")
+	shards := fs.Int("shards", 4, "in-process shard count (ignored with -addrs)")
+	addrs := fs.String("addrs", "", "comma-separated external eardbd TCP endpoints (disables in-process shards)")
+	batch := fs.Int("batch", 4, "records per client batch")
+	workers := fs.Int("workers", 32, "concurrent node reporters")
+	seed := fs.Int64("seed", 1, "workload seed (record content and retry jitter)")
+	kill := fs.String("kill", "", "kill spec <shard>@<nodes-done> (in-process only)")
+	restart := fs.String("restart", "", "restart spec <shard>@<nodes-done> (in-process only)")
+	drainPasses := fs.Int("drain", 5, "max journal drain passes after the burst")
+	maxFrame := fs.Int("max-frame", 64<<20, "frame payload cap in bytes (snapshot record dumps scale with node count)")
+	snapshotPath := fs.String("snapshot", "", "write the federation root snapshot here ('-' = stdout)")
+	metrics := fs.Bool("metrics", false, "dump the telemetry registry after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	set := telemetry.NewSet()
+	g, err := loadgen.New(loadgen.Config{
+		Nodes:          *nodes,
+		RecordsPerNode: *records,
+		BatchRecords:   *batch,
+		Workers:        *workers,
+		Seed:           *seed,
+		Telemetry:      set,
+	})
+	if err != nil {
+		return err
+	}
+
+	var dialFor func(node string) func() (net.Conn, error)
+	var root func() (*fed.Root, error)
+	hooks := loadgen.Hooks{}
+	postBurst := func() {}
+	if *addrs != "" {
+		if *kill != "" || *restart != "" {
+			return fmt.Errorf("fault injection needs in-process shards, not -addrs")
+		}
+		eps, err := loadgen.NewEndpoints(splitList(*addrs), func(addr string) (net.Conn, error) {
+			return net.Dial("tcp", addr)
+		})
+		if err != nil {
+			return err
+		}
+		eps.MaxFramePayload = *maxFrame
+		dialFor, root = eps.DialFor, eps.Root
+	} else {
+		cluster, err := loadgen.NewCluster(*shards, eardbd.Config{Telemetry: set, MaxFramePayload: *maxFrame})
+		if err != nil {
+			return err
+		}
+		dialFor, root = cluster.DialFor, cluster.Root
+		if *restart != "" && *kill == "" {
+			return fmt.Errorf("-restart without -kill")
+		}
+		if *kill != "" {
+			killSpec, err := parseFaultSpec(*kill)
+			if err != nil {
+				return err
+			}
+			restartSpec := faultSpec{shard: killSpec.shard, after: int64(*nodes) + 1}
+			if *restart != "" {
+				if restartSpec, err = parseFaultSpec(*restart); err != nil {
+					return err
+				}
+				if restartSpec.after <= killSpec.after {
+					return fmt.Errorf("-restart must fire after -kill (%d <= %d)", restartSpec.after, killSpec.after)
+				}
+			}
+			var done int64
+			var killing, killDone, restarted atomic.Bool
+			hooks.AfterNode = func(i int) {
+				n := atomic.AddInt64(&done, 1)
+				if n >= killSpec.after && killing.CompareAndSwap(false, true) {
+					if err := cluster.Kill(killSpec.shard); err != nil {
+						fmt.Fprintln(out, "earload: kill:", err)
+						return
+					}
+					fmt.Fprintf(out, "earload: killed %s after %d nodes\n", killSpec.shard, n)
+					killDone.Store(true)
+				}
+				if n >= restartSpec.after && killDone.Load() && restarted.CompareAndSwap(false, true) {
+					if err := cluster.Restart(restartSpec.shard); err != nil {
+						fmt.Fprintln(out, "earload: restart:", err)
+						return
+					}
+					fmt.Fprintf(out, "earload: restarted %s after %d nodes\n", restartSpec.shard, n)
+				}
+			}
+			// The burst can end before the restart threshold; bring the
+			// shard back before draining so spilled batches can land.
+			postBurst = func() {
+				if killDone.Load() && restarted.CompareAndSwap(false, true) {
+					if err := cluster.Restart(restartSpec.shard); err != nil {
+						fmt.Fprintln(out, "earload: restart:", err)
+						return
+					}
+					fmt.Fprintf(out, "earload: restarted %s post-burst\n", restartSpec.shard)
+				}
+			}
+		}
+	}
+
+	res, err := g.Run(dialFor, hooks)
+	if err != nil {
+		return err
+	}
+	postBurst()
+	left, err := g.Drain(dialFor, *drainPasses)
+	if err != nil {
+		return err
+	}
+	st := g.Stats()
+	fmt.Fprintf(out, "earload: %d nodes, %d records enqueued, %d sent in %d batches, %d spilled, %d replayed, %d retries, backlog %d\n",
+		res.Nodes, res.RecordsEnqueued, st.RecordsSent, st.BatchesSent, st.BatchesSpilled, st.BatchesReplayed, st.Retries, left)
+	if res.NodeErrors > 0 {
+		return fmt.Errorf("%d node reporters failed", res.NodeErrors)
+	}
+
+	if *snapshotPath != "" {
+		r, err := root()
+		if err != nil {
+			return err
+		}
+		blob, err := loadgen.Snapshot(r)
+		if err != nil {
+			return err
+		}
+		if *snapshotPath == "-" {
+			fmt.Fprintf(out, "%s\n", blob)
+		} else if err := os.WriteFile(*snapshotPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *metrics {
+		if err := set.Reg().WritePrometheus(out); err != nil {
+			return err
+		}
+	}
+	if left > 0 {
+		return fmt.Errorf("%d spilled batches left undrained", left)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated list, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

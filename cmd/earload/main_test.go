@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func readFile(path string) (string, error) {
+	blob, err := os.ReadFile(path)
+	return string(blob), err
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		shard   string
+		after   int64
+		wantErr bool
+	}{
+		{in: "shard1@500", shard: "shard1", after: 500},
+		{in: "s@1", shard: "s", after: 1},
+		{in: "a@b@30", shard: "a@b", after: 30},
+		{in: "shard1", wantErr: true},
+		{in: "@500", wantErr: true},
+		{in: "shard1@", wantErr: true},
+		{in: "shard1@0", wantErr: true},
+		{in: "shard1@-3", wantErr: true},
+		{in: "shard1@x", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseFaultSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseFaultSpec(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFaultSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got.shard != tc.shard || got.after != tc.after {
+			t.Errorf("parseFaultSpec(%q) = %+v", tc.in, got)
+		}
+	}
+}
+
+func TestEarloadFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nodes", "0"},
+		{"-nodes", "10", "-restart", "shard1@5"},
+		{"-nodes", "10", "-kill", "bogus"},
+		{"-nodes", "10", "-kill", "shard0@5", "-restart", "shard0@3"},
+		{"-nodes", "10", "-addrs", "127.0.0.1:1", "-kill", "shard0@5"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+// snapshotOf runs a burst with the given shard count and returns the
+// root snapshot text.
+func snapshotOf(t *testing.T, nodes, shards, records int, extra ...string) string {
+	t.Helper()
+	path := t.TempDir() + "/snap.json"
+	args := append([]string{
+		"-nodes", fmt.Sprint(nodes), "-shards", fmt.Sprint(shards),
+		"-records", fmt.Sprint(records), "-snapshot", path,
+	}, extra...)
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, out.String())
+	}
+	blob, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestEarloadSnapshotIdenticalAcrossShardCounts(t *testing.T) {
+	ref := snapshotOf(t, 60, 1, 10)
+	for _, shards := range []int{2, 4} {
+		if got := snapshotOf(t, 60, shards, 10); got != ref {
+			t.Fatalf("shards=%d snapshot differs from single-shard run", shards)
+		}
+	}
+}
+
+// TestEarloadScale is the acceptance burst: at least 10k nodes over
+// at least 4 shards, byte-identical to the single-shard run.
+func TestEarloadScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node burst skipped in -short mode")
+	}
+	const nodes, records = 10000, 3
+	ref := snapshotOf(t, nodes, 1, records)
+	got := snapshotOf(t, nodes, 4, records)
+	if got != ref {
+		t.Fatal("4-shard 10k-node snapshot differs from single-shard run")
+	}
+	if !strings.Contains(ref, `"nodes": 10000`) {
+		t.Fatalf("snapshot does not cover 10000 nodes")
+	}
+}
+
+func TestEarloadFaultInjection(t *testing.T) {
+	clean := snapshotOf(t, 80, 3, 10, "-seed", "11")
+	faulted := snapshotOf(t, 80, 3, 10, "-seed", "11",
+		"-kill", "shard1@10", "-restart", "shard1@60")
+	if faulted != clean {
+		t.Fatal("faulted snapshot differs from clean run")
+	}
+
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "80", "-shards", "3", "-seed", "11",
+		"-kill", "shard1@10", "-restart", "shard1@60", "-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"killed shard1", "restarted shard1",
+		"goear_loadgen_nodes_total 80",
+		"goear_loadgen_journal_backlog_batches 0",
+		"goear_eardbd_client_batches_spilled_total",
+		"goear_eardbd_client_batches_replayed_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEarloadKillWithoutRestartRecovers(t *testing.T) {
+	// No -restart: the shard must come back post-burst and the
+	// backlog must still drain to zero.
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "40", "-shards", "2", "-kill", "shard0@5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "backlog 0") {
+		t.Fatalf("backlog not drained:\n%s", out.String())
+	}
+}
+
+func BenchmarkEarload(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var out strings.Builder
+		if err := run([]string{
+			"-nodes", "256", "-shards", "4", "-records", "5", "-workers", "16",
+		}, &out); err != nil {
+			b.Fatalf("%v\n%s", err, out.String())
+		}
+	}
+}

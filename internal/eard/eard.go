@@ -150,8 +150,10 @@ func (db *DB) Jobs() [][2]string {
 	return out
 }
 
-// Save writes the database as JSON.
-func (db *DB) Save(w io.Writer) error {
+// Records returns every stored record sorted by (job, step, node):
+// the canonical dump order shared by Save and the federation tier's
+// shard merges.
+func (db *DB) Records() []JobRecord {
 	db.mu.RLock()
 	recs := make([]JobRecord, 0, len(db.recs))
 	for _, r := range db.recs {
@@ -168,9 +170,14 @@ func (db *DB) Save(w io.Writer) error {
 		}
 		return a.Node < b.Node
 	})
+	return recs
+}
+
+// Save writes the database as JSON.
+func (db *DB) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(recs)
+	return enc.Encode(db.Records())
 }
 
 // Load replaces the database contents from JSON produced by Save.

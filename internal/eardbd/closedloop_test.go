@@ -1,91 +1,64 @@
-package eardbd
+package eardbd_test
 
 import (
 	"encoding/json"
-	"fmt"
-	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
 
-	"goear/internal/eard"
+	"goear/internal/eardbd"
+	"goear/internal/eardbd/dbdtest"
 	"goear/internal/eargm"
-	"goear/internal/par"
+	"goear/internal/loadgen"
+	"goear/internal/telemetry"
 )
 
 // runClosedLoop drives the full reporting tier deterministically: N
-// simulated nodes, each with its own client over net.Pipe, stream job
-// records into one eardbd server under `workers` concurrent feeders;
-// the eargm budget ratchet then runs off the server's aggregate. It
-// returns a rendered transcript of everything observable — aggregate,
-// node powers, job summaries, cap trace, manager stats — which must be
-// byte-identical whatever the worker count or repetition.
+// simulated nodes, each a real buffering client over net.Pipe, stream
+// job records into one eardbd server under `workers` concurrent
+// feeders; the eargm budget ratchet then runs off the server's
+// aggregate. It returns the canonical transcript, which must be
+// byte-identical whatever the worker count, repetition — or, in the
+// federated variants below, the shard count and fault history.
 func runClosedLoop(t *testing.T, nodes, workers int) string {
 	t.Helper()
-	db := eard.NewDB()
-	srv := NewServer(db, Config{})
+	cluster, g := buildCanonical(t, nodes, workers, 1, nil)
+	res, err := g.Run(cluster.DialFor, loadgen.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeErrors != 0 || res.BacklogBatches != 0 {
+		t.Fatalf("canonical feed faulted: %+v", res)
+	}
+	tr, err := dbdtest.Transcript(dbdtest.ServerView{Srv: cluster.Server("shard0")}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
 
-	err := par.ForEach(workers, nodes, func(i int) error {
-		node := fmt.Sprintf("n%02d", i)
-		rng := rand.New(rand.NewSource(int64(1000 + i)))
-		c, err := NewClient(ClientConfig{
-			Node:         node,
-			Dial:         pipeDialer(srv, nil),
-			Clock:        NewFakeClock(0),
-			Jitter:       rand.New(rand.NewSource(int64(i))),
-			BatchRecords: 4,
-		})
-		if err != nil {
-			return err
-		}
-		// Each node reports the same deterministic job mix: per-node
-		// power varies with a seeded generator, keys are unique.
-		for j := 0; j < 10; j++ {
-			power := 250 + 40*rng.Float64()
-			r := eard.JobRecord{
-				JobID: fmt.Sprintf("job%d", j%3), StepID: fmt.Sprint(j / 3), Node: node,
-				App: "BT-MZ.C", Policy: "min_energy",
-				TimeSec: 120, EnergyJ: power * 120, AvgPower: power,
-				AvgCPU: 2.1, AvgIMC: 2.4,
-			}
-			if err := c.Enqueue(r); err != nil {
-				return err
-			}
-		}
-		return c.Close()
+// buildCanonical assembles a shard cluster and a generator for the
+// canonical workload.
+func buildCanonical(t *testing.T, nodes, workers, shards int, set *telemetry.Set) (*loadgen.Cluster, *loadgen.Generator) {
+	t.Helper()
+	cluster, err := loadgen.NewCluster(shards, eardbd.Config{Telemetry: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadgen.New(loadgen.Config{
+		Nodes:     nodes,
+		Workers:   workers,
+		NodeName:  dbdtest.CanonicalNode,
+		Telemetry: set,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	// The global manager derives cluster DC power from the eardbd
-	// aggregate instead of being handed numbers.
-	m, err := eargm.New(eargm.Config{BudgetW: 260 * float64(nodes), MaxCapPstate: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	caps, err := eargm.Drive(m, srv, 0, 12)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	var b strings.Builder
-	enc := json.NewEncoder(&b)
-	for _, v := range []any{srv.Aggregate(), srv.NodePowers(), srv.jobSummaries(), caps, m.Stats()} {
-		if err := enc.Encode(v); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// Order-independent activity counters (per-connection error paths
-	// never fire here, and every batch is fresh).
-	st := srv.Stats()
-	fmt.Fprintf(&b, "batches=%d accepted=%d dup=%d replaced=%d rejected=%d proto=%d\n",
-		st.Batches, st.RecordsAccepted, st.RecordsDuplicate, st.RecordsReplaced,
-		st.BatchesRejected, st.ProtocolErrors)
-	return b.String()
+	return cluster, g
 }
 
 // TestClosedLoopDeterminism pins the tentpole contract: the node →
-// eardbd → eargm pipeline produces byte-identical aggregates across
+// eardbd → eargm pipeline produces byte-identical transcripts across
 // repeated runs and across feeder worker counts.
 func TestClosedLoopDeterminism(t *testing.T) {
 	const nodes = 8
@@ -108,7 +81,7 @@ func TestClosedLoopDeterminism(t *testing.T) {
 // manager must impose a cap, visible in the event trace.
 func TestClosedLoopRatchetsUnderBudget(t *testing.T) {
 	out := runClosedLoop(t, 8, 4)
-	var agg Aggregate
+	var agg eardbd.Aggregate
 	if err := json.Unmarshal([]byte(out[:strings.Index(out, "\n")]), &agg); err != nil {
 		t.Fatal(err)
 	}
@@ -128,5 +101,117 @@ func TestClosedLoopRatchetsUnderBudget(t *testing.T) {
 	}
 	if m.FinalCap == 0 {
 		t.Errorf("manager left the cluster uncapped over budget: %+v", m)
+	}
+}
+
+// TestClosedLoopFederationShardCounts extends the golden across the
+// federation tier: the same workload through 1, 2 and 4 shards,
+// queried through the federation root, must render the exact
+// single-daemon transcript — merge order, float summation order and
+// summary arithmetic all included.
+func TestClosedLoopFederationShardCounts(t *testing.T) {
+	const nodes = 8
+	ref := runClosedLoop(t, nodes, 4)
+	for _, shards := range []int{1, 2, 4} {
+		cluster, g := buildCanonical(t, nodes, 4, shards, nil)
+		res, err := g.Run(cluster.DialFor, loadgen.Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NodeErrors != 0 || res.BacklogBatches != 0 {
+			t.Fatalf("shards=%d: feed faulted: %+v", shards, res)
+		}
+		root, err := cluster.Root()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dbdtest.Transcript(dbdtest.RootView{Root: root}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("shards=%d: federated transcript differs from single-daemon golden:\n--- want\n%s--- got\n%s", shards, ref, got)
+		}
+	}
+}
+
+// TestClosedLoopFederationFaultReplay kills a shard mid-load and
+// restarts it before the drain: the spill journals must replay
+// exactly once — asserted through the goear_eardbd_* client telemetry
+// — and the federated transcript must match the no-fault golden in
+// everything but the redelivery counters.
+func TestClosedLoopFederationFaultReplay(t *testing.T) {
+	const nodes, shards = 24, 3
+	golden := runClosedLoop(t, nodes, 4)
+
+	set := telemetry.NewSet()
+	cluster, g := buildCanonical(t, nodes, 4, shards, set)
+	// Kill the shard owning a mid-burst node once a few nodes are
+	// done: the owner's remaining reporters must spill.
+	victim := cluster.Owner(dbdtest.CanonicalNode(nodes - 1))
+	var done int64
+	var killing atomic.Bool
+	res, err := g.Run(cluster.DialFor, loadgen.Hooks{AfterNode: func(i int) {
+		if atomic.AddInt64(&done, 1) >= 6 && killing.CompareAndSwap(false, true) {
+			if err := cluster.Kill(victim); err != nil {
+				t.Error(err)
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeErrors != 0 {
+		t.Fatalf("node reporters failed: %+v", res)
+	}
+	if err := cluster.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	left, err := g.Drain(cluster.DialFor, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Fatalf("drain left %d batches journaled", left)
+	}
+
+	st := g.Stats()
+	if st.BatchesSpilled == 0 {
+		t.Fatal("kill produced no spills; fault timing broken")
+	}
+	if st.BatchesSpilled != st.BatchesReplayed {
+		t.Fatalf("spilled %d batches, replayed %d", st.BatchesSpilled, st.BatchesReplayed)
+	}
+	var b strings.Builder
+	if err := set.Reg().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	samples, err := telemetry.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		vals[s.Name+s.Labels] = s.Value
+	}
+	spilled := vals["goear_eardbd_client_batches_spilled_total"]
+	replayed := vals["goear_eardbd_client_batches_replayed_total"]
+	if spilled == 0 || spilled != replayed {
+		t.Fatalf("telemetry spill/replay = %g/%g, want equal and positive", spilled, replayed)
+	}
+	if dropped := vals["goear_eardbd_client_records_dropped_total"]; dropped != 0 {
+		t.Fatalf("telemetry reports %g dropped records", dropped)
+	}
+
+	root, err := cluster.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := dbdtest.Transcript(dbdtest.RootView{Root: root}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbdtest.TrimStats(faulted) != dbdtest.TrimStats(golden) {
+		t.Fatalf("faulted transcript differs from no-fault golden:\n--- want\n%s--- got\n%s", golden, faulted)
 	}
 }

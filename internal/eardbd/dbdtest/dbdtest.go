@@ -1,0 +1,115 @@
+// Package dbdtest is the shared harness behind the EARDBD closed-loop
+// test battery. It renders the canonical transcript — aggregate, node
+// powers, job summaries, the eargm cap trace and manager stats — from
+// any snapshot view of the reporting tier, so the same byte-golden
+// covers a single daemon and a federation root over any shard count.
+//
+// It is a non-test package on purpose: the closed-loop test has to
+// import the federation root, and fed imports eardbd, so the test
+// lives in the external package eardbd_test and shares its helpers
+// from here.
+package dbdtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+
+	"goear/internal/eard"
+	"goear/internal/eardbd"
+	"goear/internal/eardbd/fed"
+	"goear/internal/eargm"
+)
+
+// CanonicalNode names node i as the closed-loop battery always has.
+func CanonicalNode(i int) string { return fmt.Sprintf("n%02d", i) }
+
+// PipeDialer returns a dial function whose connections are served by
+// srv over net.Pipe, the synthetic transport of the whole battery.
+func PipeDialer(srv *eardbd.Server) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		client, server := net.Pipe()
+		go srv.ServeConn(server)
+		return client, nil
+	}
+}
+
+// View is the snapshot surface a transcript renders: one daemon or a
+// federation root. It doubles as the eargm.PowerSource the cap
+// ratchet polls.
+type View interface {
+	Aggregate() (eardbd.Aggregate, error)
+	NodePowers() []float64
+	JobSummaries() ([]eard.JobSummary, error)
+	Stats() (eardbd.Stats, error)
+}
+
+// ServerView adapts a single daemon to View.
+type ServerView struct{ Srv *eardbd.Server }
+
+func (v ServerView) Aggregate() (eardbd.Aggregate, error)     { return v.Srv.Aggregate(), nil }
+func (v ServerView) NodePowers() []float64                    { return v.Srv.NodePowers() }
+func (v ServerView) JobSummaries() ([]eard.JobSummary, error) { return v.Srv.JobSummaries(), nil }
+func (v ServerView) Stats() (eardbd.Stats, error)             { return v.Srv.Stats(), nil }
+
+// RootView adapts a federation root to View; Stats are the summed
+// shard ingest counters.
+type RootView struct{ Root *fed.Root }
+
+func (v RootView) Aggregate() (eardbd.Aggregate, error)     { return v.Root.Aggregate() }
+func (v RootView) NodePowers() []float64                    { return v.Root.NodePowers() }
+func (v RootView) JobSummaries() ([]eard.JobSummary, error) { return v.Root.JobSummaries() }
+func (v RootView) Stats() (eardbd.Stats, error)             { return v.Root.MergedStats() }
+
+// Transcript runs the eargm budget ratchet off the view's power feed
+// and renders everything observable: aggregate, node powers, job
+// summaries, cap trace and manager stats as JSON lines, then the
+// order-independent ingest counters. The byte format is the
+// closed-loop golden and must not change lightly.
+func Transcript(v View, nodes int) (string, error) {
+	m, err := eargm.New(eargm.Config{BudgetW: 260 * float64(nodes), MaxCapPstate: 8})
+	if err != nil {
+		return "", err
+	}
+	caps, err := eargm.Drive(m, v, 0, 12)
+	if err != nil {
+		return "", err
+	}
+
+	agg, err := v.Aggregate()
+	if err != nil {
+		return "", err
+	}
+	sums, err := v.JobSummaries()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for _, item := range []any{agg, v.NodePowers(), sums, caps, m.Stats()} {
+		if err := enc.Encode(item); err != nil {
+			return "", err
+		}
+	}
+	st, err := v.Stats()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "batches=%d accepted=%d dup=%d replaced=%d rejected=%d proto=%d\n",
+		st.Batches, st.RecordsAccepted, st.RecordsDuplicate, st.RecordsReplaced,
+		st.BatchesRejected, st.ProtocolErrors)
+	return b.String(), nil
+}
+
+// TrimStats drops the transcript's trailing ingest-counter line. A
+// faulted run redelivers batches, which shifts the accepted/duplicate
+// split without changing any state the snapshot lines render — so
+// fault tests compare transcripts through this.
+func TrimStats(transcript string) string {
+	i := strings.LastIndex(strings.TrimRight(transcript, "\n"), "\n")
+	if i < 0 {
+		return transcript
+	}
+	return transcript[:i+1]
+}

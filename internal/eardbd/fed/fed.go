@@ -1,0 +1,362 @@
+// Package fed is the federation tier above sharded EARDBD daemons.
+// EAR's production deployments run one EARDBD per island; the cluster
+// view the global manager and the admin tools need is the union of
+// what every island daemon aggregated. This package provides that
+// union as a Root: a query-only service that fans snapshot queries out
+// to the shards, merges the answers in node order, and serves the
+// same wire snapshot API a single daemon does — so eargm.PowerSource
+// consumers and `earctl dbd` work unchanged whether they talk to one
+// daemon or a fleet.
+//
+// Merging is built for byte-identity, not just equivalence. Node
+// powers merge by sorted node name, the exact order a single daemon
+// sums in; job summaries are recomputed by folding every shard's
+// record dump into a fresh eard.DB and running the same Summarize
+// arithmetic over the same sorted records. A workload routed through
+// N shards therefore renders the same aggregate, bit for bit, as the
+// same workload through one daemon — the contract the closed-loop
+// tests pin.
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"goear/internal/eard"
+	"goear/internal/eardbd"
+	"goear/internal/telemetry"
+	"goear/internal/wire"
+)
+
+// Shard names one member daemon and how to reach it. Dial is injected
+// so tests can hand out net.Pipe ends and the daemon binary can choose
+// TCP or unix transports.
+type Shard struct {
+	Name string
+	Dial func() (net.Conn, error)
+}
+
+// Config parameterises a federation root.
+type Config struct {
+	// Shards are the member daemons, queried in slice order. At least
+	// one is required; names must be unique and non-empty.
+	Shards []Shard
+	// MaxFramePayload caps frame payloads on both the shard-facing and
+	// serving sides (default wire.DefaultMaxPayload).
+	MaxFramePayload int
+	// Telemetry, when set, exposes fan-out activity as
+	// goear_eardbd_fed_* families in that set; falls back to the
+	// process-global set, and to no-ops when that is disabled too.
+	Telemetry *telemetry.Set
+}
+
+// Stats counts root activity since construction.
+type Stats struct {
+	Queries      int `json:"queries"`       // snapshot queries served by the root
+	Fanouts      int `json:"fanouts"`       // shard queries issued
+	FanoutErrors int `json:"fanout_errors"` // shard queries that failed
+}
+
+// Root is the federation front end. It is safe for concurrent use;
+// every query fans out to the shards and merges fresh state.
+type Root struct {
+	cfg Config
+	tel rootTel
+
+	mu    sync.Mutex
+	stats Stats
+
+	connMu    sync.Mutex
+	closed    bool
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+}
+
+// NewRoot builds a root over the given shards.
+func NewRoot(cfg Config) (*Root, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("fed: root needs at least one shard")
+	}
+	seen := map[string]bool{}
+	for _, s := range cfg.Shards {
+		switch {
+		case s.Name == "":
+			return nil, errors.New("fed: shard needs a name")
+		case s.Dial == nil:
+			return nil, fmt.Errorf("fed: shard %s needs a dial function", s.Name)
+		case seen[s.Name]:
+			return nil, fmt.Errorf("fed: duplicate shard name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if cfg.MaxFramePayload <= 0 {
+		cfg.MaxFramePayload = wire.DefaultMaxPayload
+	}
+	ts := cfg.Telemetry
+	if ts == nil {
+		ts = telemetry.Default()
+	}
+	root := &Root{
+		cfg:       cfg,
+		tel:       newRootTel(ts),
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
+	}
+	root.tel.shards.Set(float64(len(cfg.Shards)))
+	return root, nil
+}
+
+// Shards returns the member names in fan-out order.
+func (r *Root) Shards() []string {
+	out := make([]string, len(r.cfg.Shards))
+	for i, s := range r.cfg.Shards {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Stats returns a snapshot of the root's activity counters.
+func (r *Root) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// queryShard runs one wire query against one shard over a fresh
+// connection. Fan-out connections are per-query: the root's load is
+// snapshot-rate (the eargm control period, admin queries), so
+// simplicity and isolation beat connection reuse here.
+func (r *Root) queryShard(s Shard, q wire.Query) (wire.Result, error) {
+	r.mu.Lock()
+	r.stats.Fanouts++
+	r.mu.Unlock()
+	conn, err := s.Dial()
+	if err == nil {
+		var res wire.Result
+		res, err = eardbd.Query(conn, q, r.cfg.MaxFramePayload)
+		_ = conn.Close()
+		if err == nil {
+			r.tel.fanout(s.Name, true)
+			return res, nil
+		}
+	}
+	r.mu.Lock()
+	r.stats.FanoutErrors++
+	r.mu.Unlock()
+	r.tel.fanout(s.Name, false)
+	return wire.Result{}, fmt.Errorf("fed: shard %s: %w", s.Name, err)
+}
+
+// fanOut runs one query against every shard in configured order and
+// decodes each result into out(i). Queries run sequentially: merge
+// determinism does not require it (results are keyed by shard index),
+// but the snapshot rate is low and sequential fan-out keeps the error
+// path trivial.
+func (r *Root) fanOut(q wire.Query, decode func(i int, res wire.Result) error) error {
+	for i, s := range r.cfg.Shards {
+		res, err := r.queryShard(s, q)
+		if err != nil {
+			return err
+		}
+		if res.Kind != q.Kind {
+			return fmt.Errorf("fed: shard %s answered kind %q to %q", s.Name, res.Kind, q.Kind)
+		}
+		if err := decode(i, res); err != nil {
+			return fmt.Errorf("fed: shard %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// MergedNodePowers returns the last reported power of every node in
+// the federation, sorted by node name. A node reports through exactly
+// one shard (ring placement), so the union is disjoint; a node seen on
+// two shards (mid-rebalance traffic) keeps the value from the later
+// shard in fan-out order.
+func (r *Root) MergedNodePowers() ([]wire.NodePower, error) {
+	merged := map[string]float64{}
+	err := r.fanOut(wire.Query{Kind: wire.QueryNodePowers}, func(_ int, res wire.Result) error {
+		var nps []wire.NodePower
+		if err := res.Decode(&nps); err != nil {
+			return err
+		}
+		for _, np := range nps {
+			merged[np.Node] = np.PowerW
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]wire.NodePower, len(names))
+	for i, n := range names {
+		out[i] = wire.NodePower{Node: n, PowerW: merged[n]}
+	}
+	return out, nil
+}
+
+// NodePowers implements eargm.PowerSource over the merged federation
+// view. The PowerSource interface cannot carry an error; an
+// unreachable shard yields an empty reading for this interval (and a
+// counted fan-out error) rather than a partial cluster view that
+// would ratchet the budget against half the fleet.
+func (r *Root) NodePowers() []float64 {
+	nps, err := r.MergedNodePowers()
+	if err != nil {
+		return nil
+	}
+	out := make([]float64, len(nps))
+	for i, np := range nps {
+		out[i] = np.PowerW
+	}
+	return out
+}
+
+// mergedDB folds every shard's record dump into one fresh database.
+// Summaries computed from it run the identical record-sorted
+// arithmetic a single daemon runs, which is what keeps the federation
+// snapshot byte-identical across shard counts.
+func (r *Root) mergedDB() (*eard.DB, error) {
+	db := eard.NewDB()
+	err := r.fanOut(wire.Query{Kind: wire.QueryRecords}, func(_ int, res wire.Result) error {
+		var recs []eard.JobRecord
+		if err := res.Decode(&recs); err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if err := db.Insert(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Aggregate returns the cluster view across every shard, merged with
+// the same arithmetic order a single daemon uses: power summed over
+// name-sorted nodes, energy summed over (job, step)-sorted summaries.
+func (r *Root) Aggregate() (eardbd.Aggregate, error) {
+	nps, err := r.MergedNodePowers()
+	if err != nil {
+		return eardbd.Aggregate{}, err
+	}
+	db, err := r.mergedDB()
+	if err != nil {
+		return eardbd.Aggregate{}, err
+	}
+	agg := eardbd.Aggregate{Nodes: len(nps), Records: db.Len()}
+	for _, np := range nps {
+		agg.TotalPowerW += np.PowerW
+	}
+	for _, js := range db.Jobs() {
+		sum, err := db.Summarize(js[0], js[1])
+		if err != nil {
+			continue
+		}
+		agg.TotalEnergyJ += sum.EnergyJ
+	}
+	return agg, nil
+}
+
+// JobSummaries summarizes every (job, step) pair across the
+// federation, in the same sorted order a single daemon reports.
+func (r *Root) JobSummaries() ([]eard.JobSummary, error) {
+	db, err := r.mergedDB()
+	if err != nil {
+		return nil, err
+	}
+	jobs := db.Jobs()
+	out := make([]eard.JobSummary, 0, len(jobs))
+	for _, js := range jobs {
+		sum, err := db.Summarize(js[0], js[1])
+		if err != nil {
+			continue
+		}
+		out = append(out, sum)
+	}
+	return out, nil
+}
+
+// Summarize aggregates one job step across the federation.
+func (r *Root) Summarize(job, step string) (eard.JobSummary, error) {
+	db, err := r.mergedDB()
+	if err != nil {
+		return eard.JobSummary{}, err
+	}
+	return db.Summarize(job, step)
+}
+
+// MergedStats sums the activity counters of every shard: the cluster's
+// ingest totals. The root's own Stats stay separate.
+func (r *Root) MergedStats() (eardbd.Stats, error) {
+	var total eardbd.Stats
+	err := r.fanOut(wire.Query{Kind: wire.QueryStats}, func(_ int, res wire.Result) error {
+		var st eardbd.Stats
+		if err := res.Decode(&st); err != nil {
+			return err
+		}
+		total.Connections += st.Connections
+		total.Batches += st.Batches
+		total.DuplicateBatches += st.DuplicateBatches
+		total.RecordsAccepted += st.RecordsAccepted
+		total.RecordsDuplicate += st.RecordsDuplicate
+		total.RecordsReplaced += st.RecordsReplaced
+		total.BatchesRejected += st.BatchesRejected
+		total.ProtocolErrors += st.ProtocolErrors
+		total.Queries += st.Queries
+		return nil
+	})
+	if err != nil {
+		return eardbd.Stats{}, err
+	}
+	return total, nil
+}
+
+// IslandSource returns an eargm.PowerSource view of one shard: the
+// per-island feed a cascaded manager ratchets against. The returned
+// source polls the shard on every read; an unreachable shard reads as
+// empty, matching NodePowers' degradation.
+func (r *Root) IslandSource(name string) (*IslandSource, error) {
+	for _, s := range r.cfg.Shards {
+		if s.Name == name {
+			return &IslandSource{root: r, shard: s}, nil
+		}
+	}
+	return nil, fmt.Errorf("fed: no shard named %s", name)
+}
+
+// IslandSource adapts one shard to eargm.PowerSource.
+type IslandSource struct {
+	root  *Root
+	shard Shard
+}
+
+// NodePowers implements eargm.PowerSource for one island.
+func (s *IslandSource) NodePowers() []float64 {
+	res, err := s.root.queryShard(s.shard, wire.Query{Kind: wire.QueryNodePowers})
+	if err != nil {
+		return nil
+	}
+	var nps []wire.NodePower
+	if err := res.Decode(&nps); err != nil {
+		return nil
+	}
+	out := make([]float64, len(nps))
+	for i, np := range nps {
+		out[i] = np.PowerW
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package fed
+
+import (
+	"goear/internal/telemetry"
+)
+
+// Metric names (package-level constants per the goearvet telemetry
+// analyzer).
+const (
+	metricFedQueries = "goear_eardbd_fed_queries_total"
+	metricFedFanout  = "goear_eardbd_fed_fanout_total"
+	metricFedShards  = "goear_eardbd_fed_shards"
+)
+
+// rootTel is a root's pre-resolved instrument bundle; nil fields
+// (telemetry absent) make every use a nil-receiver no-op. Fan-out
+// outcomes are labeled per shard so a flapping island is visible as
+// its own series.
+type rootTel struct {
+	queries   *telemetry.Counter
+	fanoutVec *telemetry.CounterVec
+	shards    *telemetry.Gauge
+}
+
+func newRootTel(s *telemetry.Set) rootTel {
+	r := s.Reg()
+	return rootTel{
+		queries:   r.Counter(metricFedQueries, "snapshot queries served by the federation root"),
+		fanoutVec: r.CounterVec(metricFedFanout, "shard fan-out queries by shard and result", "shard", "result"),
+		shards:    r.Gauge(metricFedShards, "shards configured on the federation root"),
+	}
+}
+
+// fanout counts one shard query outcome.
+func (t rootTel) fanout(shard string, ok bool) {
+	if t.fanoutVec == nil {
+		return
+	}
+	result := "ok"
+	if !ok {
+		result = "error"
+	}
+	t.fanoutVec.With(shard, result).Inc()
+}

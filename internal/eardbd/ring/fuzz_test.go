@@ -1,0 +1,89 @@
+package ring
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzRing drives the ring through an arbitrary membership script and
+// key set, checking the package's three contracts on every input:
+// no panic on any byte soup, placement that is a pure function of the
+// surviving membership (rebuilding from scratch agrees with the
+// mutated ring), and removal remapping only the removed shard's keys.
+//
+// The script encodes one operation per '|'-separated token: "+name"
+// adds a shard, "-name" removes one, anything else is looked up as a
+// key. Errors from Add/Remove (duplicates, absent members, empty
+// names) are expected outcomes, not failures.
+func FuzzRing(f *testing.F) {
+	f.Add("+s1|+s2|node1|node2|-s1|node1", "node1|node2|node3", int8(3))
+	f.Add("+a|+b|+c|-b|+b|-b", "x|y|z", int8(1))
+	f.Add("", "", int8(0))
+	f.Add("+\x00|+s1|\xff\xfe|-\x00", "\x00|\xff", int8(7))
+	f.Fuzz(func(t *testing.T, script, keyBlob string, replicas int8) {
+		r := New(int(replicas)) // <= 0 falls back to the default
+		live := map[string]bool{}
+		for _, tok := range strings.Split(script, "|") {
+			switch {
+			case tok == "":
+			case tok[0] == '+':
+				if err := r.Add(tok[1:]); err == nil {
+					live[tok[1:]] = true
+				}
+			case tok[0] == '-':
+				name := tok[1:]
+				var before map[string]string
+				if live[name] {
+					before = owners(r, keyBlob)
+				}
+				if err := r.Remove(name); err == nil {
+					delete(live, name)
+					// Keys not owned by the removed shard must not move.
+					for key, was := range before {
+						if was == name {
+							continue
+						}
+						now, ok := r.Owner(key)
+						if !ok || now != was {
+							t.Fatalf("remove %q moved key %q: %q -> %q", name, key, was, now)
+						}
+					}
+				}
+			default:
+				r.Owner(tok)
+			}
+		}
+		if r.Len() != len(live) {
+			t.Fatalf("ring tracks %d members, script applied %d", r.Len(), len(live))
+		}
+		// Placement is a pure function of the final membership: a ring
+		// rebuilt member-by-member in sorted order must agree everywhere.
+		rebuilt, err := NewWithMembers(int(replicas), r.Members())
+		if err != nil {
+			t.Fatalf("rebuild from surviving members: %v", err)
+		}
+		for key, was := range owners(r, keyBlob) {
+			got, ok := rebuilt.Owner(key)
+			if !ok || got != was {
+				t.Fatalf("key %q: mutated ring says %q, rebuilt ring says %q (ok=%v)", key, was, got, ok)
+			}
+		}
+	})
+}
+
+// owners maps every '|'-separated key in blob (plus a fixed probe set)
+// to its current owner; an empty ring yields an empty map.
+func owners(r *Ring, blob string) map[string]string {
+	out := map[string]string{}
+	probe := strings.Split(blob, "|")
+	for i := 0; i < 8; i++ {
+		probe = append(probe, fmt.Sprintf("probe%d", i))
+	}
+	for _, k := range probe {
+		if o, ok := r.Owner(k); ok {
+			out[k] = o
+		}
+	}
+	return out
+}

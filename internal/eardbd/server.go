@@ -339,7 +339,11 @@ func (s *Server) handleQuery(conn net.Conn, f wire.Frame) bool {
 	case wire.QueryAggregate:
 		resp, err = wire.EncodeResult(q.Kind, s.Aggregate())
 	case wire.QueryJobs:
-		resp, err = wire.EncodeResult(q.Kind, s.jobSummaries())
+		resp, err = wire.EncodeResult(q.Kind, s.JobSummaries())
+	case wire.QueryNodePowers:
+		resp, err = wire.EncodeResult(q.Kind, s.NodePowersByName())
+	case wire.QueryRecords:
+		resp, err = wire.EncodeResult(q.Kind, s.db.Records())
 	case wire.QuerySummary:
 		var sum eard.JobSummary
 		sum, err = s.db.Summarize(q.Job, q.Step)
@@ -357,8 +361,8 @@ func (s *Server) handleQuery(conn net.Conn, f wire.Frame) bool {
 	return s.reply(conn, resp)
 }
 
-// jobSummaries summarizes every (job, step) pair, in db.Jobs order.
-func (s *Server) jobSummaries() []eard.JobSummary {
+// JobSummaries summarizes every (job, step) pair, in db.Jobs order.
+func (s *Server) JobSummaries() []eard.JobSummary {
 	jobs := s.db.Jobs()
 	out := make([]eard.JobSummary, 0, len(jobs))
 	for _, js := range jobs {
@@ -388,7 +392,7 @@ func (s *Server) Aggregate() Aggregate {
 	for _, p := range powers {
 		agg.TotalPowerW += p
 	}
-	for _, sum := range s.jobSummaries() {
+	for _, sum := range s.JobSummaries() {
 		agg.TotalEnergyJ += sum.EnergyJ
 	}
 	return agg
@@ -397,6 +401,32 @@ func (s *Server) Aggregate() Aggregate {
 // NodePowers implements eargm.PowerSource: the last reported DC power
 // of every node, ordered by node name so the feed is deterministic.
 func (s *Server) NodePowers() []float64 {
+	byName := s.NodePowersByName()
+	out := make([]float64, len(byName))
+	for i, np := range byName {
+		out[i] = np.PowerW
+	}
+	return out
+}
+
+// SeedNodePowers pre-populates the last-known per-node power view, as
+// a daemon restarting over a persisted DB does from its saved
+// snapshot: the record set alone cannot reconstruct ingestion order,
+// so the power view travels separately across a restart.
+func (s *Server) SeedNodePowers(nps []wire.NodePower) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, np := range nps {
+		s.nodeW[np.Node] = np.PowerW
+	}
+}
+
+// NodePowersByName returns the last reported DC power of every node
+// with its name, sorted by node. This is the shard-level view the
+// federation root merges: names make the merge unambiguous, and the
+// shared sort order keeps the merged sum arithmetic identical to a
+// single daemon's.
+func (s *Server) NodePowersByName() []wire.NodePower {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	names := make([]string, 0, len(s.nodeW))
@@ -404,9 +434,9 @@ func (s *Server) NodePowers() []float64 {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	out := make([]float64, len(names))
+	out := make([]wire.NodePower, len(names))
 	for i, n := range names {
-		out[i] = s.nodeW[n]
+		out[i] = wire.NodePower{Node: n, PowerW: s.nodeW[n]}
 	}
 	return out
 }

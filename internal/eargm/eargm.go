@@ -182,6 +182,21 @@ func (m *Manager) Update(now float64, nodePowerW []float64) (int, error) {
 // Cap returns the current ceiling (0 = released).
 func (m *Manager) Cap() int { return m.cap }
 
+// Budget returns the current power budget in watts.
+func (m *Manager) Budget() float64 { return m.cfg.BudgetW }
+
+// SetBudget re-targets the manager to a new power budget, keeping the
+// ratchet state (cap, settle count) intact. A cascaded deployment
+// re-apportions island budgets every interval as cluster draw shifts;
+// resetting the ratchet each time would defeat the hysteresis.
+func (m *Manager) SetBudget(w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("eargm: budget must be positive, got %g", w)
+	}
+	m.cfg.BudgetW = w
+	return nil
+}
+
 // Events returns the decision trace.
 func (m *Manager) Events() []Event { return m.events }
 

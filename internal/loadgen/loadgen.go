@@ -1,0 +1,358 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+
+	"goear/internal/eard"
+	"goear/internal/eardbd"
+	"goear/internal/par"
+	"goear/internal/telemetry"
+)
+
+// Config parameterises a load run.
+type Config struct {
+	// Nodes is how many simulated node reporters to drive.
+	Nodes int
+	// RecordsPerNode is how many job records each node reports
+	// (default 10), spread over jobs job0..job2 as in the canonical
+	// closed-loop workload.
+	RecordsPerNode int
+	// BatchRecords is the client batch-size trigger (default 4).
+	BatchRecords int
+	// Workers bounds how many node reporters run concurrently
+	// (default 8).
+	Workers int
+	// Seed derives every node's record stream and retry jitter;
+	// record content depends only on (Seed, node index), never on
+	// placement, so runs over different shard counts generate
+	// byte-identical data.
+	Seed int64
+	// MaxAttempts is the per-batch delivery attempt bound passed to
+	// the clients (0 = client default).
+	MaxAttempts int
+	// NodeName, when set, overrides the node naming scheme (default
+	// NodeName). The closed-loop battery feeds its historical "n%02d"
+	// names through this hook so the federated transcripts stay
+	// comparable with the single-daemon golden.
+	NodeName func(i int) string
+	// Telemetry, when set, exposes the generator's progress as
+	// goear_loadgen_* instruments. Falls back to the process-global
+	// set; nil when that is disabled too, making every instrument a
+	// no-op.
+	Telemetry *telemetry.Set
+}
+
+func (c Config) withDefaults() Config {
+	if c.RecordsPerNode == 0 {
+		c.RecordsPerNode = 10
+	}
+	if c.BatchRecords == 0 {
+		c.BatchRecords = 4
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("loadgen: need at least one node, got %d", c.Nodes)
+	case c.RecordsPerNode < 1:
+		return fmt.Errorf("loadgen: need at least one record per node")
+	case c.BatchRecords < 1:
+		return fmt.Errorf("loadgen: batch size must be positive")
+	case c.Workers < 1:
+		return fmt.Errorf("loadgen: worker count must be positive")
+	}
+	return nil
+}
+
+// Hooks lets a caller interleave fault injection with the load.
+type Hooks struct {
+	// AfterNode runs after node i's reporter has closed (on that
+	// node's worker goroutine). Kill/Restart a cluster shard here to
+	// fault mid-load.
+	AfterNode func(i int)
+}
+
+// Result summarises a load run.
+type Result struct {
+	Nodes           int                 `json:"nodes"`
+	RecordsEnqueued int                 `json:"records_enqueued"`
+	NodeErrors      int                 `json:"node_errors"`
+	Client          eardbd.ClientStats  `json:"client"`
+	BacklogBatches  int                 `json:"backlog_batches"`
+}
+
+// Generator drives simulated node reporters through real EARDBD
+// clients. Every node gets its own client, memory journal, fake clock
+// and seeded jitter stream: unreachable shards cost spills and
+// replays, never wall-clock sleeps, so a 10k-node run with faults
+// finishes in seconds and stays deterministic in content.
+type Generator struct {
+	cfg Config
+	tel genTel
+
+	mu       sync.Mutex
+	journals map[string]*eardbd.Journal
+	sum      eardbd.ClientStats
+	enqueued int
+	errs     int
+	ran      int
+}
+
+// New builds a generator.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.withDefaults().Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		cfg:      cfg.withDefaults(),
+		tel:      newGenTel(cfg.Telemetry),
+		journals: map[string]*eardbd.Journal{},
+	}, nil
+}
+
+// NodeName names node i; placement and record content key off it.
+func NodeName(i int) string { return fmt.Sprintf("node%05d", i) }
+
+func (g *Generator) nodeName(i int) string {
+	if g.cfg.NodeName != nil {
+		return g.cfg.NodeName(i)
+	}
+	return NodeName(i)
+}
+
+// Records generates node i's deterministic record stream: the
+// canonical closed-loop workload shape (three jobs, per-node power in
+// [250, 290) W) scaled to RecordsPerNode.
+func (g *Generator) Records(i int) []eard.JobRecord {
+	node := g.nodeName(i)
+	rng := rand.New(rand.NewSource(g.cfg.Seed + int64(1000+i)))
+	out := make([]eard.JobRecord, g.cfg.RecordsPerNode)
+	for j := range out {
+		power := 250 + 40*rng.Float64()
+		out[j] = eard.JobRecord{
+			JobID: fmt.Sprintf("job%d", j%3), StepID: fmt.Sprint(j / 3), Node: node,
+			App: "BT-MZ.C", Policy: "min_energy",
+			TimeSec: 120, EnergyJ: power * 120, AvgPower: power,
+			AvgCPU: 2.1, AvgIMC: 2.4,
+		}
+	}
+	return out
+}
+
+// Run drives all nodes through the given per-node dialer under the
+// worker pool. Unreachable shards are an expected outcome, not an
+// error: affected batches spill to the node's journal and stay
+// claimable by Drain. The returned error covers only harness
+// failures (bad config, journal I/O), never delivery faults.
+func (g *Generator) Run(dial func(node string) func() (net.Conn, error), hooks Hooks) (Result, error) {
+	if dial == nil {
+		return Result{}, fmt.Errorf("loadgen: Run needs a dialer")
+	}
+	err := par.ForEach(g.cfg.Workers, g.cfg.Nodes, func(i int) error {
+		if err := g.runNode(i, dial); err != nil {
+			return err
+		}
+		if hooks.AfterNode != nil {
+			hooks.AfterNode(i)
+		}
+		return nil
+	})
+	g.tel.backlog.Set(float64(g.backlogLocked()))
+	return g.result(), err
+}
+
+func (g *Generator) runNode(i int, dial func(node string) func() (net.Conn, error)) error {
+	node := g.nodeName(i)
+	journal, err := eardbd.OpenJournal("") // memory-only
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.journals[node] = journal
+	g.mu.Unlock()
+
+	c, err := eardbd.NewClient(eardbd.ClientConfig{
+		Node:         node,
+		Dial:         dial(node),
+		Clock:        eardbd.NewFakeClock(0),
+		Jitter:       rand.New(rand.NewSource(g.cfg.Seed ^ int64(7919*i+1))),
+		BatchRecords: g.cfg.BatchRecords,
+		MaxAttempts:  g.cfg.MaxAttempts,
+		Journal:      journal,
+		Telemetry:    g.cfg.Telemetry,
+	})
+	if err != nil {
+		return err
+	}
+	var nodeErr error
+	enq := 0
+	for _, r := range g.Records(i) {
+		err := c.Enqueue(r)
+		switch {
+		case err == nil, errors.Is(err, eardbd.ErrUnreachable):
+			// Unreachable is survivable: the flush journaled the
+			// batch for a later replay.
+			enq++
+		default:
+			nodeErr = err
+		}
+	}
+	if err := c.Close(); err != nil && !errors.Is(err, eardbd.ErrUnreachable) && nodeErr == nil {
+		nodeErr = err
+	}
+
+	g.mu.Lock()
+	g.ran++
+	g.enqueued += enq
+	addClientStats(&g.sum, c.Stats())
+	if journal.Len() == 0 {
+		delete(g.journals, node)
+	}
+	if nodeErr != nil {
+		g.errs++
+	}
+	g.mu.Unlock()
+	g.tel.nodes.Inc()
+	g.tel.records.Add(uint64(enq))
+	if nodeErr != nil {
+		g.tel.nodeErrors.Inc()
+	}
+	return nil
+}
+
+// Drain replays the spilled backlog: each pass rebuilds a client per
+// backlogged node (resuming its batch sequence from the journal, as a
+// restarted reporter process would) and flushes until the journal
+// empties or maxPasses runs out. It returns the remaining backlog in
+// batches.
+func (g *Generator) Drain(dial func(node string) func() (net.Conn, error), maxPasses int) (int, error) {
+	for pass := 0; pass < maxPasses; pass++ {
+		g.mu.Lock()
+		nodes := make([]string, 0, len(g.journals))
+		for node := range g.journals {
+			nodes = append(nodes, node)
+		}
+		g.mu.Unlock()
+		if len(nodes) == 0 {
+			break
+		}
+		sort.Strings(nodes)
+		g.tel.drainPasses.Inc()
+		progress := false
+		for _, node := range nodes {
+			g.mu.Lock()
+			journal := g.journals[node]
+			g.mu.Unlock()
+			if journal == nil {
+				continue
+			}
+			before := journal.Len()
+			c, err := eardbd.NewClient(eardbd.ClientConfig{
+				Node:         node,
+				Dial:         dial(node),
+				Clock:        eardbd.NewFakeClock(0),
+				Jitter:       rand.New(rand.NewSource(g.cfg.Seed ^ hashNode(node))),
+				BatchRecords: g.cfg.BatchRecords,
+				MaxAttempts:  g.cfg.MaxAttempts,
+				Journal:      journal,
+				Telemetry:    g.cfg.Telemetry,
+			})
+			if err != nil {
+				return g.Backlog(), err
+			}
+			ferr := c.Flush()
+			cerr := c.Close()
+			if ferr != nil && !errors.Is(ferr, eardbd.ErrUnreachable) {
+				return g.Backlog(), ferr
+			}
+			if cerr != nil && !errors.Is(cerr, eardbd.ErrUnreachable) {
+				return g.Backlog(), cerr
+			}
+			g.mu.Lock()
+			addClientStats(&g.sum, c.Stats())
+			if journal.Len() == 0 {
+				delete(g.journals, node)
+			}
+			if journal.Len() < before {
+				progress = true
+			}
+			g.mu.Unlock()
+		}
+		g.tel.backlog.Set(float64(g.Backlog()))
+		if !progress {
+			break
+		}
+	}
+	return g.Backlog(), nil
+}
+
+// Backlog returns the spilled batches still awaiting drain.
+func (g *Generator) Backlog() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.backlogLocked()
+}
+
+func (g *Generator) backlogLocked() int {
+	total := 0
+	for _, j := range g.journals {
+		total += j.Len()
+	}
+	return total
+}
+
+// Stats returns the summed client counters so far.
+func (g *Generator) Stats() eardbd.ClientStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sum
+}
+
+func (g *Generator) result() Result {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Result{
+		Nodes:           g.ran,
+		RecordsEnqueued: g.enqueued,
+		NodeErrors:      g.errs,
+		Client:          g.sum,
+		BacklogBatches:  g.backlogLocked(),
+	}
+}
+
+// addClientStats accumulates b into a, field by field.
+func addClientStats(a *eardbd.ClientStats, b eardbd.ClientStats) {
+	a.Enqueued += b.Enqueued
+	a.Flushes += b.Flushes
+	a.BatchesSent += b.BatchesSent
+	a.RecordsSent += b.RecordsSent
+	a.Retries += b.Retries
+	a.Redials += b.Redials
+	a.BatchesSpilled += b.BatchesSpilled
+	a.RecordsSpilled += b.RecordsSpilled
+	a.BatchesReplayed += b.BatchesReplayed
+	a.BatchesRejected += b.BatchesRejected
+	a.RecordsDropped += b.RecordsDropped
+}
+
+// hashNode derives a stable per-node jitter seed for drain clients
+// (FNV-1a over the name).
+func hashNode(node string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}

@@ -1,0 +1,274 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"goear/internal/eardbd"
+	"goear/internal/telemetry"
+)
+
+func runLoad(t *testing.T, nodes, shards int, cfg Config, hooks Hooks) (*Cluster, *Generator, Result) {
+	t.Helper()
+	cluster, err := NewCluster(shards, eardbd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Nodes = nodes
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run(cluster.DialFor, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, g, res
+}
+
+func TestGeneratorDeliversEverything(t *testing.T) {
+	const nodes = 50
+	cluster, _, res := runLoad(t, nodes, 2, Config{Workers: 4}, Hooks{})
+	if res.Nodes != nodes || res.RecordsEnqueued != nodes*10 || res.NodeErrors != 0 || res.BacklogBatches != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	accepted := 0
+	for _, name := range cluster.Names() {
+		accepted += cluster.Server(name).Stats().RecordsAccepted
+	}
+	if accepted != nodes*10 {
+		t.Fatalf("shards accepted %d records, want %d", accepted, nodes*10)
+	}
+	if res.Client.RecordsSent != nodes*10 || res.Client.RecordsDropped != 0 {
+		t.Fatalf("client stats = %+v", res.Client)
+	}
+}
+
+func TestSnapshotByteIdenticalAcrossShardCounts(t *testing.T) {
+	const nodes = 40
+	var ref []byte
+	for _, shards := range []int{1, 2, 4} {
+		cluster, _, res := runLoad(t, nodes, shards, Config{Workers: 8}, Hooks{})
+		if res.BacklogBatches != 0 || res.NodeErrors != 0 {
+			t.Fatalf("shards=%d: result = %+v", shards, res)
+		}
+		root, err := cluster.Root()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := Snapshot(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = blob
+			continue
+		}
+		if string(blob) != string(ref) {
+			t.Fatalf("shards=%d: snapshot differs from single-shard run", shards)
+		}
+	}
+}
+
+// TestFaultInjectionReplaysExactlyOnce kills a shard mid-load and
+// restarts it later: spilled batches must drain, every record must
+// land exactly once, and the final federation snapshot must be
+// byte-identical to a no-fault run.
+func TestFaultInjectionReplaysExactlyOnce(t *testing.T) {
+	const nodes, shards = 60, 3
+	cfg := Config{Workers: 4, Seed: 7}
+
+	clean, _, cleanRes := runLoad(t, nodes, shards, cfg, Hooks{})
+	if cleanRes.BacklogBatches != 0 {
+		t.Fatalf("clean run left backlog: %+v", cleanRes)
+	}
+	cleanRoot, err := clean.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Snapshot(cleanRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	set := telemetry.NewSet()
+	cfg.Telemetry = set
+	cluster, err := NewCluster(shards, eardbd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Nodes: nodes, Workers: cfg.Workers, Seed: cfg.Seed, Telemetry: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := cluster.Names()[1]
+	var done int64
+	var killing, killDone, restarted atomic.Bool
+	hooks := Hooks{AfterNode: func(i int) {
+		n := atomic.AddInt64(&done, 1)
+		if n >= 10 && killing.CompareAndSwap(false, true) {
+			if err := cluster.Kill(victim); err != nil {
+				t.Error(err)
+			}
+			killDone.Store(true)
+		}
+		if n >= 40 && killDone.Load() && restarted.CompareAndSwap(false, true) {
+			if err := cluster.Restart(victim); err != nil {
+				t.Error(err)
+			}
+		}
+	}}
+	res, err := g.Run(cluster.DialFor, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restarted.Load() {
+		if err := cluster.Restart(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left, err := g.Drain(cluster.DialFor, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Fatalf("drain left %d batches journaled", left)
+	}
+	st := g.Stats()
+	if st.BatchesSpilled == 0 {
+		t.Fatal("fault injected but nothing spilled; kill timing broken")
+	}
+	if st.BatchesSpilled != st.BatchesReplayed {
+		t.Fatalf("spilled %d batches but replayed %d", st.BatchesSpilled, st.BatchesReplayed)
+	}
+	if st.RecordsDropped != 0 || res.NodeErrors != 0 {
+		t.Fatalf("lost records: stats %+v result %+v", st, res)
+	}
+
+	root, err := cluster.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Snapshot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("faulted snapshot differs from no-fault run:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+
+	var b strings.Builder
+	if err := set.Reg().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, metric := range []string{
+		"goear_loadgen_nodes_total " + fmt.Sprint(nodes),
+		"goear_loadgen_journal_backlog_batches 0",
+		"goear_eardbd_client_batches_spilled_total",
+		"goear_eardbd_client_batches_replayed_total",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("telemetry missing %q", metric)
+		}
+	}
+}
+
+func TestClusterFaultAPIErrors(t *testing.T) {
+	cluster, err := NewCluster(2, eardbd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Kill("nope"); err == nil {
+		t.Error("killed an unknown shard")
+	}
+	if err := cluster.Restart("shard0"); err == nil {
+		t.Error("restarted a live shard")
+	}
+	if err := cluster.Kill("shard0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Kill("shard0"); err == nil {
+		t.Error("killed a dead shard twice")
+	}
+	if _, err := cluster.DialShard("shard0"); err == nil {
+		t.Error("dialed a dead shard")
+	}
+	if err := cluster.Restart("shard0"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := cluster.DialShard("shard0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := NewCluster(0, eardbd.Config{}); err == nil {
+		t.Error("built an empty cluster")
+	}
+}
+
+func TestEndpointsRouteLikeCluster(t *testing.T) {
+	// External mode over fake "addresses" that pipe into in-process
+	// servers must place nodes exactly as a Cluster would, because
+	// both hash the same member names.
+	cluster, err := NewCluster(2, eardbd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := cluster.Names()
+	eps, err := NewEndpoints(addrs, func(addr string) (net.Conn, error) {
+		return cluster.DialShard(addr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Nodes: 20, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run(eps.DialFor, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BacklogBatches != 0 || res.Client.RecordsSent != 200 {
+		t.Fatalf("result = %+v", res)
+	}
+	root, err := eps.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := root.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Nodes != 20 || agg.Records != 200 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if _, err := NewEndpoints(nil, nil); err == nil {
+		t.Error("built endpoints with no addresses")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Nodes: -1},
+		{Nodes: 1, RecordsPerNode: -1},
+		{Nodes: 1, BatchRecords: -1},
+		{Nodes: 1, Workers: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+	g, err := New(Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(nil, Hooks{}); err == nil {
+		t.Error("Run accepted a nil dialer")
+	}
+}

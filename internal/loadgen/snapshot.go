@@ -1,0 +1,39 @@
+package loadgen
+
+import (
+	"encoding/json"
+
+	"goear/internal/eard"
+	"goear/internal/eardbd"
+	"goear/internal/eardbd/fed"
+	"goear/internal/wire"
+)
+
+// snapshot is the canonical federation state dump: the aggregate, the
+// merged per-node power view and every job summary, in the fixed
+// field and element order the byte-identity tests compare.
+type snapshot struct {
+	Aggregate  eardbd.Aggregate  `json:"aggregate"`
+	NodePowers []wire.NodePower  `json:"node_powers"`
+	Jobs       []eard.JobSummary `json:"jobs"`
+}
+
+// Snapshot renders the root's merged state as canonical JSON. Two
+// runs over the same record set produce byte-identical snapshots
+// whatever the shard count or fault history, which is the federation
+// tier's core correctness contract.
+func Snapshot(root *fed.Root) ([]byte, error) {
+	agg, err := root.Aggregate()
+	if err != nil {
+		return nil, err
+	}
+	nps, err := root.MergedNodePowers()
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := root.JobSummaries()
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(snapshot{Aggregate: agg, NodePowers: nps, Jobs: jobs}, "", "  ")
+}

@@ -209,13 +209,37 @@ const (
 	QueryAggregate = "aggregate"
 	QueryJobs      = "jobs"
 	QuerySummary   = "summary"
+	// QueryNodePowers returns the last reported DC power of every node
+	// as a name-sorted []NodePower: the view a federation root merges
+	// across shards, and what makes the merged eargm feed byte-identical
+	// to a single daemon's.
+	QueryNodePowers = "node_powers"
+	// QueryRecords dumps every stored record sorted by (job, step,
+	// node). The federation root folds shard dumps into one database so
+	// merged summaries run the exact arithmetic a single daemon would.
+	QueryRecords = "records"
 )
+
+// NodePower is one node's last reported DC power, the element of a
+// QueryNodePowers result.
+type NodePower struct {
+	Node   string  `json:"node"`
+	PowerW float64 `json:"power_w"`
+}
 
 // Result wraps a query response as raw JSON for the caller to decode
 // into the kind-specific shape.
 type Result struct {
 	Kind string          `json:"kind"`
 	Data json.RawMessage `json:"data"`
+}
+
+// Decode unmarshals the result data into the kind-specific shape.
+func (r Result) Decode(v any) error {
+	if err := json.Unmarshal(r.Data, v); err != nil {
+		return fmt.Errorf("wire: decode %s result: %w", r.Kind, err)
+	}
+	return nil
 }
 
 // EncodeBatch builds a TypeBatch frame.
