@@ -1,9 +1,10 @@
-// Command goearvet runs the repository's static-analysis suite: five
+// Command goearvet runs the repository's static-analysis suite:
 // repo-specific analyzers enforcing determinism, unit safety, MSR
-// bit-field consistency, error handling and concurrency discipline.
-// It is built on internal/analysis and uses only the standard
-// library; packages are type-checked from source, so the tool needs
-// no build cache or installed artifacts.
+// bit-field consistency, error handling, concurrency discipline,
+// telemetry naming, policy registration, config-tag agreement and
+// fixture hygiene. It is built on internal/analysis and uses only the
+// standard library; packages are type-checked from source, so the
+// tool needs no build cache or installed artifacts.
 //
 // Usage:
 //
@@ -11,17 +12,30 @@
 //	go run ./cmd/goearvet -json ./internal/msr ./internal/uncore
 //	go run ./cmd/goearvet -determinism=false ./internal/sim
 //	go run ./cmd/goearvet -diff origin/main ./...
+//	go run ./cmd/goearvet -fix ./...
+//	go run ./cmd/goearvet -fix -dry-run ./...
 //
 // Patterns are import paths or ./-relative directories, with an
 // optional /... suffix for recursion. With no pattern, ./... is
 // assumed. -diff restricts the run to packages holding .go files git
 // reports as changed since the given ref (including working-tree and
 // untracked files), which keeps pull-request lint runs proportional
-// to the change. Exit status is 0 for a clean tree, 1 when findings
-// were reported, 2 on usage or load errors.
+// to the change.
+//
+// Some analyzers attach suggested fixes to their findings. -fix
+// applies them in place (each touched file is gofmt-ed) and reports
+// only what it could not repair; -fix -dry-run prints the repairs as
+// unified diffs without writing anything and exits non-zero when
+// fixes are outstanding, which is the shape CI wants. A fix whose
+// edits conflict with an already-accepted fix is skipped whole and
+// surfaced for manual repair.
+//
+// Exit status is 0 for a clean tree, 1 when findings (or, under
+// -fix -dry-run, pending fixes) were reported, 2 on usage or load
+// errors.
 //
 // Findings are suppressed line by line with an annotation carrying a
-// mandatory reason:
+// mandatory reason; suppressed findings never contribute fixes:
 //
 //	v := ratio * gran //goearvet:ignore count times granularity
 package main
@@ -53,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	diffRef := fs.String("diff", "", "only analyze packages with .go files changed since this git ref (untracked files count as changed)")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place")
+	dryRun := fs.Bool("dry-run", false, "with -fix, print repairs as unified diffs instead of writing; exit 1 when fixes are outstanding")
 	all := analyzers.All()
 	enabled := map[string]*bool{}
 	for _, a := range all {
@@ -63,10 +79,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		for _, a := range all {
+		sorted := append([]*analysis.Analyzer(nil), all...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, a := range sorted {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *dryRun && !*fix {
+		fmt.Fprintln(stderr, "goearvet: -dry-run only makes sense with -fix")
+		return 2
+	}
+	if *fix && *jsonOut {
+		fmt.Fprintln(stderr, "goearvet: -fix and -json are mutually exclusive")
+		return 2
 	}
 
 	var active []*analysis.Analyzer
@@ -136,6 +162,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *fix {
+		return runFixes(diags, root, *dryRun, stdout, stderr)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -158,6 +188,83 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runFixes resolves the suggested fixes of diags and either applies
+// them (writing each repaired file in place) or, under dry-run,
+// prints them as unified diffs. Diff and summary paths are shown
+// relative to the module root when possible.
+func runFixes(diags []analysis.Diagnostic, root string, dryRun bool, stdout, stderr io.Writer) int {
+	plan, err := analysis.PlanFixes(diags, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "goearvet:", err)
+		return 2
+	}
+	fixes, files, skipped := 0, 0, 0
+	applied := map[*analysis.SuggestedFix]bool{}
+	for _, f := range plan {
+		fixes += len(f.Applied)
+		skipped += len(f.Skipped)
+		for _, d := range f.Applied {
+			applied[d.Fix] = true
+		}
+		if f.Changed() {
+			files++
+		}
+	}
+
+	if dryRun {
+		for _, f := range plan {
+			if f.Changed() {
+				fmt.Fprint(stdout, analysis.UnifiedDiff(relTo(root, f.Path), f.Orig, f.Fixed))
+			}
+		}
+		if skipped > 0 {
+			fmt.Fprintf(stderr, "goearvet: %d fix(es) skipped due to conflicting edits\n", skipped)
+		}
+		if fixes > 0 {
+			fmt.Fprintf(stderr, "goearvet: %d auto-fixable finding(s) in %d file(s); run with -fix to apply\n", fixes, files)
+			return 1
+		}
+		fmt.Fprintln(stderr, "goearvet: no auto-fixable findings")
+		return 0
+	}
+
+	if err := analysis.WriteFixes(plan); err != nil {
+		fmt.Fprintln(stderr, "goearvet:", err)
+		return 2
+	}
+	if fixes > 0 {
+		fmt.Fprintf(stderr, "goearvet: applied %d fix(es) across %d file(s)\n", fixes, files)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(stderr, "goearvet: %d fix(es) skipped due to conflicting edits; re-run -fix\n", skipped)
+	}
+	// Findings whose fixes were applied are repaired; everything else
+	// still needs a human.
+	remaining := 0
+	for _, d := range diags {
+		if d.Fix != nil && applied[d.Fix] {
+			continue
+		}
+		fmt.Fprintln(stdout, d)
+		remaining++
+	}
+	if remaining > 0 {
+		fmt.Fprintf(stderr, "goearvet: %d finding(s) not auto-fixable\n", remaining)
+		return 1
+	}
+	return 0
+}
+
+// relTo renders path relative to root for readable diff headers,
+// falling back to the path itself.
+func relTo(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
 }
 
 // changedPackages maps the .go files git reports as changed since ref

@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -16,10 +17,41 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism", "unitsafety", "msrfield", "errcheck", "concurrency"} {
+	for _, name := range []string{
+		"concurrency", "conftag", "determinism", "errcheck", "fixture",
+		"msrfield", "policyreg", "telemetry", "unitsafety",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output is missing %q:\n%s", name, out.String())
 		}
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if fields := strings.Fields(line); len(fields) > 0 {
+			names = append(names, fields[0])
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list output is not sorted by name: %v", names)
+	}
+}
+
+func TestFixFlagCombinations(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-dry-run", "goear/internal/units"}, &out, &errOut); code != 2 {
+		t.Errorf("-dry-run without -fix: exit = %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-fix", "-json", "goear/internal/units"}, &out, &errOut); code != 2 {
+		t.Errorf("-fix with -json: exit = %d, want 2", code)
 	}
 }
 
@@ -59,6 +91,7 @@ func TestAllAnalyzersDisabled(t *testing.T) {
 	args := []string{
 		"-determinism=false", "-unitsafety=false", "-msrfield=false",
 		"-errcheck=false", "-concurrency=false", "-telemetry=false",
+		"-policyreg=false", "-conftag=false", "-fixture=false",
 		"goear/internal/units",
 	}
 	if code := run(args, &out, &errOut); code != 2 {
@@ -171,6 +204,71 @@ func TestDiffModeScopesToChangedPackages(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "no analyzed packages changed") {
 		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+// TestFixEndToEnd drives the full autofix loop in a throwaway module:
+// a determinism finding with a suggested fix (map-keys append without
+// a sort, in a package missing the sort import) is first shown by
+// -fix -dry-run, then applied by -fix, after which the tree is clean.
+func TestFixEndToEnd(t *testing.T) {
+	root := initDiffRepo(t)
+	src := `package sim
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	path := filepath.Join(root, "internal/sim/sim.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry run: diff on stdout, exit 1, file untouched.
+	var out, errOut strings.Builder
+	if code := run([]string{"-fix", "-dry-run", "./internal/sim"}, &out, &errOut); code != 1 {
+		t.Fatalf("dry-run exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"--- a/internal/sim/sim.go", "+\tsort.Strings(out)", `+import "sort"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("dry-run diff is missing %q:\n%s", want, out.String())
+		}
+	}
+	if got, _ := os.ReadFile(path); string(got) != src {
+		t.Fatalf("dry-run modified the file:\n%s", got)
+	}
+
+	// Apply: file repaired, nothing unfixable left, exit 0.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-fix", "./internal/sim"}, &out, &errOut); code != 0 {
+		t.Fatalf("fix exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`import "sort"`, "sort.Strings(out)"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed file is missing %q:\n%s", want, fixed)
+		}
+	}
+	if !strings.Contains(errOut.String(), "applied 1 fix(es)") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+
+	// The repaired tree is clean: dry-run now exits 0.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-fix", "-dry-run", "./internal/sim"}, &out, &errOut); code != 0 {
+		t.Fatalf("post-fix dry-run exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("post-fix dry-run still prints diffs:\n%s", out.String())
 	}
 }
 

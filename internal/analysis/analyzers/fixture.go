@@ -1,0 +1,188 @@
+package analyzers
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"goear/internal/analysis"
+)
+
+// Fixture polices test-helper packages that fabricate persisted
+// artefacts: spill journals and wire frames must be produced through
+// the versioned codec constructors, never hand-rolled. A literal
+// wire.Frame or a hand-marshalled batch bakes today's layout into a
+// fixture, so a codec version bump rots the fixture silently instead
+// of failing loudly at the constructor.
+var Fixture = &analysis.Analyzer{
+	Name: "fixture",
+	Doc: "require test helpers to build spill journals and wire frames through the " +
+		"versioned codec constructors instead of hand-rolled literals",
+	Scope: []string{"internal/loadgen", "eardbd/dbdtest"},
+	Run:   runFixture,
+}
+
+func runFixture(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkFixtureLit(pass, f, n)
+			case *ast.CallExpr:
+				checkFixtureMarshal(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFixtureLit flags hand-rolled wire.Frame literals and
+// hand-formatted batch IDs inside wire.Batch literals.
+func checkFixtureLit(pass *analysis.Pass, file *ast.File, lit *ast.CompositeLit) {
+	named := namedTypeOf(pass.TypeOf(lit))
+	if named == nil || !isWireType(named) {
+		return
+	}
+	switch named.Obj().Name() {
+	case "Frame":
+		pass.Reportf(lit.Pos(), "wire.Frame composite literal in a fixture helper; build frames with the versioned wire.Encode constructors so the magic, version and checksum stay consistent")
+	case "Batch":
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "ID" {
+				continue
+			}
+			checkBatchID(pass, file, kv.Value)
+		}
+	}
+}
+
+// checkBatchID flags ID fields assembled with fmt.Sprintf("%s/%d", …):
+// the batch-ID wire format lives in one place (eardbd.BatchID) and
+// fixtures must call it, not re-derive it.
+func checkBatchID(pass *analysis.Pass, file *ast.File, val ast.Expr) {
+	call, ok := stripParens(val).(*ast.CallExpr)
+	if !ok || !isPkgCall(pass, call, "fmt", "Sprintf") || len(call.Args) < 1 {
+		return
+	}
+	lit, ok := stripParens(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || format != "%s/%d" || len(call.Args) != 3 {
+		pass.Reportf(val.Pos(), "batch ID assembled with fmt.Sprintf; use eardbd.BatchID so the node/sequence format has one owner")
+		return
+	}
+	var fix *analysis.SuggestedFix
+	if alias, ok := importAlias(file, "goear/internal/eardbd"); ok {
+		node := renderExpr(pass, call.Args[1])
+		seq := renderExpr(pass, call.Args[2])
+		if node != "" && seq != "" {
+			fix = &analysis.SuggestedFix{
+				Message: "call " + alias + ".BatchID instead of re-deriving the format",
+				Edits: []analysis.TextEdit{
+					pass.Edit(call.Pos(), call.End(), alias+".BatchID("+node+", "+seq+")"),
+				},
+			}
+		}
+	}
+	pass.ReportFix(val.Pos(), fix, "batch ID assembled with fmt.Sprintf; use eardbd.BatchID so the node/sequence format has one owner")
+}
+
+// checkFixtureMarshal flags hand-marshalling of batches: the spill
+// journal's on-disk encoding belongs to the Journal codec.
+func checkFixtureMarshal(pass *analysis.Pass, call *ast.CallExpr) {
+	if !isPkgCall(pass, call, "encoding/json", "Marshal") && !isPkgCall(pass, call, "encoding/json", "MarshalIndent") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	named := namedTypeOf(pass.TypeOf(call.Args[0]))
+	if named == nil || !isWireType(named) || named.Obj().Name() != "Batch" {
+		return
+	}
+	pass.Reportf(call.Pos(), "json-marshalling a wire.Batch by hand in a fixture helper; write spill entries through the versioned Journal codec instead")
+}
+
+// namedTypeOf unwraps pointers and slices down to a named type.
+func namedTypeOf(t types.Type) *types.Named {
+	for t != nil {
+		switch u := t.(type) {
+		case *types.Named:
+			return u
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// isWireType reports whether the named type lives in a wire package —
+// matched on the import path suffix so fixture packages loaded under
+// synthetic paths still qualify.
+func isWireType(named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "goear/internal/wire" || strings.HasSuffix(pkg.Path(), "/wire")
+}
+
+// isPkgCall reports whether the call is pkgpath.Name(...), resolved
+// through the type info so import aliases are honoured.
+func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// importAlias returns the local name under which the file imports the
+// given path ("eardbd" when unaliased), and whether it imports it at
+// all. Fixes are only offered when the import already exists — adding
+// one could create a cycle in helper packages.
+func importAlias(file *ast.File, path string) (string, bool) {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		return p[strings.LastIndex(p, "/")+1:], true
+	}
+	return "", false
+}
+
+// renderExpr prints an expression back to source for use inside a
+// replacement edit.
+func renderExpr(pass *analysis.Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -17,6 +17,17 @@
 //   - telemetry: metric names registered with the telemetry registry
 //     must be package-level constants matching ^goear_[a-z0-9_]+$,
 //     each registered at exactly one call site.
+//   - policyreg: every Policy implementation is registered exactly
+//     once under a declared name constant whose value round-trips
+//     config parsing.
+//   - conftag: config keys, the struct fields their parser cases
+//     assign, and the fields' conf struct tags agree — no dead keys,
+//     no stale or missing tags.
+//   - fixture: test helpers build spill journals and wire frames
+//     through the versioned codec constructors, never by hand.
+//
+// Some analyzers attach suggested fixes to their diagnostics; those
+// are applied by goearvet -fix through analysis.PlanFixes.
 package analyzers
 
 import (
@@ -28,13 +39,16 @@ import (
 	"goear/internal/analysis"
 )
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite sorted by name.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Concurrency,
+		ConfTag,
 		Determinism,
 		ErrCheck,
+		Fixture,
 		MSRField,
+		PolicyReg,
 		Telemetry,
 		UnitSafety,
 	}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// TextEdit replaces the bytes [Start, End) of File with NewText. A
+// zero-width range (Start == End) is an insertion. Offsets are byte
+// offsets into the file as it was loaded; edits are resolved against
+// the file contents by the applier, never against positions that may
+// have shifted.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// SuggestedFix is an optional repair attached to a Diagnostic: a
+// human-readable description plus the ordered byte-range edits that
+// implement it. A fix is atomic — it is applied whole or not at all.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyEdits returns src with the edits applied. Edits are sorted by
+// start offset (stable, so same-point insertions keep their given
+// order); overlapping edits or ranges outside src are errors. The
+// result is exact byte splicing — no formatting happens here.
+func ApplyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	if len(edits) == 0 {
+		return append([]byte(nil), src...), nil
+	}
+	sorted := append([]TextEdit(nil), edits...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	for i, e := range sorted {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("analysis: edit range [%d,%d) outside source of %d bytes", e.Start, e.End, len(src))
+		}
+		// Token offsets always sit on rune boundaries; an edit that
+		// would split a multi-byte rune can only come from a corrupt
+		// fix and would splice valid UTF-8 into garbage.
+		if midRune(src, e.Start) || midRune(src, e.End) {
+			return nil, fmt.Errorf("analysis: edit range [%d,%d) splits a UTF-8 rune", e.Start, e.End)
+		}
+		if i > 0 && sorted[i-1].End > e.Start {
+			return nil, fmt.Errorf("analysis: overlapping edits at [%d,%d) and [%d,%d)",
+				sorted[i-1].Start, sorted[i-1].End, e.Start, e.End)
+		}
+	}
+	var out []byte
+	last := 0
+	for _, e := range sorted {
+		out = append(out, src[last:e.Start]...)
+		out = append(out, e.NewText...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}
+
+// FileFix is one file's planned repair: the original and fixed
+// contents plus which diagnostics' fixes made it in and which were
+// skipped because their edits conflicted with an earlier fix.
+type FileFix struct {
+	Path    string
+	Orig    []byte
+	Fixed   []byte
+	Applied []Diagnostic
+	Skipped []Diagnostic
+}
+
+// Changed reports whether the fix actually alters the file.
+func (f *FileFix) Changed() bool { return string(f.Orig) != string(f.Fixed) }
+
+// PlanFixes resolves the suggested fixes of diags against file
+// contents. Diagnostics are taken in the order given (Run returns them
+// position-sorted); a fix whose edits overlap an already-accepted edit
+// is skipped whole and recorded on the file's Skipped list. Each
+// touched file's result is gofmt-ed, so applying a plan never leaves
+// unformatted code behind. readFile defaults to os.ReadFile. Results
+// are sorted by path; files whose fixes were all skipped are included
+// so callers can report them.
+func PlanFixes(diags []Diagnostic, readFile func(string) ([]byte, error)) ([]*FileFix, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	files := map[string]*FileFix{}
+	accepted := map[string][]TextEdit{}
+	load := func(path string) (*FileFix, error) {
+		if f, ok := files[path]; ok {
+			return f, nil
+		}
+		src, err := readFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: plan fixes: %w", err)
+		}
+		f := &FileFix{Path: path, Orig: src}
+		files[path] = f
+		return f, nil
+	}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		conflict := false
+		for _, e := range d.Fix.Edits {
+			f, err := load(e.File)
+			if err != nil {
+				return nil, err
+			}
+			if e.Start < 0 || e.End < e.Start || e.End > len(f.Orig) {
+				return nil, fmt.Errorf("analysis: %s: fix edit range [%d,%d) outside %s (%d bytes)",
+					d.Analyzer, e.Start, e.End, e.File, len(f.Orig))
+			}
+			for _, a := range accepted[e.File] {
+				if a.End > e.Start && e.End > a.Start {
+					conflict = true
+				}
+			}
+		}
+		// The diagnostic's own file hosts the skip/apply record even when
+		// the edits land elsewhere.
+		host, err := load(d.Fix.Edits[0].File)
+		if err != nil {
+			return nil, err
+		}
+		if conflict {
+			host.Skipped = append(host.Skipped, d)
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			accepted[e.File] = append(accepted[e.File], e)
+		}
+		host.Applied = append(host.Applied, d)
+	}
+	out := make([]*FileFix, 0, len(files))
+	for path, f := range files {
+		fixed, err := ApplyEdits(f.Orig, accepted[path])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		formatted, err := format.Source(fixed)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixed %s does not parse (analyzer bug): %w", path, err)
+		}
+		f.Fixed = formatted
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// WriteFixes writes every changed file of the plan in place.
+func WriteFixes(plan []*FileFix) error {
+	for _, f := range plan {
+		if !f.Changed() {
+			continue
+		}
+		info, err := os.Stat(f.Path)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode().Perm()
+		}
+		if err := os.WriteFile(f.Path, f.Fixed, mode); err != nil {
+			return fmt.Errorf("analysis: write fixes: %w", err)
+		}
+	}
+	return nil
+}
+
+// UnifiedDiff renders a minimal unified diff between a and b, labeled
+// a/name and b/name. Identical contents yield the empty string. The
+// diff carries a single hunk: the changed middle after trimming the
+// common prefix and suffix, framed by up to three context lines — not
+// a minimal edit script, but a valid patch and an honest dry-run
+// rendering.
+func UnifiedDiff(name string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al := splitLines(a)
+	bl := splitLines(b)
+	pre := 0
+	for pre < len(al) && pre < len(bl) && al[pre] == bl[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(al)-pre && suf < len(bl)-pre && al[len(al)-1-suf] == bl[len(bl)-1-suf] {
+		suf++
+	}
+	ctxBefore := min(3, pre)
+	ctxAfter := min(3, suf)
+
+	var body strings.Builder
+	for _, l := range al[pre-ctxBefore : pre] {
+		body.WriteString(" " + l)
+	}
+	for _, l := range al[pre : len(al)-suf] {
+		body.WriteString("-" + l)
+	}
+	for _, l := range bl[pre : len(bl)-suf] {
+		body.WriteString("+" + l)
+	}
+	for _, l := range al[len(al)-suf : len(al)-suf+ctxAfter] {
+		body.WriteString(" " + l)
+	}
+
+	aStart := pre - ctxBefore + 1
+	aCount := ctxBefore + (len(al) - suf - pre) + ctxAfter
+	bCount := ctxBefore + (len(bl) - suf - pre) + ctxAfter
+	if aCount == 0 {
+		aStart--
+	}
+	return fmt.Sprintf("--- a/%s\n+++ b/%s\n@@ -%d,%d +%d,%d @@\n%s",
+		name, name, aStart, aCount, aStart, bCount, body.String())
+}
+
+// splitLines splits into newline-terminated lines; a final line
+// without a trailing newline is marked so the diff stays textual.
+func splitLines(b []byte) []string {
+	if len(b) == 0 {
+		return nil
+	}
+	s := string(b)
+	lines := strings.SplitAfter(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	} else {
+		lines[len(lines)-1] += "\n\\ No newline at end of file\n"
+	}
+	return lines
+}
+
+// midRune reports whether offset lands on a UTF-8 continuation byte —
+// inside a multi-byte rune rather than on a boundary.
+func midRune(src []byte, off int) bool {
+	return off > 0 && off < len(src) && !utf8.RuneStart(src[off])
+}
+
+// ValidUTF8 reports whether b is valid UTF-8 — the invariant the fix
+// applier's fuzz target pins (source files in, source files out).
+func ValidUTF8(b []byte) bool { return utf8.Valid(b) }

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("hello cruel world\n")
+	cases := []struct {
+		name  string
+		edits []TextEdit
+		want  string
+		err   bool
+	}{
+		{name: "none", want: "hello cruel world\n"},
+		{name: "replace", edits: []TextEdit{{Start: 6, End: 11, NewText: "kind"}}, want: "hello kind world\n"},
+		{name: "delete", edits: []TextEdit{{Start: 5, End: 11, NewText: ""}}, want: "hello world\n"},
+		{name: "insert", edits: []TextEdit{{Start: 5, End: 5, NewText: ","}}, want: "hello, cruel world\n"},
+		{
+			name: "unsorted pair applies in offset order",
+			edits: []TextEdit{
+				{Start: 12, End: 17, NewText: "moon"},
+				{Start: 0, End: 5, NewText: "bye"},
+			},
+			want: "bye cruel moon\n",
+		},
+		{
+			name: "same-point insertions keep given order",
+			edits: []TextEdit{
+				{Start: 5, End: 5, NewText: "A"},
+				{Start: 5, End: 5, NewText: "B"},
+			},
+			want: "helloAB cruel world\n",
+		},
+		{
+			name: "overlap",
+			edits: []TextEdit{
+				{Start: 0, End: 7, NewText: "x"},
+				{Start: 6, End: 11, NewText: "y"},
+			},
+			err: true,
+		},
+		{name: "out of range", edits: []TextEdit{{Start: 10, End: 99, NewText: ""}}, err: true},
+		{name: "negative", edits: []TextEdit{{Start: -1, End: 2, NewText: ""}}, err: true},
+		{name: "inverted", edits: []TextEdit{{Start: 5, End: 3, NewText: ""}}, err: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := ApplyEdits(src, c.edits)
+			if c.err {
+				if err == nil {
+					t.Fatalf("ApplyEdits = %q, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != c.want {
+				t.Errorf("ApplyEdits = %q, want %q", got, c.want)
+			}
+		})
+	}
+}
+
+func TestApplyEditsDoesNotMutateInput(t *testing.T) {
+	src := []byte("abcdef")
+	edits := []TextEdit{{Start: 3, End: 3, NewText: "X"}, {Start: 1, End: 2, NewText: "Y"}}
+	if _, err := ApplyEdits(src, edits); err != nil {
+		t.Fatal(err)
+	}
+	if string(src) != "abcdef" {
+		t.Errorf("source mutated: %q", src)
+	}
+	if edits[0].Start != 3 || edits[1].Start != 1 {
+		t.Errorf("edit slice reordered in place: %+v", edits)
+	}
+}
+
+// planDiags builds diagnostics over an in-memory file set for
+// PlanFixes tests.
+func planDiags(file string, fixes ...*SuggestedFix) []Diagnostic {
+	out := make([]Diagnostic, len(fixes))
+	for i, f := range fixes {
+		out[i] = Diagnostic{Analyzer: "synthetic", File: file, Line: i + 1, Message: "finding", Fix: f}
+	}
+	return out
+}
+
+func TestPlanFixes(t *testing.T) {
+	src := "package p\n\nfunc f() int { return  1 }\n"
+	read := func(string) ([]byte, error) { return []byte(src), nil }
+
+	// Two compatible fixes: rename f and tighten the double space.
+	fAt := strings.Index(src, "f()")
+	spAt := strings.Index(src, "  1")
+	fix1 := &SuggestedFix{Message: "rename", Edits: []TextEdit{{File: "p.go", Start: fAt, End: fAt + 1, NewText: "g"}}}
+	fix2 := &SuggestedFix{Message: "respace", Edits: []TextEdit{{File: "p.go", Start: spAt, End: spAt + 2, NewText: " "}}}
+	plan, err := PlanFixes(planDiags("p.go", fix1, fix2), read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].Path != "p.go" {
+		t.Fatalf("plan = %+v", plan)
+	}
+	f := plan[0]
+	if len(f.Applied) != 2 || len(f.Skipped) != 0 {
+		t.Fatalf("applied %d skipped %d", len(f.Applied), len(f.Skipped))
+	}
+	want := "package p\n\nfunc g() int { return 1 }\n"
+	if string(f.Fixed) != want {
+		t.Errorf("fixed = %q, want %q", f.Fixed, want)
+	}
+	if !f.Changed() {
+		t.Error("Changed() = false on a changed file")
+	}
+
+	// A conflicting second fix is skipped whole, first wins.
+	conflict := &SuggestedFix{Message: "also rename", Edits: []TextEdit{{File: "p.go", Start: fAt, End: fAt + 1, NewText: "h"}}}
+	plan, err = PlanFixes(planDiags("p.go", fix1, conflict), read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = plan[0]
+	if len(f.Applied) != 1 || len(f.Skipped) != 1 {
+		t.Fatalf("applied %d skipped %d, want 1/1", len(f.Applied), len(f.Skipped))
+	}
+	if !strings.Contains(string(f.Fixed), "func g()") {
+		t.Errorf("first fix lost: %q", f.Fixed)
+	}
+
+	// A fix producing unparseable Go is an error, not silent damage.
+	breaker := &SuggestedFix{Message: "break", Edits: []TextEdit{{File: "p.go", Start: 0, End: 9, NewText: "pack age"}}}
+	if _, err := PlanFixes(planDiags("p.go", breaker), read); err == nil {
+		t.Error("expected error for unparseable fixed source")
+	}
+}
+
+func TestPlanFixesGofmtsResult(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\tfor range []int{} {\n\t}\n}\n"
+	read := func(string) ([]byte, error) { return []byte(src), nil }
+	// Insert an unindented statement after the loop; the plan gofmts it.
+	at := strings.Index(src, "}\n}") + 1
+	fix := &SuggestedFix{Message: "insert", Edits: []TextEdit{{File: "p.go", Start: at, End: at, NewText: "\nprintln(1)"}}}
+	plan, err := PlanFixes(planDiags("p.go", fix), read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(plan[0].Fixed), "\n\tprintln(1)\n") {
+		t.Errorf("insertion not reindented:\n%s", plan[0].Fixed)
+	}
+}
+
+func TestWriteFixes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.go")
+	if err := os.WriteFile(path, []byte("package w\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	plan := []*FileFix{{Path: path, Orig: []byte("package w\n"), Fixed: []byte("package w2\n")}}
+	if err := WriteFixes(plan); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "package w2\n" {
+		t.Errorf("written = %q", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("mode = %v, want preserved 0600", info.Mode().Perm())
+	}
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	a := []byte("l1\nl2\nl3\nl4\nl5\nl6\nl7\n")
+	b := []byte("l1\nl2\nl3\nl4x\nl5\nl6\nl7\n")
+	d := UnifiedDiff("f.go", a, b)
+	for _, want := range []string{"--- a/f.go\n", "+++ b/f.go\n", "-l4\n", "+l4x\n", " l3\n", " l5\n", "@@ -1,7 +1,7 @@"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff is missing %q:\n%s", want, d)
+		}
+	}
+	if UnifiedDiff("f.go", a, a) != "" {
+		t.Error("identical contents must diff empty")
+	}
+
+	// Pure insertion and missing trailing newline both stay textual.
+	d = UnifiedDiff("g", []byte("a\n"), []byte("a\nb"))
+	if !strings.Contains(d, "+b\n\\ No newline at end of file\n") {
+		t.Errorf("no-newline marker missing:\n%s", d)
+	}
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// FuzzApplyEdits pins the applier's safety contract: arbitrary edit
+// lists never panic, and whenever the inputs are valid UTF-8 the
+// output is too (source files in, source files out). Accepted edits
+// must also splice to the arithmetically right length.
+func FuzzApplyEdits(f *testing.F) {
+	f.Add([]byte("package p\n"), 0, 7, "q", 8, 9, "r")
+	f.Add([]byte("hello"), 1, 3, "", 3, 3, "xyz")
+	f.Add([]byte(""), 0, 0, "a", 0, 0, "b")
+	f.Add([]byte("abc"), -5, 99, "x", 2, 1, "y")
+	f.Fuzz(func(t *testing.T, src []byte, s1, e1 int, t1 string, s2, e2 int, t2 string) {
+		edits := []TextEdit{
+			{File: "f", Start: s1, End: e1, NewText: t1},
+			{File: "f", Start: s2, End: e2, NewText: t2},
+		}
+		out, err := ApplyEdits(src, edits)
+		if err != nil {
+			return
+		}
+		wantLen := len(src) + len(t1) - (e1 - s1) + len(t2) - (e2 - s2)
+		if len(out) != wantLen {
+			t.Fatalf("spliced length %d, want %d", len(out), wantLen)
+		}
+		if ValidUTF8(src) && ValidUTF8([]byte(t1)) && ValidUTF8([]byte(t2)) && !ValidUTF8(out) {
+			t.Fatalf("valid UTF-8 inputs produced invalid UTF-8 output: %q", out)
+		}
+		// Applying no edits must be the identity.
+		same, err := ApplyEdits(src, nil)
+		if err != nil || string(same) != string(src) {
+			t.Fatalf("empty edit list: %q, %v", same, err)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSnippet type-checks one source file as a package under the
+// synthetic import path "fix/p".
+func loadSnippet(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader()
+	l.AddDir("fix/p", dir)
+	pkg, err := l.Load("fix/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// fixEveryReturn is a synthetic analyzer that attaches a suggested fix
+// to every return statement, rewriting its expression to 0.
+func fixEveryReturn() *Analyzer {
+	return &Analyzer{
+		Name: "fixreturns",
+		Doc:  "rewrites every returned expression to 0",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					r, ok := n.(*ast.ReturnStmt)
+					if !ok || len(r.Results) == 0 {
+						return true
+					}
+					e := r.Results[0]
+					fix := &SuggestedFix{
+						Message: "return 0",
+						Edits:   []TextEdit{pass.Edit(e.Pos(), e.End(), "0")},
+					}
+					pass.ReportFix(r.Pos(), fix, "nonzero return")
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// TestIgnoreReasonlessSurfacesThroughRun pins that a directive without
+// a reason is itself reported by Run as a finding of the pseudo-
+// analyzer "ignore" — and suppresses nothing.
+func TestIgnoreReasonlessSurfacesThroughRun(t *testing.T) {
+	pkg := loadSnippet(t, `package p
+
+func f() int {
+	return 1 //goearvet:ignore
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{fixEveryReturn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawIgnore, sawFinding bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "ignore":
+			sawIgnore = true
+			if !strings.Contains(d.Message, "needs a reason") {
+				t.Errorf("ignore finding message = %q", d.Message)
+			}
+		case "fixreturns":
+			sawFinding = true
+		}
+	}
+	if !sawIgnore {
+		t.Error("reasonless directive was not reported as an ignore finding")
+	}
+	if !sawFinding {
+		t.Error("reasonless directive suppressed the finding on its line")
+	}
+}
+
+// TestIgnoreTrailingAndOwnLinePlacement pins both placements through
+// Run: a trailing directive suppresses its own line, an own-line
+// directive the line below, and neither leaks to other lines.
+func TestIgnoreTrailingAndOwnLinePlacement(t *testing.T) {
+	pkg := loadSnippet(t, `package p
+
+func trailing() int {
+	return 1 //goearvet:ignore trailing form
+}
+
+func ownLine() int {
+	//goearvet:ignore own-line form covers the next line
+	return 2
+}
+
+func unprotected() int {
+	return 3
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{fixEveryReturn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want only the unprotected return", diags)
+	}
+	if diags[0].Line != 13 {
+		t.Errorf("finding at line %d, want 13 (unprotected)", diags[0].Line)
+	}
+}
+
+// TestIgnoreSuppressedFindingsProduceNoFixes pins the -fix
+// interaction: a suppressed diagnostic never reaches the fix planner,
+// so its edits are never applied — only the unsuppressed finding's
+// repair lands.
+func TestIgnoreSuppressedFindingsProduceNoFixes(t *testing.T) {
+	src := `package p
+
+func suppressed() int {
+	return 1 //goearvet:ignore intentional nonzero
+}
+
+func repaired() int {
+	return 2
+}
+`
+	pkg := loadSnippet(t, src)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{fixEveryReturn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want only the unsuppressed finding", diags)
+	}
+	plan, err := PlanFixes(diags, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 {
+		t.Fatalf("plan = %+v, want one file", plan)
+	}
+	fixed := string(plan[0].Fixed)
+	if !strings.Contains(fixed, "return 1 //goearvet:ignore intentional nonzero") {
+		t.Errorf("suppressed finding was repaired anyway:\n%s", fixed)
+	}
+	if !strings.Contains(fixed, "func repaired() int {\n\treturn 0\n}") {
+		t.Errorf("unsuppressed finding was not repaired:\n%s", fixed)
+	}
+}

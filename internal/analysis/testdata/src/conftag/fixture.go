@@ -1,0 +1,43 @@
+// Package earconf is a goearvet test fixture loaded under the import
+// path "fix/internal/earconf", a miniature of the real cluster-config
+// parser: an INI-style key switch assigning struct fields. The
+// // want comments are golden expectations consumed by the analyzer
+// tests.
+package earconf
+
+import "strconv"
+
+// Config mirrors the real shape: parsed keys should be mirrored in
+// conf struct tags.
+type Config struct {
+	DefaultPolicy string  `conf:"DefaultPolicy"`
+	Verbose       int     // missing tag; the fix inserts conf:"Verbose"
+	Budget        float64 `conf:"PowerBudget"` // stale tag; the fix rewrites it to ClusterPowerBudgetW
+	Legacy        string  `conf:"LegacyKnob"`  // want `conf tag "LegacyKnob" on field Legacy is dead`
+	PairA, PairB  int     // shared declaration: reported, but not fixable per-field
+}
+
+func (c *Config) set(key, val string) error {
+	switch key {
+	case "DefaultPolicy":
+		c.DefaultPolicy = val
+	case "Verbose": // want `config key "Verbose" assigns field Verbose, which has no conf tag`
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return err
+		}
+		c.Verbose = n
+	case "ClusterPowerBudgetW": // want `config key "ClusterPowerBudgetW" assigns field Budget, whose conf tag says "PowerBudget"`
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return err
+		}
+		c.Budget = f
+	case "Ghost": // want `config key "Ghost" is dead: its case assigns no receiver field`
+		_ = val
+	case "PairA": // want `config key "PairA" assigns field PairA, which has no conf tag`
+		n, _ := strconv.Atoi(val)
+		c.PairA = n
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package dbdtest is a goearvet test fixture loaded under the import
+// path "fix/internal/loadgen" so the fixture analyzer treats it as a
+// test-helper package. It imports the real wire and eardbd packages;
+// the // want comments are golden expectations consumed by the
+// analyzer tests.
+package dbdtest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"goear/internal/eardbd"
+	"goear/internal/wire"
+)
+
+// badFrame hand-rolls a frame, bypassing the versioned encoder.
+func badFrame(payload []byte) wire.Frame {
+	return wire.Frame{Type: wire.TypeBatch, Payload: payload} // want `wire\.Frame composite literal in a fixture helper`
+}
+
+// goodFrame goes through the constructor.
+func goodFrame(b wire.Batch) (wire.Frame, error) {
+	return wire.EncodeBatch(b)
+}
+
+// badSprintfID re-derives the batch-ID format; the import of eardbd is
+// present, so the finding carries a fix rewriting to eardbd.BatchID.
+func badSprintfID(node string, seq uint64) wire.Batch {
+	return wire.Batch{
+		ID:   fmt.Sprintf("%s/%d", node, seq), // want `batch ID assembled with fmt\.Sprintf`
+		Node: node,
+	}
+}
+
+// badSprintfShape uses Sprintf with the wrong verb shape: still
+// flagged, but with no mechanical rewrite.
+func badSprintfShape(node string, seq uint64) wire.Batch {
+	return wire.Batch{
+		ID:   fmt.Sprintf("%s-%d", node, seq), // want `batch ID assembled with fmt\.Sprintf`
+		Node: node,
+	}
+}
+
+// goodID builds the ID through the one owner of the format.
+func goodID(node string, seq uint64) wire.Batch {
+	return wire.Batch{ID: eardbd.BatchID(node, seq), Node: node}
+}
+
+// badMarshal hand-marshals a batch the way a spill entry would be
+// written, bypassing the Journal codec.
+func badMarshal(b wire.Batch) ([]byte, error) {
+	return json.Marshal(b) // want `json-marshalling a wire\.Batch by hand`
+}
+
+// badMarshalIndent is the pretty-printed variant of the same mistake.
+func badMarshalIndent(b *wire.Batch) ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ") // want `json-marshalling a wire\.Batch by hand`
+}
+
+// goodMarshal of a non-wire type is fine.
+func goodMarshal(v map[string]int) ([]byte, error) {
+	return json.Marshal(v)
+}

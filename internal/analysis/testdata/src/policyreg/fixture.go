@@ -1,0 +1,69 @@
+// Package policy is a goearvet test fixture loaded under the import
+// path "fix/internal/policy", a self-contained miniature of the real
+// policy registry. The // want comments are golden expectations
+// consumed by the analyzer tests.
+package policy
+
+// Policy is the plugin surface, as in the real package.
+type Policy interface {
+	Apply(load float64) float64
+}
+
+// Factory builds a policy instance.
+type Factory func() Policy
+
+var registry = map[string]Factory{}
+
+// Register installs a factory under a name.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("policy: duplicate " + name)
+	}
+	registry[name] = f
+}
+
+// Registry names. BadName breaks the config round-trip contract and
+// carries a suggested fix; AliasName collides with Monitoring's value.
+const (
+	Monitoring = "monitoring"
+	MinEnergy  = "min_energy"
+	BadName    = "Min-Time"
+	AliasName  = "monitoring"
+)
+
+type monitoring struct{}
+
+func (monitoring) Apply(l float64) float64 { return l }
+
+type minEnergy struct{ budget float64 }
+
+func (*minEnergy) Apply(l float64) float64 { return l * 0.9 }
+
+type minTime struct{}
+
+func (minTime) Apply(l float64) float64 { return l * 1.1 }
+
+// orphan implements Policy but no factory ever returns it.
+type orphan struct{} // want `orphan implements Policy but no Register factory returns it`
+
+func (orphan) Apply(l float64) float64 { return l }
+
+// decorated is the decorator shape: it embeds the Policy interface to
+// wrap another policy, so it is exempt from the registration check.
+type decorated struct {
+	Policy
+	calls int
+}
+
+// newMinEnergy is a named factory; the analyzer follows it to find
+// the concrete type it returns.
+func newMinEnergy() Policy { return &minEnergy{} }
+
+func init() {
+	Register(Monitoring, func() Policy { return monitoring{} })
+	Register(MinEnergy, newMinEnergy)
+	Register(BadName, func() Policy { return minTime{} })        // want `policy name "Min-Time" does not round-trip config parsing`
+	Register(Monitoring, func() Policy { return monitoring{} }) // want `policy name Monitoring is registered 2 times`
+	Register(AliasName, func() Policy { return monitoring{} })  // want `policy name constants Monitoring and AliasName share the value "monitoring"`
+	Register("literal", func() Policy { return monitoring{} })  // want `Register must be called with a declared name constant`
+}

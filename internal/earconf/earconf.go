@@ -27,20 +27,20 @@ import (
 // Config is the parsed cluster configuration.
 type Config struct {
 	// DefaultPolicy is applied when a job does not request one.
-	DefaultPolicy string
+	DefaultPolicy string `conf:"DefaultPolicy"`
 	// DefaultCPUPolicyTh and DefaultUncPolicyTh are the site's policy
 	// thresholds.
-	DefaultCPUPolicyTh float64
-	DefaultUncPolicyTh float64
+	DefaultCPUPolicyTh float64 `conf:"DefaultCPUPolicyTh"`
+	DefaultUncPolicyTh float64 `conf:"DefaultUncPolicyTh"`
 	// MinSignatureWindowSec is EARL's signature cadence floor.
-	MinSignatureWindowSec float64
+	MinSignatureWindowSec float64 `conf:"MinSignatureWindowSec"`
 	// SignatureChangeTh re-applies policies on behaviour changes.
-	SignatureChangeTh float64
+	SignatureChangeTh float64 `conf:"SignatureChangeTh"`
 	// AuthorizedPolicies restricts which policies jobs may request;
 	// empty means all registered policies.
-	AuthorizedPolicies []string
+	AuthorizedPolicies []string `conf:"AuthorizedPolicies"`
 	// ClusterPowerBudgetW enables the global manager when positive.
-	ClusterPowerBudgetW float64
+	ClusterPowerBudgetW float64 `conf:"ClusterPowerBudgetW"`
 }
 
 // Default returns the site defaults used when no file is present —

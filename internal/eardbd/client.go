@@ -165,6 +165,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
+// BatchID formats the client-assigned batch identifier for a node and
+// sequence number. The "<node>/<seq>" shape is load-bearing — the
+// server's duplicate window and maxJournalSeq both parse it back — so
+// every producer (client flush, spill, test fixtures) must build IDs
+// here rather than re-deriving the format.
+func BatchID(node string, seq uint64) string {
+	return fmt.Sprintf("%s/%d", node, seq)
+}
+
 // maxJournalSeq returns the highest numeric suffix among journaled
 // batch IDs of the form "<node>/<seq>".
 func maxJournalSeq(j *Journal, node string) uint64 {
@@ -288,7 +297,7 @@ func (c *Client) flushLocked() error {
 	}
 	c.seq++
 	b := wire.Batch{
-		ID:      fmt.Sprintf("%s/%d", c.cfg.Node, c.seq),
+		ID:      BatchID(c.cfg.Node, c.seq),
 		Node:    c.cfg.Node,
 		Records: c.queue,
 	}
@@ -430,7 +439,7 @@ func (c *Client) spillQueueLocked() error {
 	}
 	c.seq++
 	b := wire.Batch{
-		ID:      fmt.Sprintf("%s/%d", c.cfg.Node, c.seq),
+		ID:      BatchID(c.cfg.Node, c.seq),
 		Node:    c.cfg.Node,
 		Records: c.queue,
 	}

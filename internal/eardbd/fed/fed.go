@@ -27,6 +27,7 @@ import (
 
 	"goear/internal/eard"
 	"goear/internal/eardbd"
+	"goear/internal/par"
 	"goear/internal/telemetry"
 	"goear/internal/wire"
 )
@@ -151,13 +152,24 @@ func (r *Root) queryShard(s Shard, q wire.Query) (wire.Result, error) {
 	return wire.Result{}, fmt.Errorf("fed: shard %s: %w", s.Name, err)
 }
 
-// fanOut runs one query against every shard in configured order and
-// decodes each result into out(i). Queries run sequentially: merge
-// determinism does not require it (results are keyed by shard index),
-// but the snapshot rate is low and sequential fan-out keeps the error
-// path trivial.
+// fanOutConcurrency bounds concurrent shard queries per fan-out. A
+// snapshot's latency is the slowest shard's round trip, so querying
+// islands concurrently matters once a fleet is wide or a WAN link is
+// slow; eight in flight covers realistic island counts without
+// letting one root stampede the fleet.
+const fanOutConcurrency = 8
+
+// fanOut runs one query against every shard and decodes each result
+// into decode(i). Shard queries run concurrently under a bounded
+// group, but results land in a slice keyed by shard index and are
+// decoded sequentially in configured shard order — so the merged
+// output stays byte-identical to a sequential fan-out, and decode
+// callbacks never race. On error the lowest-indexed failure wins,
+// matching what the sequential loop would have reported.
 func (r *Root) fanOut(q wire.Query, decode func(i int, res wire.Result) error) error {
-	for i, s := range r.cfg.Shards {
+	results := make([]wire.Result, len(r.cfg.Shards))
+	err := par.ForEach(fanOutConcurrency, len(r.cfg.Shards), func(i int) error {
+		s := r.cfg.Shards[i]
 		res, err := r.queryShard(s, q)
 		if err != nil {
 			return err
@@ -165,7 +177,14 @@ func (r *Root) fanOut(q wire.Query, decode func(i int, res wire.Result) error) e
 		if res.Kind != q.Kind {
 			return fmt.Errorf("fed: shard %s answered kind %q to %q", s.Name, res.Kind, q.Kind)
 		}
-		if err := decode(i, res); err != nil {
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, s := range r.cfg.Shards {
+		if err := decode(i, results[i]); err != nil {
 			return fmt.Errorf("fed: shard %s: %w", s.Name, err)
 		}
 	}

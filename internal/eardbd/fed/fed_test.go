@@ -6,7 +6,9 @@ import (
 	"math/rand"
 	"net"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"goear/internal/eard"
 	"goear/internal/eardbd"
@@ -260,5 +262,57 @@ func TestUnreachableShardSurfacesError(t *testing.T) {
 	st := root.Stats()
 	if st.FanoutErrors == 0 {
 		t.Fatalf("fan-out errors not counted: %+v", st)
+	}
+}
+
+// TestFanOutQueriesShardsConcurrently pins the concurrent fan-out: a
+// barrier in every shard's dial function releases only once all dials
+// are in flight, so a root that queried shards one at a time would
+// deadlock here. The merged view must still come out in shard order.
+func TestFanOutQueriesShardsConcurrently(t *testing.T) {
+	const n = 4
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	shards, _ := buildFederation(t, 8, n)
+	cfg := Config{}
+	for _, s := range shards {
+		s := s
+		cfg.Shards = append(cfg.Shards, Shard{Name: s.name, Dial: func() (net.Conn, error) {
+			barrier.Done()
+			barrier.Wait()
+			return s.dial()
+		}})
+	}
+	root, err := NewRoot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type answer struct {
+		nps []wire.NodePower
+		err error
+	}
+	done := make(chan answer, 1)
+	go func() {
+		nps, err := root.MergedNodePowers()
+		done <- answer{nps, err}
+	}()
+	select {
+	case a := <-done:
+		if a.err != nil {
+			t.Fatal(a.err)
+		}
+		// The concurrent fan-out must merge identically to the plain
+		// sequential-dial root over the same shards.
+		_, plain := buildFederation(t, 8, n)
+		want, err := plain.MergedNodePowers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.nps, want) {
+			t.Errorf("concurrent merge diverges:\n got %v\nwant %v", a.nps, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("fan-out deadlocked: shard queries are not concurrent")
 	}
 }
