@@ -14,6 +14,7 @@
 //	earctl conf [-f ear.conf]  show the effective site configuration
 //	earctl report -db jobs.json per-application and per-policy energy report
 //	earctl dbd -addr host:port[,host:port...] <stats|aggregate|jobs|summary> query a live eardbd or a shard fleet
+//	earctl jobs -addr host:port[,host:port...] [-user u] [-job j] [-since s] list per-job energy records
 //	earctl metrics -addr host:port  scrape a daemon's telemetry endpoint
 package main
 
@@ -28,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"goear/internal/accounting"
 	"goear/internal/cpu"
 	"goear/internal/earconf"
 	"goear/internal/eard"
@@ -51,7 +53,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report|dbd|metrics> [flags]")
+		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report|dbd|jobs|metrics> [flags]")
 	}
 	switch args[0] {
 	case "workloads":
@@ -78,6 +80,8 @@ func run(args []string, out io.Writer) error {
 		return reportCmd(args[1:], out)
 	case "dbd":
 		return dbdCmd(args[1:], out)
+	case "jobs":
+		return jobsCmd(args[1:], out)
 	case "metrics":
 		return metricsCmd(args[1:], out)
 	default:
@@ -313,6 +317,38 @@ func parseEndpoints(addr, unixSock string) (network string, targets []string, er
 	return "tcp", targets, nil
 }
 
+// dialEndpoints opens one query connection: straight to a single
+// daemon, or through an in-process federation root when several shard
+// endpoints are listed — the same merged view a long-running root
+// serves, built on the fly. The returned cleanup closes everything.
+func dialEndpoints(network string, targets []string, maxFrame int) (net.Conn, func(), error) {
+	if len(targets) == 1 {
+		conn, err := net.Dial(network, targets[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("dial eardbd: %w", err)
+		}
+		return conn, func() { conn.Close() }, nil
+	}
+	cfg := fed.Config{MaxFramePayload: maxFrame}
+	for _, a := range targets {
+		a := a
+		cfg.Shards = append(cfg.Shards, fed.Shard{
+			Name: a,
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", a) },
+		})
+	}
+	root, err := fed.NewRoot(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, server := net.Pipe()
+	go root.ServeConn(server)
+	return conn, func() {
+		conn.Close()
+		root.Close()
+	}, nil
+}
+
 // dbdCmd queries a running eardbd daemon over its wire protocol. When
 // -addr lists several shard endpoints, the answers are merged through
 // a federation root, so the rendered snapshot is the cluster view.
@@ -335,31 +371,11 @@ func dbdCmd(args []string, out io.Writer) error {
 	}
 	kind := fs.Arg(0)
 
-	var conn net.Conn
-	if len(targets) == 1 {
-		conn, err = net.Dial(network, targets[0])
-		if err != nil {
-			return fmt.Errorf("dial eardbd: %w", err)
-		}
-	} else {
-		cfg := fed.Config{MaxFramePayload: *maxFrame}
-		for _, a := range targets {
-			a := a
-			cfg.Shards = append(cfg.Shards, fed.Shard{
-				Name: a,
-				Dial: func() (net.Conn, error) { return net.Dial("tcp", a) },
-			})
-		}
-		root, err := fed.NewRoot(cfg)
-		if err != nil {
-			return err
-		}
-		defer root.Close()
-		var server net.Conn
-		conn, server = net.Pipe()
-		go root.ServeConn(server)
+	conn, cleanup, err := dialEndpoints(network, targets, *maxFrame)
+	if err != nil {
+		return err
 	}
-	defer conn.Close()
+	defer cleanup()
 
 	switch kind {
 	case wire.QueryStats:
@@ -441,6 +457,92 @@ func dbdCmd(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown dbd query %q (stats, aggregate, jobs, summary)", kind)
 	}
+}
+
+// jobsCmd lists per-job energy accounting records from a live eardbd
+// or a shard fleet (federated through an in-process root). The page a
+// root serves is byte-identical to the page a single daemon holding
+// the union of the shards would serve, so the rendered table is the
+// same whichever way the cluster is reached.
+func jobsCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	addr := fs.String("addr", "", "eardbd TCP address, or a comma-separated shard list to federate over")
+	unixSock := fs.String("unix", "", "eardbd unix socket path")
+	user := fs.String("user", "", "filter by user")
+	job := fs.String("job", "", "filter by job id")
+	since := fs.Float64("since", 0, "drop records ending at or before this time (seconds)")
+	limit := fs.Int("limit", 0, "page size (default 100, max 1000)")
+	cursor := fs.String("cursor", "", "resume after this cursor (from a previous page)")
+	all := fs.Bool("all", false, "follow cursors until the listing is exhausted")
+	maxFrame := fs.Int("max-frame", 0, "frame payload cap in bytes (default 1 MiB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	network, targets, err := parseEndpoints(*addr, *unixSock)
+	if err != nil {
+		return err
+	}
+	conn, cleanup, err := dialEndpoints(network, targets, *maxFrame)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	queryFn := func(q accounting.Query) (accounting.Page, error) {
+		res, err := eardbd.Query(conn, wire.Query{
+			Kind:   wire.QueryAcctJobs,
+			User:   q.User,
+			Job:    q.Job,
+			Since:  q.Since,
+			Limit:  q.Limit,
+			Cursor: q.Cursor,
+		}, *maxFrame)
+		if err != nil {
+			return accounting.Page{}, err
+		}
+		var p accounting.Page
+		if err := json.Unmarshal(res.Data, &p); err != nil {
+			return accounting.Page{}, err
+		}
+		return p, nil
+	}
+
+	q := accounting.Query{User: *user, Job: *job, Since: *since, Limit: *limit, Cursor: *cursor}
+	var recs []accounting.Record
+	var next string
+	total := 0
+	if *all {
+		if recs, err = accounting.Walk(queryFn, q); err != nil {
+			return err
+		}
+		total = len(recs)
+	} else {
+		page, err := queryFn(q)
+		if err != nil {
+			return err
+		}
+		recs, next, total = page.Records, page.Next, page.Total
+	}
+
+	t := report.Table{
+		Columns: []string{"job", "step", "user", "node", "phase", "policy",
+			"pkg(J)", "dram(J)", "uncore(J)", "node(J)", "cpu(GHz)", "imc(GHz)"},
+	}
+	for _, r := range recs {
+		if err := t.AddRow(r.JobID, r.StepID, r.User, r.Node, fmt.Sprint(r.Phase), r.Policy,
+			report.F(r.PkgJ, 1), report.F(r.DramJ, 1), report.F(r.UncoreJ, 1), report.F(r.NodeJ, 1),
+			report.F(r.AvgCPUGHz, 2), report.F(r.AvgIMCGHz, 2)); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d of %d records\n", len(recs), total)
+	if next != "" {
+		fmt.Fprintf(out, "next: -cursor %s\n", next)
+	}
+	return nil
 }
 
 // metricsCmd scrapes a daemon's telemetry HTTP endpoint (eardbd

@@ -12,9 +12,19 @@
 // database and refuses record batches — reports go to the shard that
 // owns the node.
 //
+// A root can additionally run the cascaded global manager in-process:
+// -cascade sets a cluster power budget and the root then re-apportions
+// it across its shards every control interval, ratcheting per-island
+// pstate ceilings from the live merged power view.
+//
+// The -telemetry HTTP endpoint serves /metrics and /events, plus
+// /api/jobs: the per-job energy accounting query API (filter with
+// ?user=, ?job=, ?since=; page with ?limit= and ?cursor=).
+//
 //	eardbd -listen 127.0.0.1:4711 -db /var/lib/ear/jobs.json
 //	eardbd -unix /run/eardbd.sock
 //	eardbd -listen 127.0.0.1:4700 -fed 127.0.0.1:4711,127.0.0.1:4712
+//	eardbd -listen 127.0.0.1:4700 -fed ... -cascade 40000 -cascade-interval 10
 //
 // Stop with SIGINT/SIGTERM; the database file is written on exit.
 package main
@@ -28,11 +38,15 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
+	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/eardbd"
 	"goear/internal/eardbd/fed"
+	"goear/internal/eargm"
 	"goear/internal/telemetry"
 )
 
@@ -68,16 +82,25 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 	fedShards := fs.String("fed", "", "comma-separated shard TCP endpoints: run as a federation root (query-only)")
 	maxFrame := fs.Int("max-frame", 0, "per-frame payload byte limit (default 1 MiB)")
 	maxBatch := fs.Int("max-batch", 0, "records per batch limit (default 1024)")
-	telAddr := fs.String("telemetry", "", "HTTP address serving /metrics and /events (empty = telemetry off)")
+	telAddr := fs.String("telemetry", "", "HTTP address serving /metrics, /events and /api/jobs (empty = telemetry off)")
+	cascadeBudget := fs.Float64("cascade", 0, "cluster DC power budget in watts: run the cascaded EARGM over the shards (fed mode only, 0 = off)")
+	cascadeInterval := fs.Float64("cascade-interval", 5, "cascaded EARGM control period in seconds")
+	cascadeReserve := fs.Float64("cascade-reserve", 0.2, "budget fraction split equally across islands regardless of draw")
+	cascadeMaxP := fs.Int("cascade-max-pstate", 8, "deepest pstate ceiling the cascaded EARGM may impose")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *listen == "" && *unix == "" {
 		return fmt.Errorf("nothing to listen on: pass -listen and/or -unix")
 	}
+	if *cascadeBudget != 0 && *fedShards == "" {
+		return fmt.Errorf("-cascade drives islands through a federation root: pass -fed")
+	}
 
 	// Telemetry must be live before the server is built: instrument
-	// handles are resolved in NewServer.
+	// handles are resolved in NewServer. The HTTP listener binds here
+	// but serving starts after the service exists, because the mux also
+	// mounts the service-backed /api/jobs query endpoint.
 	var telLn net.Listener
 	var telSet *telemetry.Set
 	if *telAddr != "" {
@@ -89,16 +112,13 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		}
 		defer func() { _ = telLn.Close() }()
 		fmt.Fprintf(out, "eardbd: telemetry on http://%s/metrics\n", telLn.Addr())
-		go func() {
-			// Serve returns when the listener closes at shutdown; the
-			// daemon's fate is decided by the wire listeners, not this one.
-			_ = http.Serve(telLn, telSet.Handler())
-		}()
 	}
 
 	var svc wireService
 	var db *eard.DB
 	var srv *eardbd.Server
+	var root *fed.Root
+	stopCascade := func() {}
 	if *fedShards != "" {
 		switch {
 		case *dbPath != "":
@@ -114,12 +134,67 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 				Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
 			})
 		}
-		root, err := fed.NewRoot(cfg)
+		var err error
+		root, err = fed.NewRoot(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "eardbd: federation root over %d shards\n", len(cfg.Shards))
 		svc = root
+
+		if *cascadeBudget > 0 {
+			var islands []eargm.Island
+			for _, sh := range cfg.Shards {
+				src, err := root.IslandSource(sh.Name)
+				if err != nil {
+					return err
+				}
+				islands = append(islands, eargm.Island{Name: sh.Name, Src: src})
+			}
+			casc, err := eargm.NewCascade(eargm.CascadeConfig{
+				BudgetW:     *cascadeBudget,
+				ReserveFrac: *cascadeReserve,
+				Island: eargm.Config{
+					IntervalSec:  *cascadeInterval,
+					MaxCapPstate: *cascadeMaxP,
+					Telemetry:    telSet,
+				},
+			}, islands)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "eardbd: cascaded eargm over %d islands, budget %.0f W, interval %.0fs\n",
+				len(islands), *cascadeBudget, casc.Interval())
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// The controller's logical clock accumulates the control
+				// period per tick, so a run's ratchet trace depends only
+				// on the observed powers, never on wall time.
+				tick := time.NewTicker(time.Duration(casc.Interval() * float64(time.Second)))
+				defer tick.Stop()
+				now := 0.0
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						now += casc.Interval()
+						if _, err := casc.Update(now); err != nil {
+							// A severed shard fails the poll; the next tick
+							// retries against whatever is reachable then.
+							fmt.Fprintln(out, "eardbd: cascade:", err)
+						}
+					}
+				}
+			}()
+			stopCascade = func() {
+				close(stop)
+				wg.Wait()
+			}
+		}
 	} else {
 		db = eard.NewDB()
 		if *dbPath != "" {
@@ -143,6 +218,23 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		}
 		srv = eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch, Telemetry: telSet})
 		svc = srv
+	}
+
+	if telLn != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/", telSet.Handler())
+		var queryFn accounting.QueryFunc
+		if root != nil {
+			queryFn = root.AcctQuery
+		} else {
+			queryFn = srv.Acct().Query
+		}
+		mux.Handle("/api/jobs", accounting.Handler(queryFn))
+		go func() {
+			// Serve returns when the listener closes at shutdown; the
+			// daemon's fate is decided by the wire listeners, not this one.
+			_ = http.Serve(telLn, mux)
+		}()
 	}
 
 	var addrs []string
@@ -182,6 +274,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 	case <-quit:
 		fmt.Fprintln(out, "eardbd: shutting down")
 	}
+	stopCascade()
 	if err := svc.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}

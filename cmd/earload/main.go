@@ -20,8 +20,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"goear/internal/accounting"
 	"goear/internal/eardbd"
 	"goear/internal/eardbd/fed"
 	"goear/internal/loadgen"
@@ -64,6 +66,8 @@ func run(args []string, out io.Writer) error {
 	batch := fs.Int("batch", 4, "records per client batch")
 	workers := fs.Int("workers", 32, "concurrent node reporters")
 	seed := fs.Int64("seed", 1, "workload seed (record content and retry jitter)")
+	acct := fs.Int("acct", 0, "per-job accounting windows per node (0 disables job traffic)")
+	queries := fs.Int("queries", 0, "concurrent workers hammering the accounting query API while ingest runs")
 	kill := fs.String("kill", "", "kill spec <shard>@<nodes-done> (in-process only)")
 	restart := fs.String("restart", "", "restart spec <shard>@<nodes-done> (in-process only)")
 	drainPasses := fs.Int("drain", 5, "max journal drain passes after the burst")
@@ -78,6 +82,7 @@ func run(args []string, out io.Writer) error {
 	g, err := loadgen.New(loadgen.Config{
 		Nodes:          *nodes,
 		RecordsPerNode: *records,
+		AcctPerNode:    *acct,
 		BatchRecords:   *batch,
 		Workers:        *workers,
 		Seed:           *seed,
@@ -102,6 +107,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		eps.MaxFramePayload = *maxFrame
+		eps.Telemetry = set
 		dialFor, root = eps.DialFor, eps.Root
 	} else {
 		cluster, err := loadgen.NewCluster(*shards, eardbd.Config{Telemetry: set, MaxFramePayload: *maxFrame})
@@ -160,18 +166,70 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// The query hammer pages the accounting API through a federation
+	// root concurrently with ingest, exercising the snapshot cache
+	// under constant invalidation. Errors are expected around fault
+	// injection (a severed shard fails the fan-out) and are counted,
+	// not fatal.
+	var qPages, qErrs uint64
+	stopQueries := func() {}
+	if *queries > 0 {
+		qr, err := root()
+		if err != nil {
+			return err
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < *queries; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				q := accounting.Query{Limit: 200}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					page, err := qr.AcctQuery(q)
+					if err != nil {
+						atomic.AddUint64(&qErrs, 1)
+						q = accounting.Query{Limit: 200}
+						continue
+					}
+					atomic.AddUint64(&qPages, 1)
+					if page.Next == "" {
+						q = accounting.Query{Limit: 200}
+					} else {
+						q.Cursor = page.Next
+					}
+				}
+			}()
+		}
+		stopQueries = func() {
+			close(stop)
+			wg.Wait()
+		}
+	}
+
 	res, err := g.Run(dialFor, hooks)
 	if err != nil {
+		stopQueries()
 		return err
 	}
 	postBurst()
 	left, err := g.Drain(dialFor, *drainPasses)
+	stopQueries()
 	if err != nil {
 		return err
 	}
 	st := g.Stats()
 	fmt.Fprintf(out, "earload: %d nodes, %d records enqueued, %d sent in %d batches, %d spilled, %d replayed, %d retries, backlog %d\n",
 		res.Nodes, res.RecordsEnqueued, st.RecordsSent, st.BatchesSent, st.BatchesSpilled, st.BatchesReplayed, st.Retries, left)
+	if *queries > 0 {
+		fmt.Fprintf(out, "earload: query hammer: %d workers, %d pages, %d errors\n",
+			*queries, atomic.LoadUint64(&qPages), atomic.LoadUint64(&qErrs))
+	}
 	if res.NodeErrors > 0 {
 		return fmt.Errorf("%d node reporters failed", res.NodeErrors)
 	}

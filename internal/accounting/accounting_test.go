@@ -1,0 +1,389 @@
+package accounting
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"goear/internal/telemetry"
+)
+
+func mustRecord(t *testing.T, job, step, user, node string, phase int) Record {
+	t.Helper()
+	r, err := NewRecord(
+		Meta{JobID: job, StepID: step, User: user, Policy: "min_energy"},
+		Window{Node: node, Phase: phase, StartSec: float64(120 * phase), EndSec: float64(120 * (phase + 1))},
+		Energy{PkgJ: 1000, DramJ: 120, UncoreJ: 80, NodeJ: 1400},
+		Rates{AvgCPUGHz: 2.1, AvgIMCGHz: 2.4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRecordValidation(t *testing.T) {
+	good := Meta{JobID: "j", StepID: "0", User: "u"}
+	win := Window{Node: "n", EndSec: 1}
+	cases := []struct {
+		name string
+		m    Meta
+		w    Window
+		e    Energy
+	}{
+		{"empty job", Meta{StepID: "0", User: "u"}, win, Energy{}},
+		{"empty step", Meta{JobID: "j", User: "u"}, win, Energy{}},
+		{"empty user", Meta{JobID: "j", StepID: "0"}, win, Energy{}},
+		{"empty node", good, Window{EndSec: 1}, Energy{}},
+		{"negative phase", good, Window{Node: "n", Phase: -1, EndSec: 1}, Energy{}},
+		{"backwards window", good, Window{Node: "n", StartSec: 2, EndSec: 1}, Energy{}},
+		{"negative energy", good, win, Energy{PkgJ: -1}},
+		{"nan energy", good, win, Energy{NodeJ: math.NaN()}},
+		{"inf energy", good, win, Energy{DramJ: math.Inf(1)}},
+	}
+	for _, c := range cases {
+		if _, err := NewRecord(c.m, c.w, c.e, Rates{}); err == nil {
+			t.Errorf("%s: NewRecord accepted an invalid record", c.name)
+		}
+	}
+	r, err := NewRecord(good, win, Energy{}, Rates{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.V != CodecVersion {
+		t.Fatalf("V = %d, want %d", r.V, CodecVersion)
+	}
+	r.V = CodecVersion + 1
+	if err := r.Validate(); err == nil {
+		t.Error("Validate accepted a foreign codec version")
+	}
+}
+
+func TestAttributeConservesEnergy(t *testing.T) {
+	total := Energy{PkgJ: 30000, DramJ: 4000, UncoreJ: 2500, NodeJ: 40000}
+	tenants := []Tenant{
+		{Meta: Meta{JobID: "a", StepID: "0", User: "alice"}, Usage: Usage{Instr: 3e12, Cycles: 2e12, DRAMBytes: 1e11}},
+		{Meta: Meta{JobID: "b", StepID: "0", User: "bob"}, Usage: Usage{Instr: 1e12, Cycles: 5e12, DRAMBytes: 9e11}},
+		{Meta: Meta{JobID: "c", StepID: "0", User: "carol"}, Usage: Usage{Instr: 7e11, Cycles: 1e12, DRAMBytes: 0}},
+	}
+	recs, err := Attribute(Window{Node: "n1", EndSec: 120}, total, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(tenants) {
+		t.Fatalf("got %d records for %d tenants", len(recs), len(tenants))
+	}
+	var pkg, dram, unc, node float64
+	for _, r := range recs {
+		pkg += r.PkgJ
+		dram += r.DramJ
+		unc += r.UncoreJ
+		node += r.NodeJ
+	}
+	close := func(got, want float64) bool { return math.Abs(got-want) <= 1e-9*want }
+	if !close(pkg, total.PkgJ) || !close(dram, total.DramJ) || !close(unc, total.UncoreJ) || !close(node, total.NodeJ) {
+		t.Errorf("attribution lost joules: pkg %.12f dram %.12f uncore %.12f node %.12f",
+			pkg, dram, unc, node)
+	}
+	// A tenant with more cycles draws a larger package share.
+	if recs[1].PkgJ <= recs[0].PkgJ {
+		t.Errorf("cycle-heavy tenant got pkg %.1f <= %.1f", recs[1].PkgJ, recs[0].PkgJ)
+	}
+	// The zero-traffic tenant gets exactly zero DRAM energy.
+	if recs[2].DramJ != 0 {
+		t.Errorf("zero-traffic tenant got DramJ %.3f, want 0", recs[2].DramJ)
+	}
+}
+
+func TestAttributeEdgeCases(t *testing.T) {
+	if _, err := Attribute(Window{Node: "n", EndSec: 1}, Energy{}, nil); err == nil {
+		t.Error("Attribute accepted an empty tenant set")
+	}
+	// All-zero usage splits equally.
+	tenants := []Tenant{
+		{Meta: Meta{JobID: "a", StepID: "0", User: "u"}},
+		{Meta: Meta{JobID: "b", StepID: "0", User: "u"}},
+	}
+	recs, err := Attribute(Window{Node: "n", EndSec: 1}, Energy{PkgJ: 100, NodeJ: 100}, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recs[0].PkgJ-recs[1].PkgJ) > 1e-9 || math.Abs(recs[0].PkgJ+recs[1].PkgJ-100) > 1e-9 {
+		t.Errorf("all-zero usage split %.6f / %.6f, want equal halves of 100", recs[0].PkgJ, recs[1].PkgJ)
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	k := Key{JobID: "job1", StepID: "0", Node: "node007", Phase: 3}
+	got, err := DecodeCursor(EncodeCursor(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatalf("round trip %+v != %+v", got, k)
+	}
+	if _, err := DecodeCursor("!!not-base64!!"); err == nil {
+		t.Error("DecodeCursor accepted garbage")
+	}
+}
+
+func TestStoreClassesAndGeneration(t *testing.T) {
+	s := NewStore(nil)
+	r := mustRecord(t, "j1", "0", "alice", "n1", 0)
+	class, err := s.Insert(r)
+	if err != nil || class != ClassAccepted {
+		t.Fatalf("first insert: class %v err %v", class, err)
+	}
+	g1 := s.Generation()
+	if class, _ = s.Insert(r); class != ClassDuplicate {
+		t.Fatalf("identical re-insert: class %v, want duplicate", class)
+	}
+	if s.Generation() != g1 {
+		t.Error("duplicate moved the generation counter")
+	}
+	r2 := r
+	r2.PkgJ += 5
+	if class, _ = s.Insert(r2); class != ClassReplaced {
+		t.Fatalf("same-key different payload: class %v, want replaced", class)
+	}
+	if s.Generation() == g1 {
+		t.Error("replace did not move the generation counter")
+	}
+	bad := r
+	bad.V = 99
+	if _, err := s.Insert(bad); err == nil {
+		t.Error("Insert accepted a foreign codec version")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if got, ok := s.Get(r.Key()); !ok || got.PkgJ != r2.PkgJ {
+		t.Errorf("Get returned %+v ok=%v", got, ok)
+	}
+}
+
+func TestSnapshotCacheCounters(t *testing.T) {
+	set := telemetry.NewSet()
+	s := NewStore(set)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Insert(mustRecord(t, fmt.Sprintf("j%d", i), "0", "alice", "n1", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Snapshot() // miss: first build
+	s.Snapshot() // hit
+	s.Snapshot() // hit
+	if _, err := s.Insert(mustRecord(t, "j9", "0", "bob", "n2", 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Snapshot() // miss: generation moved
+
+	var buf bytes.Buffer
+	if err := set.Reg().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`goear_accounting_snapshot_cache_total{result="hit"} 2`,
+		`goear_accounting_snapshot_cache_total{result="miss"} 2`,
+		`goear_accounting_records 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestSnapshotCanonicalOrder(t *testing.T) {
+	s := NewStore(nil)
+	// Insert out of order; the snapshot must come back Key-sorted.
+	for _, r := range []Record{
+		mustRecord(t, "j2", "0", "u", "n1", 0),
+		mustRecord(t, "j1", "1", "u", "n2", 1),
+		mustRecord(t, "j1", "0", "u", "n2", 0),
+		mustRecord(t, "j1", "0", "u", "n1", 1),
+	} {
+		if _, err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if !snap[i-1].Key().Less(snap[i].Key()) {
+			t.Fatalf("snapshot out of order at %d: %+v then %+v", i, snap[i-1].Key(), snap[i].Key())
+		}
+	}
+}
+
+// buildStore populates n jobs × m nodes for the query tests.
+func buildStore(t testing.TB, jobs, nodes int) *Store {
+	s := NewStore(nil)
+	users := []string{"alice", "bob", "carol"}
+	for j := 0; j < jobs; j++ {
+		for n := 0; n < nodes; n++ {
+			r, err := NewRecord(
+				Meta{JobID: fmt.Sprintf("job%d", j), StepID: "0", User: users[j%len(users)]},
+				Window{Node: fmt.Sprintf("node%03d", n), StartSec: float64(60 * j), EndSec: float64(60 * (j + 1))},
+				Energy{PkgJ: 1000, DramJ: 100, UncoreJ: 50, NodeJ: 1300},
+				Rates{AvgCPUGHz: 2.1, AvgIMCGHz: 2.4},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+func TestQueryPaginationWalksEverything(t *testing.T) {
+	s := buildStore(t, 6, 40) // 240 records: three pages at the default size
+	full, err := s.Query(Query{Limit: MaxPageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Records) != 240 || full.Total != 240 || full.Next != "" {
+		t.Fatalf("full listing: %d records, total %d, next %q", len(full.Records), full.Total, full.Next)
+	}
+	walked, err := Walk(s.Query, Query{Limit: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(full.Records)
+	b, _ := json.Marshal(walked)
+	if !bytes.Equal(a, b) {
+		t.Fatal("paged walk differs from the one-shot listing")
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s := buildStore(t, 6, 10)
+	byUser, err := s.Query(Query{User: "alice", Limit: MaxPageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byUser.Total != 20 { // jobs 0 and 3 of 6
+		t.Errorf("alice total = %d, want 20", byUser.Total)
+	}
+	for _, r := range byUser.Records {
+		if r.User != "alice" {
+			t.Fatalf("user filter leaked %q", r.User)
+		}
+	}
+	byJob, err := s.Query(Query{Job: "job2", Limit: MaxPageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byJob.Total != 10 {
+		t.Errorf("job2 total = %d, want 10", byJob.Total)
+	}
+	// since drops windows ending at or before the mark: jobs 0-2 end by
+	// t=180, jobs 3-5 remain.
+	since, err := s.Query(Query{Since: 180, Limit: MaxPageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if since.Total != 30 {
+		t.Errorf("since total = %d, want 30", since.Total)
+	}
+	if _, err := s.Query(Query{Cursor: "*bad*"}); err == nil {
+		t.Error("Query accepted a garbage cursor")
+	}
+	empty, err := s.Query(Query{User: "nobody"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Records == nil || len(empty.Records) != 0 {
+		t.Errorf("empty page must be non-nil and empty, got %#v", empty.Records)
+	}
+}
+
+func TestQueryLimitClamping(t *testing.T) {
+	s := buildStore(t, 3, 50) // 150 records
+	p, err := s.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records) != DefaultPageSize || p.Next == "" {
+		t.Errorf("default page: %d records, next %q", len(p.Records), p.Next)
+	}
+	p, err = s.Query(Query{Limit: MaxPageSize * 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records) != 150 {
+		t.Errorf("over-limit page returned %d records", len(p.Records))
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	s := buildStore(t, 3, 5)
+	h := Handler(s.Query)
+
+	req := httptest.NewRequest("GET", "/api/jobs?user=alice&limit=3", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var page Page
+	if err := json.Unmarshal(w.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Records) != 3 || page.Total != 5 || page.Next == "" {
+		t.Errorf("page: %d records, total %d, next %q", len(page.Records), page.Total, page.Next)
+	}
+
+	// Following the cursor yields the remainder.
+	req = httptest.NewRequest("GET", "/api/jobs?user=alice&limit=3&cursor="+page.Next, nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var rest Page
+	if err := json.Unmarshal(w.Body.Bytes(), &rest); err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.Records) != 2 || rest.Next != "" {
+		t.Errorf("second page: %d records, next %q", len(rest.Records), rest.Next)
+	}
+
+	for _, bad := range []string{"/api/jobs?limit=x", "/api/jobs?since=x", "/api/jobs?cursor=*bad*"} {
+		w = httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", bad, nil))
+		if w.Code != 400 {
+			t.Errorf("%s: status %d, want 400", bad, w.Code)
+		}
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/api/jobs", nil))
+	if w.Code != 405 {
+		t.Errorf("POST: status %d, want 405", w.Code)
+	}
+}
+
+// BenchmarkJobQuery is the pinned query-path benchmark: a filtered,
+// paginated read against a warm snapshot, the steady-state serving
+// cost of the accounting tier.
+func BenchmarkJobQuery(b *testing.B) {
+	s := buildStore(b, 30, 100) // 3000 records
+	s.Snapshot()                // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Query(Query{User: "alice", Limit: DefaultPageSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p.Records) != DefaultPageSize {
+			b.Fatalf("page of %d", len(p.Records))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package accounting
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// QueryFunc answers one job query; Handler is agnostic about whether
+// it is backed by a local store or a federation root's merged view.
+type QueryFunc func(Query) (Page, error)
+
+// Handler serves the job-accounting HTTP JSON API: GET with optional
+// user, job, since, limit and cursor query parameters, answering a
+// Page. It mounts next to /metrics on the daemon's telemetry mux so
+// the read tier and its instruments share one port.
+func Handler(fn QueryFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		q := Query{
+			User:   r.URL.Query().Get("user"),
+			Job:    r.URL.Query().Get("job"),
+			Cursor: r.URL.Query().Get("cursor"),
+		}
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad since: "+err.Error())
+				return
+			}
+			q.Since = v
+		}
+		if s := r.URL.Query().Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad limit: "+err.Error())
+				return
+			}
+			q.Limit = v
+		}
+		page, err := fn(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(page) // the connection is the only failure mode
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,139 @@
+package accounting
+
+import "fmt"
+
+// Usage carries one tenant's usage counters over a window — the
+// evidence the ratio model splits energy by.
+type Usage struct {
+	// Instr is retired instructions (work share).
+	Instr float64
+	// Cycles is unhalted core cycles (occupancy share).
+	Cycles float64
+	// DRAMBytes is memory traffic (bandwidth share).
+	DRAMBytes float64
+}
+
+// Tenant is one job resident on a node during a window.
+type Tenant struct {
+	Meta  Meta
+	Usage Usage
+	Rates Rates
+}
+
+// shares splits total across weights w, conserving the sum: every
+// entry but the last positive-weight one gets total*w/sum, and the
+// last positive-weight entry gets the remainder, so the split re-adds
+// to total to within one ulp regardless of how the divisions round.
+// All-zero (or negative-clamped) weights fall back to an equal split.
+func shares(total float64, w []float64) []float64 {
+	out := make([]float64, len(w))
+	if len(w) == 0 {
+		return out
+	}
+	var sum float64
+	last := -1
+	for i, x := range w {
+		if x > 0 {
+			sum += x
+			last = i
+		}
+	}
+	if last < 0 {
+		// No evidence to split by: equal shares, remainder to the last.
+		var acc float64
+		n := float64(len(w))
+		for i := range out {
+			if i == len(out)-1 {
+				out[i] = total - acc
+				break
+			}
+			out[i] = total / n
+			acc += out[i]
+		}
+		return out
+	}
+	var acc float64
+	for i, x := range w {
+		if x <= 0 {
+			continue
+		}
+		if i == last {
+			// Clamp: rounding can push acc a fraction of an ulp past
+			// total, and a -1e-13 J share would fail validation.
+			if out[i] = total - acc; out[i] < 0 {
+				out[i] = 0
+			}
+			break
+		}
+		out[i] = total * (x / sum)
+		acc += out[i]
+	}
+	return out
+}
+
+// pick returns the first usage-counter column with any positive
+// evidence, so each domain degrades gracefully when a counter is
+// missing (e.g. no DRAM-bandwidth events): DRAM traffic falls back to
+// cycles, cycles to instructions.
+func pick(cols ...[]float64) []float64 {
+	for _, c := range cols {
+		for _, v := range c {
+			if v > 0 {
+				return c
+			}
+		}
+	}
+	return cols[len(cols)-1]
+}
+
+// Attribute ratio-splits a node window's measured per-domain energy
+// across the resident tenants by their usage counters, the Kepler
+// GetPowerFromUsageRatio model applied per domain:
+//
+//   - PKG energy follows the cycle share (occupancy of the socket),
+//     falling back to the instruction share;
+//   - DRAM energy follows the memory-traffic share, falling back to
+//     instructions;
+//   - uncore energy (the mesh/IMC slice of PKG) follows memory
+//     traffic, falling back to cycles — the uncore works for whoever
+//     moves data;
+//   - node (DC meter) energy follows the instruction share: static and
+//     board power is charged in proportion to useful work, as Kepler
+//     charges idle power by dynamic ratio.
+//
+// Each domain conserves: the returned records' joules sum back to the
+// window totals to within one ulp. The tenant order is preserved, and
+// the result depends only on the inputs — no clocks, no maps — so two
+// daemons attributing the same window emit byte-identical records.
+func Attribute(w Window, total Energy, tenants []Tenant) ([]Record, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("accounting: attribute %s phase %d: no tenants", w.Node, w.Phase)
+	}
+	instr := make([]float64, len(tenants))
+	cycles := make([]float64, len(tenants))
+	traffic := make([]float64, len(tenants))
+	for i, t := range tenants {
+		instr[i] = t.Usage.Instr
+		cycles[i] = t.Usage.Cycles
+		traffic[i] = t.Usage.DRAMBytes
+	}
+	pkg := shares(total.PkgJ, pick(cycles, instr))
+	dram := shares(total.DramJ, pick(traffic, instr))
+	uncore := shares(total.UncoreJ, pick(traffic, cycles))
+	node := shares(total.NodeJ, pick(instr, cycles))
+
+	out := make([]Record, 0, len(tenants))
+	for i, t := range tenants {
+		rec, err := NewRecord(t.Meta, w, Energy{
+			PkgJ:    pkg[i],
+			DramJ:   dram[i],
+			UncoreJ: uncore[i],
+			NodeJ:   node[i],
+		}, t.Rates)
+		if err != nil {
+			return nil, fmt.Errorf("accounting: attribute %s phase %d tenant %d: %w", w.Node, w.Phase, i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package accounting
+
+import (
+	"sort"
+	"sync"
+
+	"goear/internal/telemetry"
+)
+
+// Class is an ingest outcome, mirroring the eardbd record
+// classification so job records ride the same dedup semantics as node
+// reports: a byte-identical re-insert is a duplicate, a same-key
+// different-payload insert replaces.
+type Class int
+
+const (
+	ClassAccepted Class = iota
+	ClassDuplicate
+	ClassReplaced
+)
+
+// Store holds job energy records keyed by (job, step, node, phase)
+// and serves them read-optimised: the canonical sorted snapshot is
+// built once per generation and handed out until the next mutating
+// insert invalidates it, so a query storm between ingest batches
+// sorts nothing.
+type Store struct {
+	tel storeTel
+
+	mu   sync.Mutex
+	recs map[Key]Record
+	gen  uint64
+
+	snap    []Record // cached canonical dump; immutable once published
+	snapGen uint64
+	snapOK  bool
+}
+
+// NewStore builds an empty store. ts may be nil (no telemetry); pass
+// telemetry.Default() to opt into the process-wide set.
+func NewStore(ts *telemetry.Set) *Store {
+	return &Store{
+		tel:  newStoreTel(ts),
+		recs: make(map[Key]Record),
+	}
+}
+
+// Insert validates and folds one record in, reporting how it was
+// classified. Accepted and replaced records bump the store generation
+// — the signal snapshot caches (local and federation-root) key on.
+func (s *Store) Insert(r Record) (Class, error) {
+	if err := r.Validate(); err != nil {
+		return ClassAccepted, err
+	}
+	k := r.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.recs[k]; ok {
+		if prev == r {
+			s.tel.ingDup.Inc()
+			return ClassDuplicate, nil
+		}
+		s.recs[k] = r
+		s.gen++
+		s.tel.ingRepl.Inc()
+		return ClassReplaced, nil
+	}
+	s.recs[k] = r
+	s.gen++
+	s.tel.ingAccept.Inc()
+	s.tel.records.Set(float64(len(s.recs)))
+	return ClassAccepted, nil
+}
+
+// Seed restores records wholesale — a daemon reloading its persisted
+// store after a restart — without classifying them as fresh ingest.
+// The generation still advances so stacked snapshot caches rebuild.
+func (s *Store) Seed(recs []Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		s.recs[r.Key()] = r
+	}
+	if len(recs) > 0 {
+		s.gen++
+	}
+	s.tel.records.Set(float64(len(s.recs)))
+}
+
+// Get returns the record stored under k, if any.
+func (s *Store) Get(k Key) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[k]
+	return r, ok
+}
+
+// Len reports the resident record count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Generation reports the mutation counter: it advances on every
+// accepted or replaced record and never otherwise, so equal
+// generations imply identical store contents.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Snapshot returns the canonical (Key-ordered) dump of the store. The
+// slice is shared and must not be mutated: it is rebuilt — never
+// edited — when the generation moves, so concurrent readers always
+// hold an internally consistent dump.
+func (s *Store) Snapshot() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() []Record {
+	if s.snapOK && s.snapGen == s.gen {
+		s.tel.cacheHit.Inc()
+		return s.snap
+	}
+	s.tel.cacheMiss.Inc()
+	snap := make([]Record, 0, len(s.recs))
+	for _, r := range s.recs {
+		snap = append(snap, r)
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i].Key().Less(snap[j].Key()) })
+	s.snap = snap
+	s.snapGen = s.gen
+	s.snapOK = true
+	return snap
+}
+
+// Query serves one filtered, cursor-paginated page over the canonical
+// snapshot. Two stores with identical contents return byte-identical
+// pages for the same query — the property the federation-root vs.
+// single-daemon acceptance check rides on.
+func (s *Store) Query(q Query) (Page, error) {
+	s.mu.Lock()
+	snap := s.snapshotLocked()
+	s.mu.Unlock()
+	s.tel.queries.Inc()
+	return PageRecords(snap, q)
+}

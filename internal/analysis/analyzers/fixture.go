@@ -12,15 +12,16 @@ import (
 )
 
 // Fixture polices test-helper packages that fabricate persisted
-// artefacts: spill journals and wire frames must be produced through
-// the versioned codec constructors, never hand-rolled. A literal
-// wire.Frame or a hand-marshalled batch bakes today's layout into a
-// fixture, so a codec version bump rots the fixture silently instead
-// of failing loudly at the constructor.
+// artefacts: spill journals, wire frames and job accounting records
+// must be produced through the versioned codec constructors, never
+// hand-rolled. A literal wire.Frame, accounting.Record or a
+// hand-marshalled batch bakes today's layout into a fixture, so a
+// codec version bump rots the fixture silently instead of failing
+// loudly at the constructor.
 var Fixture = &analysis.Analyzer{
 	Name: "fixture",
-	Doc: "require test helpers to build spill journals and wire frames through the " +
-		"versioned codec constructors instead of hand-rolled literals",
+	Doc: "require test helpers to build spill journals, wire frames and job records " +
+		"through the versioned codec constructors instead of hand-rolled literals",
 	Scope: []string{"internal/loadgen", "eardbd/dbdtest"},
 	Run:   runFixture,
 }
@@ -40,11 +41,19 @@ func runFixture(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkFixtureLit flags hand-rolled wire.Frame literals and
-// hand-formatted batch IDs inside wire.Batch literals.
+// checkFixtureLit flags hand-rolled wire.Frame literals,
+// hand-formatted batch IDs inside wire.Batch literals, and hand-rolled
+// accounting.Record literals.
 func checkFixtureLit(pass *analysis.Pass, file *ast.File, lit *ast.CompositeLit) {
 	named := namedTypeOf(pass.TypeOf(lit))
-	if named == nil || !isWireType(named) {
+	if named == nil {
+		return
+	}
+	if isAccountingType(named) && named.Obj().Name() == "Record" {
+		pass.Reportf(lit.Pos(), "accounting.Record composite literal in a fixture helper; build job records with accounting.NewRecord so the codec version is stamped and the fields validated")
+		return
+	}
+	if !isWireType(named) {
 		return
 	}
 	switch named.Obj().Name() {
@@ -140,6 +149,17 @@ func isWireType(named *types.Named) bool {
 		return false
 	}
 	return pkg.Path() == "goear/internal/wire" || strings.HasSuffix(pkg.Path(), "/wire")
+}
+
+// isAccountingType reports whether the named type lives in the job
+// accounting package, matched on the import path suffix like
+// isWireType.
+func isAccountingType(named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "goear/internal/accounting" || strings.HasSuffix(pkg.Path(), "/accounting")
 }
 
 // isPkgCall reports whether the call is pkgpath.Name(...), resolved

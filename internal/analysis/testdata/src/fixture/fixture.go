@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"goear/internal/accounting"
 	"goear/internal/eardbd"
 	"goear/internal/wire"
 )
@@ -60,4 +61,22 @@ func badMarshalIndent(b *wire.Batch) ([]byte, error) {
 // goodMarshal of a non-wire type is fine.
 func goodMarshal(v map[string]int) ([]byte, error) {
 	return json.Marshal(v)
+}
+
+// badRecord hand-rolls a job energy record: the codec version field is
+// unset (or worse, a stale constant), so the fixture rots silently
+// when the accounting codec is bumped.
+func badRecord(node string) accounting.Record {
+	return accounting.Record{JobID: "j1", StepID: "0", User: "alice", Node: node} // want `accounting\.Record composite literal in a fixture helper`
+}
+
+// goodRecord builds the record through the versioned constructor,
+// which stamps CodecVersion and validates every field.
+func goodRecord(node string) (accounting.Record, error) {
+	return accounting.NewRecord(
+		accounting.Meta{JobID: "j1", StepID: "0", User: "alice"},
+		accounting.Window{Node: node, EndSec: 120},
+		accounting.Energy{PkgJ: 1000, DramJ: 100, UncoreJ: 50, NodeJ: 1200},
+		accounting.Rates{AvgCPUGHz: 2.1, AvgIMCGHz: 2.4},
+	)
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/telemetry"
 	"goear/internal/wire"
@@ -139,6 +140,7 @@ type Client struct {
 	mu        sync.Mutex
 	conn      net.Conn
 	queue     []eard.JobRecord
+	acctQueue []accounting.Record
 	seq       uint64
 	lastFlush float64
 	stats     ClientStats
@@ -204,22 +206,60 @@ func (c *Client) Enqueue(r eard.JobRecord) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.queue) >= c.cfg.QueueCap {
-		if c.cfg.Journal == nil {
-			c.stats.RecordsDropped++
-			c.tel.dropped.Inc()
-			return ErrQueueFull
-		}
-		if err := c.spillQueueLocked(); err != nil {
-			c.stats.RecordsDropped++
-			c.tel.dropped.Inc()
-			return err
-		}
+	if err := c.makeRoomLocked(); err != nil {
+		return err
 	}
 	c.queue = append(c.queue, r)
 	c.stats.Enqueued++
-	if len(c.queue) >= c.cfg.BatchRecords {
+	if c.pendingLocked() >= c.cfg.BatchRecords {
 		return c.flushLocked()
+	}
+	return nil
+}
+
+// EnqueueAcct buffers one per-job accounting record. Accounting
+// records share the node-report pipeline — same queue capacity, batch
+// IDs, journal spill and replay — so attribution inherits the
+// exactly-once delivery contract without new machinery.
+func (c *Client) EnqueueAcct(r accounting.Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.makeRoomLocked(); err != nil {
+		return err
+	}
+	c.acctQueue = append(c.acctQueue, r)
+	c.stats.Enqueued++
+	if c.pendingLocked() >= c.cfg.BatchRecords {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// pendingLocked counts buffered records across both queues; the batch
+// size and queue-capacity triggers act on the combined load because
+// both queues ship in one wire batch.
+func (c *Client) pendingLocked() int {
+	return len(c.queue) + len(c.acctQueue)
+}
+
+// makeRoomLocked enforces the queue cap ahead of an append, spilling
+// the pending batch when a journal can absorb it.
+func (c *Client) makeRoomLocked() error {
+	if c.pendingLocked() < c.cfg.QueueCap {
+		return nil
+	}
+	if c.cfg.Journal == nil {
+		c.stats.RecordsDropped++
+		c.tel.dropped.Inc()
+		return ErrQueueFull
+	}
+	if err := c.spillQueueLocked(); err != nil {
+		c.stats.RecordsDropped++
+		c.tel.dropped.Inc()
+		return err
 	}
 	return nil
 }
@@ -241,7 +281,7 @@ func (c *Client) Tick() error {
 	if now-c.lastFlush < c.cfg.FlushIntervalSec {
 		return nil
 	}
-	if len(c.queue) == 0 && (c.cfg.Journal == nil || c.cfg.Journal.Len() == 0) {
+	if c.pendingLocked() == 0 && (c.cfg.Journal == nil || c.cfg.Journal.Len() == 0) {
 		c.lastFlush = now
 		return nil
 	}
@@ -253,7 +293,7 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var flushErr error
-	if len(c.queue) > 0 || (c.cfg.Journal != nil && c.cfg.Journal.Len() > 0) {
+	if c.pendingLocked() > 0 || (c.cfg.Journal != nil && c.cfg.Journal.Len() > 0) {
 		flushErr = c.flushLocked()
 	}
 	c.closeConnLocked()
@@ -267,11 +307,12 @@ func (c *Client) Stats() ClientStats {
 	return c.stats
 }
 
-// Queued returns the number of buffered (unflushed) records.
+// Queued returns the number of buffered (unflushed) records, node
+// reports and accounting records combined.
 func (c *Client) Queued() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.queue)
+	return c.pendingLocked()
 }
 
 // flushLocked replays any journal backlog, then ships the queue. The
@@ -285,14 +326,14 @@ func (c *Client) flushLocked() error {
 	if err := c.replayLocked(); err != nil {
 		// The daemon is unreachable; spill the live queue too and let a
 		// later flush retry everything in order.
-		if errors.Is(err, ErrUnreachable) && len(c.queue) > 0 {
+		if errors.Is(err, ErrUnreachable) && c.pendingLocked() > 0 {
 			if serr := c.spillQueueLocked(); serr != nil {
 				return serr
 			}
 		}
 		return err
 	}
-	if len(c.queue) == 0 {
+	if c.pendingLocked() == 0 {
 		return nil
 	}
 	c.seq++
@@ -300,27 +341,28 @@ func (c *Client) flushLocked() error {
 		ID:      BatchID(c.cfg.Node, c.seq),
 		Node:    c.cfg.Node,
 		Records: c.queue,
+		Acct:    c.acctQueue,
 	}
 	err := c.sendBatchLocked(b)
 	switch {
 	case err == nil:
-		c.queue = nil
+		c.queue, c.acctQueue = nil, nil
 	case errors.Is(err, ErrUnreachable):
 		if c.cfg.Journal != nil {
 			if serr := c.journalBatchLocked(b); serr != nil {
 				return serr
 			}
-			c.queue = nil
+			c.queue, c.acctQueue = nil, nil
 		}
 	default:
 		var rej *RejectedError
 		if errors.As(err, &rej) {
 			// Permanent: drop the poison batch.
 			c.stats.BatchesRejected++
-			c.stats.RecordsDropped += len(c.queue)
+			c.stats.RecordsDropped += c.pendingLocked()
 			c.tel.rejected.Inc()
-			c.tel.dropped.Add(uint64(len(c.queue)))
-			c.queue = nil
+			c.tel.dropped.Add(uint64(c.pendingLocked()))
+			c.queue, c.acctQueue = nil, nil
 		}
 	}
 	return err
@@ -339,14 +381,14 @@ func (c *Client) replayLocked() error {
 		case err == nil:
 			c.stats.BatchesReplayed++
 			c.tel.replayed.Inc()
-			c.tel.event(c.cfg.Clock.Now(), "eardbd.replay", c.cfg.Node, b.ID, len(b.Records))
+			c.tel.event(c.cfg.Clock.Now(), "eardbd.replay", c.cfg.Node, b.ID, len(b.Records)+len(b.Acct))
 		case errors.As(err, &rej):
 			// The daemon will never take this batch; keeping it would
 			// wedge the journal forever.
 			c.stats.BatchesRejected++
-			c.stats.RecordsDropped += len(b.Records)
+			c.stats.RecordsDropped += len(b.Records) + len(b.Acct)
 			c.tel.rejected.Inc()
-			c.tel.dropped.Add(uint64(len(b.Records)))
+			c.tel.dropped.Add(uint64(len(b.Records) + len(b.Acct)))
 		default:
 			return err
 		}
@@ -399,9 +441,9 @@ func (c *Client) sendBatchLocked(b wire.Batch) error {
 				continue
 			}
 			c.stats.BatchesSent++
-			c.stats.RecordsSent += len(b.Records)
+			c.stats.RecordsSent += len(b.Records) + len(b.Acct)
 			c.tel.sent.Inc()
-			c.tel.recSent.Add(uint64(len(b.Records)))
+			c.tel.recSent.Add(uint64(len(b.Records) + len(b.Acct)))
 			return nil
 		case wire.TypeError:
 			ef, err := resp.AsError()
@@ -431,10 +473,10 @@ func (c *Client) backoff(attempt int) float64 {
 	return d * (0.5 + 0.5*c.cfg.Jitter.Float64())
 }
 
-// spillQueueLocked moves the whole queue into the journal under a
-// fresh batch ID.
+// spillQueueLocked moves the whole pending load — both queues — into
+// the journal under a fresh batch ID.
 func (c *Client) spillQueueLocked() error {
-	if len(c.queue) == 0 {
+	if c.pendingLocked() == 0 {
 		return nil
 	}
 	c.seq++
@@ -442,11 +484,12 @@ func (c *Client) spillQueueLocked() error {
 		ID:      BatchID(c.cfg.Node, c.seq),
 		Node:    c.cfg.Node,
 		Records: c.queue,
+		Acct:    c.acctQueue,
 	}
 	if err := c.journalBatchLocked(b); err != nil {
 		return err
 	}
-	c.queue = nil
+	c.queue, c.acctQueue = nil, nil
 	return nil
 }
 
@@ -456,9 +499,9 @@ func (c *Client) journalBatchLocked(b wire.Batch) error {
 		return err
 	}
 	c.stats.BatchesSpilled++
-	c.stats.RecordsSpilled += len(b.Records)
+	c.stats.RecordsSpilled += len(b.Records) + len(b.Acct)
 	c.tel.spilled.Inc()
-	c.tel.event(c.cfg.Clock.Now(), "eardbd.spill", c.cfg.Node, b.ID, len(b.Records))
+	c.tel.event(c.cfg.Clock.Now(), "eardbd.spill", c.cfg.Node, b.ID, len(b.Records)+len(b.Acct))
 	return nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/eardbd"
 	"goear/internal/par"
@@ -59,16 +60,27 @@ type Stats struct {
 	Queries      int `json:"queries"`       // snapshot queries served by the root
 	Fanouts      int `json:"fanouts"`       // shard queries issued
 	FanoutErrors int `json:"fanout_errors"` // shard queries that failed
+	CacheHits    int `json:"cache_hits"`    // merged snapshots served from cache
+	CacheMisses  int `json:"cache_misses"`  // merged snapshots rebuilt from shard dumps
 }
 
-// Root is the federation front end. It is safe for concurrent use;
-// every query fans out to the shards and merges fresh state.
+// Root is the federation front end. It is safe for concurrent use.
+// Merge-heavy queries go through a generation-keyed snapshot cache
+// (see cache.go): a query costs one cheap generation poll per shard
+// until ingest actually moves, instead of a full record dump.
 type Root struct {
 	cfg Config
+	ts  *telemetry.Set
 	tel rootTel
 
 	mu    sync.Mutex
 	stats Stats
+
+	cacheMu   sync.Mutex
+	cacheOK   bool
+	cacheGens []uint64
+	cacheDB   *eard.DB
+	cacheAcct *accounting.Store
 
 	connMu    sync.Mutex
 	closed    bool
@@ -103,6 +115,7 @@ func NewRoot(cfg Config) (*Root, error) {
 	}
 	root := &Root{
 		cfg:       cfg,
+		ts:        ts,
 		tel:       newRootTel(ts),
 		listeners: map[net.Listener]struct{}{},
 		conns:     map[net.Conn]struct{}{},
@@ -240,28 +253,12 @@ func (r *Root) NodePowers() []float64 {
 	return out
 }
 
-// mergedDB folds every shard's record dump into one fresh database.
-// Summaries computed from it run the identical record-sorted
-// arithmetic a single daemon runs, which is what keeps the federation
-// snapshot byte-identical across shard counts.
+// mergedDB returns the record-merge view, served from the
+// generation-keyed cache (cache.go): identical arithmetic to a fresh
+// fold, rebuilt only when a shard's ingest generation moves.
 func (r *Root) mergedDB() (*eard.DB, error) {
-	db := eard.NewDB()
-	err := r.fanOut(wire.Query{Kind: wire.QueryRecords}, func(_ int, res wire.Result) error {
-		var recs []eard.JobRecord
-		if err := res.Decode(&recs); err != nil {
-			return err
-		}
-		for _, rec := range recs {
-			if err := db.Insert(rec); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return db, nil
+	db, _, err := r.mergedState()
+	return db, err
 }
 
 // Aggregate returns the cluster view across every shard, merged with
@@ -333,6 +330,9 @@ func (r *Root) MergedStats() (eardbd.Stats, error) {
 		total.RecordsAccepted += st.RecordsAccepted
 		total.RecordsDuplicate += st.RecordsDuplicate
 		total.RecordsReplaced += st.RecordsReplaced
+		total.AcctAccepted += st.AcctAccepted
+		total.AcctDuplicate += st.AcctDuplicate
+		total.AcctReplaced += st.AcctReplaced
 		total.BatchesRejected += st.BatchesRejected
 		total.ProtocolErrors += st.ProtocolErrors
 		total.Queries += st.Queries

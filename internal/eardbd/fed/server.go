@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 
+	"goear/internal/accounting"
 	"goear/internal/wire"
 )
 
@@ -160,6 +161,30 @@ func (r *Root) handleQuery(conn net.Conn, f wire.Frame) bool {
 		sum, err = r.Summarize(q.Job, q.Step)
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, sum)
+		}
+	case wire.QueryAcctJobs:
+		var page any
+		page, err = r.AcctQuery(accounting.Query{
+			User:   q.User,
+			Job:    q.Job,
+			Since:  q.Since,
+			Limit:  q.Limit,
+			Cursor: q.Cursor,
+		})
+		if err == nil {
+			resp, err = wire.EncodeResult(q.Kind, page)
+		}
+	case wire.QueryAcctRecords:
+		var recs any
+		recs, err = r.AcctRecords()
+		if err == nil {
+			resp, err = wire.EncodeResult(q.Kind, recs)
+		}
+	case wire.QueryGeneration:
+		var gen uint64
+		gen, err = r.Generation()
+		if err == nil {
+			resp, err = wire.EncodeResult(q.Kind, wire.Generation{Gen: gen})
 		}
 	default:
 		r.reply(conn, mustError(fmt.Sprintf("unknown query kind %q", q.Kind)))

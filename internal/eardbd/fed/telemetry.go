@@ -7,9 +7,11 @@ import (
 // Metric names (package-level constants per the goearvet telemetry
 // analyzer).
 const (
-	metricFedQueries = "goear_eardbd_fed_queries_total"
-	metricFedFanout  = "goear_eardbd_fed_fanout_total"
-	metricFedShards  = "goear_eardbd_fed_shards"
+	metricFedQueries   = "goear_eardbd_fed_queries_total"
+	metricFedFanout    = "goear_eardbd_fed_fanout_total"
+	metricFedShards    = "goear_eardbd_fed_shards"
+	metricFedCache     = "goear_eardbd_fed_cache_total"
+	metricFedCacheHitR = "goear_eardbd_fed_cache_hit_ratio"
 )
 
 // rootTel is a root's pre-resolved instrument bundle; nil fields
@@ -20,14 +22,21 @@ type rootTel struct {
 	queries   *telemetry.Counter
 	fanoutVec *telemetry.CounterVec
 	shards    *telemetry.Gauge
+	cacheHit  *telemetry.Counter // result="hit"
+	cacheMiss *telemetry.Counter // result="miss"
+	cacheHitR *telemetry.Gauge
 }
 
 func newRootTel(s *telemetry.Set) rootTel {
 	r := s.Reg()
+	cache := r.CounterVec(metricFedCache, "merged-snapshot lookups by cache outcome", "result")
 	return rootTel{
 		queries:   r.Counter(metricFedQueries, "snapshot queries served by the federation root"),
 		fanoutVec: r.CounterVec(metricFedFanout, "shard fan-out queries by shard and result", "shard", "result"),
 		shards:    r.Gauge(metricFedShards, "shards configured on the federation root"),
+		cacheHit:  cache.With("hit"),
+		cacheMiss: cache.With("miss"),
+		cacheHitR: r.Gauge(metricFedCacheHitR, "fraction of merged-snapshot lookups served from cache"),
 	}
 }
 

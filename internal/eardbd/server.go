@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/telemetry"
 	"goear/internal/wire"
@@ -60,7 +61,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts server activity since start.
+// Stats counts server activity since start. The Acct* fields count
+// per-job accounting records, classified with the same
+// accepted/duplicate/replaced semantics as node reports.
 type Stats struct {
 	Connections      int `json:"connections"`
 	Batches          int `json:"batches"`
@@ -68,6 +71,9 @@ type Stats struct {
 	RecordsAccepted  int `json:"records_accepted"`
 	RecordsDuplicate int `json:"records_duplicate"`
 	RecordsReplaced  int `json:"records_replaced"`
+	AcctAccepted     int `json:"acct_accepted"`
+	AcctDuplicate    int `json:"acct_duplicate"`
+	AcctReplaced     int `json:"acct_replaced"`
 	BatchesRejected  int `json:"batches_rejected"`
 	ProtocolErrors   int `json:"protocol_errors"`
 	Queries          int `json:"queries"`
@@ -86,15 +92,17 @@ type Aggregate struct {
 // Server is the aggregation daemon. One Server may serve several
 // listeners (a TCP port and a unix socket, say) concurrently.
 type Server struct {
-	cfg Config
-	db  *eard.DB
-	tel serverTel
+	cfg  Config
+	db   *eard.DB
+	acct *accounting.Store
+	tel  serverTel
 
 	mu        sync.Mutex
 	seen      map[string]bool
 	seenQueue []string // FIFO eviction order for seen
 	nodeW     map[string]float64
 	stats     Stats
+	gen       uint64 // bumped whenever any record lands; see Generation
 
 	connMu    sync.Mutex
 	closed    bool
@@ -114,6 +122,7 @@ func NewServer(db *eard.DB, cfg Config) *Server {
 	return &Server{
 		cfg:       cfg.withDefaults(),
 		db:        db,
+		acct:      accounting.NewStore(ts),
 		tel:       newServerTel(ts),
 		seen:      map[string]bool{},
 		nodeW:     map[string]float64{},
@@ -125,6 +134,19 @@ func NewServer(db *eard.DB, cfg Config) *Server {
 // DB exposes the backing database (for persistence by the daemon
 // binary).
 func (s *Server) DB() *eard.DB { return s.db }
+
+// Acct exposes the per-job accounting store the server ingests into.
+func (s *Server) Acct() *accounting.Store { return s.acct }
+
+// Generation reports the server's mutation counter: it advances every
+// time a record — node report or accounting record — is accepted or
+// replaced, and never otherwise. Federation roots poll it to decide
+// whether their cached merged snapshot is still exact.
+func (s *Server) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
 
 // Serve accepts connections on l until the listener fails or the
 // server is closed; Close makes it return nil. Each connection is
@@ -250,8 +272,8 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 		s.rejectBatch(conn, "batch has no id")
 		return true
 	}
-	if len(b.Records) > s.cfg.MaxBatchRecords {
-		s.rejectBatch(conn, fmt.Sprintf("batch %s holds %d records, limit %d", b.ID, len(b.Records), s.cfg.MaxBatchRecords))
+	if n := len(b.Records) + len(b.Acct); n > s.cfg.MaxBatchRecords {
+		s.rejectBatch(conn, fmt.Sprintf("batch %s holds %d records, limit %d", b.ID, n, s.cfg.MaxBatchRecords))
 		return true
 	}
 	for _, r := range b.Records {
@@ -260,16 +282,23 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 			return true
 		}
 	}
+	for _, r := range b.Acct {
+		if err := r.Validate(); err != nil {
+			s.rejectBatch(conn, fmt.Sprintf("batch %s: %v", b.ID, err))
+			return true
+		}
+	}
 
 	s.mu.Lock()
 	if s.seen[b.ID] {
+		n := len(b.Records) + len(b.Acct)
 		s.stats.Batches++
 		s.stats.DuplicateBatches++
 		s.mu.Unlock()
 		s.tel.batchDup.Inc()
-		s.tel.recDup.Add(uint64(len(b.Records)))
-		s.tel.batchEvent(b.Node, b.ID, "duplicate", &int3{b: len(b.Records)})
-		return s.reply(conn, mustAck(wire.Ack{BatchID: b.ID, Duplicate: len(b.Records)}))
+		s.tel.recDup.Add(uint64(n))
+		s.tel.batchEvent(b.Node, b.ID, "duplicate", &int3{b: n})
+		return s.reply(conn, mustAck(wire.Ack{BatchID: b.ID, Duplicate: n}))
 	}
 	s.mu.Unlock()
 
@@ -295,12 +324,41 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 			return false
 		}
 	}
+	// Accounting records ride the same batch and fold into the same
+	// ack so the client's exactly-once machinery sees one outcome per
+	// batch; the store classifies them itself.
+	var acctA, acctD, acctR int
+	for _, r := range b.Acct {
+		class, err := s.acct.Insert(r)
+		if err != nil {
+			s.countProtocolError()
+			s.reply(conn, mustError(fmt.Sprintf("store batch %s: %v", b.ID, err)))
+			return false
+		}
+		switch class {
+		case accounting.ClassDuplicate:
+			acctD++
+		case accounting.ClassReplaced:
+			acctR++
+		default:
+			acctA++
+		}
+	}
+	ack.Accepted += acctA
+	ack.Duplicate += acctD
+	ack.Replaced += acctR
 
 	s.mu.Lock()
 	s.stats.Batches++
-	s.stats.RecordsAccepted += ack.Accepted
-	s.stats.RecordsDuplicate += ack.Duplicate
-	s.stats.RecordsReplaced += ack.Replaced
+	s.stats.RecordsAccepted += ack.Accepted - acctA
+	s.stats.RecordsDuplicate += ack.Duplicate - acctD
+	s.stats.RecordsReplaced += ack.Replaced - acctR
+	s.stats.AcctAccepted += acctA
+	s.stats.AcctDuplicate += acctD
+	s.stats.AcctReplaced += acctR
+	if ack.Accepted+ack.Replaced > 0 {
+		s.gen++
+	}
 	for _, r := range b.Records {
 		s.nodeW[r.Node] = r.AvgPower
 	}
@@ -344,6 +402,22 @@ func (s *Server) handleQuery(conn net.Conn, f wire.Frame) bool {
 		resp, err = wire.EncodeResult(q.Kind, s.NodePowersByName())
 	case wire.QueryRecords:
 		resp, err = wire.EncodeResult(q.Kind, s.db.Records())
+	case wire.QueryAcctJobs:
+		var page accounting.Page
+		page, err = s.acct.Query(accounting.Query{
+			User:   q.User,
+			Job:    q.Job,
+			Since:  q.Since,
+			Limit:  q.Limit,
+			Cursor: q.Cursor,
+		})
+		if err == nil {
+			resp, err = wire.EncodeResult(q.Kind, page)
+		}
+	case wire.QueryAcctRecords:
+		resp, err = wire.EncodeResult(q.Kind, s.acct.Snapshot())
+	case wire.QueryGeneration:
+		resp, err = wire.EncodeResult(q.Kind, wire.Generation{Gen: s.Generation()})
 	case wire.QuerySummary:
 		var sum eard.JobSummary
 		sum, err = s.db.Summarize(q.Job, q.Step)
@@ -407,6 +481,13 @@ func (s *Server) NodePowers() []float64 {
 		out[i] = np.PowerW
 	}
 	return out
+}
+
+// SeedAcct restores the job accounting store, as a daemon restarting
+// over a persisted database does: accepted job records are durable
+// state, so they survive a restart the way node records in the DB do.
+func (s *Server) SeedAcct(recs []accounting.Record) {
+	s.acct.Seed(recs)
 }
 
 // SeedNodePowers pre-populates the last-known per-node power view, as

@@ -12,10 +12,12 @@ import (
 	"net"
 	"sync"
 
+	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/eardbd"
 	"goear/internal/eardbd/fed"
 	"goear/internal/eardbd/ring"
+	"goear/internal/telemetry"
 	"goear/internal/wire"
 )
 
@@ -54,9 +56,11 @@ type clusterShard struct {
 	// listener bookkeeping).
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup
-	// savedPowers carries the last-known node-power view across a
-	// kill/restart, as a persisted daemon snapshot would.
+	// savedPowers and savedAcct carry the last-known node-power view
+	// and the job accounting store across a kill/restart, as a
+	// persisted daemon snapshot would.
 	savedPowers []wire.NodePower
+	savedAcct   []accounting.Record
 }
 
 // NewCluster builds n shards named shard0..shard<n-1>, each with its
@@ -176,6 +180,7 @@ func (c *Cluster) Kill(name string) error {
 	}
 	c.mu.Lock()
 	sh.savedPowers = srv.NodePowersByName()
+	sh.savedAcct = srv.Acct().Snapshot()
 	sh.state = shardDown
 	c.mu.Unlock()
 	return nil
@@ -197,7 +202,9 @@ func (c *Cluster) Restart(name string) error {
 	}
 	sh.srv = eardbd.NewServer(sh.db, c.cfg)
 	sh.srv.SeedNodePowers(sh.savedPowers)
+	sh.srv.SeedAcct(sh.savedAcct)
 	sh.savedPowers = nil
+	sh.savedAcct = nil
 	sh.state = shardUp
 	return nil
 }
@@ -206,7 +213,7 @@ func (c *Cluster) Restart(name string) error {
 // the shards' frame-payload cap so large record dumps survive the
 // merge queries.
 func (c *Cluster) Root() (*fed.Root, error) {
-	cfg := fed.Config{MaxFramePayload: c.cfg.MaxFramePayload}
+	cfg := fed.Config{MaxFramePayload: c.cfg.MaxFramePayload, Telemetry: c.cfg.Telemetry}
 	for _, name := range c.names {
 		name := name
 		cfg.Shards = append(cfg.Shards, fed.Shard{
@@ -246,6 +253,10 @@ type Endpoints struct {
 	// MaxFramePayload, when positive, raises the root's frame cap to
 	// match the external daemons' -max-frame setting.
 	MaxFramePayload int
+	// Telemetry, when set, instruments roots built by Root() — the
+	// fan-out and snapshot-cache families an earload -metrics dump
+	// includes.
+	Telemetry *telemetry.Set
 }
 
 // NewEndpoints builds a ring over the given shard addresses.
@@ -279,7 +290,7 @@ func (e *Endpoints) DialFor(node string) func() (net.Conn, error) {
 // Root builds a federation root over the external shards, named by
 // address.
 func (e *Endpoints) Root() (*fed.Root, error) {
-	cfg := fed.Config{MaxFramePayload: e.MaxFramePayload}
+	cfg := fed.Config{MaxFramePayload: e.MaxFramePayload, Telemetry: e.Telemetry}
 	for _, addr := range e.addrs {
 		addr := addr
 		cfg.Shards = append(cfg.Shards, fed.Shard{

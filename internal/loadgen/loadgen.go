@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/eardbd"
 	"goear/internal/par"
@@ -22,6 +23,12 @@ type Config struct {
 	// (default 10), spread over jobs job0..job2 as in the canonical
 	// closed-loop workload.
 	RecordsPerNode int
+	// AcctPerNode is how many per-job accounting windows each node
+	// attributes and reports (default 0: no accounting traffic). Each
+	// window hosts one to three tenants, so the record count per node
+	// is larger; like Records, the content depends only on (Seed, node
+	// index), never on placement.
+	AcctPerNode int
 	// BatchRecords is the client batch-size trigger (default 4).
 	BatchRecords int
 	// Workers bounds how many node reporters run concurrently
@@ -150,6 +157,64 @@ func (g *Generator) Records(i int) []eard.JobRecord {
 	return out
 }
 
+// acctUsers are the tenants accounting windows rotate through — the
+// multi-tenant axis the query tier filters on.
+var acctUsers = [...]string{"alice", "bob", "carol"}
+
+// AcctRecords generates node i's deterministic accounting stream:
+// AcctPerNode phase windows, each with one to three tenant jobs whose
+// usage counters ratio-split the window's measured energy through the
+// real attribution engine. Content depends only on (Seed, node index).
+func (g *Generator) AcctRecords(i int) ([]accounting.Record, error) {
+	if g.cfg.AcctPerNode <= 0 {
+		return nil, nil
+	}
+	node := g.nodeName(i)
+	rng := rand.New(rand.NewSource(g.cfg.Seed + int64(5000000+i)))
+	var out []accounting.Record
+	for w := 0; w < g.cfg.AcctPerNode; w++ {
+		pkg := 180 + 60*rng.Float64() // W-ish rates over a 120 s window
+		dram := 25 + 10*rng.Float64()
+		uncore := 30 + 15*rng.Float64()
+		window := accounting.Window{
+			Node:     node,
+			Phase:    w,
+			StartSec: 120 * float64(w),
+			EndSec:   120 * float64(w+1),
+		}
+		energy := accounting.Energy{
+			PkgJ:    pkg * 120,
+			DramJ:   dram * 120,
+			UncoreJ: uncore * 120,
+			NodeJ:   (pkg + dram + 45) * 120,
+		}
+		nTenants := 1 + (i+w)%len(acctUsers)
+		tenants := make([]accounting.Tenant, nTenants)
+		for t := range tenants {
+			tenants[t] = accounting.Tenant{
+				Meta: accounting.Meta{
+					JobID:  fmt.Sprintf("job%d", (w+t)%3),
+					StepID: fmt.Sprint(t),
+					User:   acctUsers[t],
+					Policy: "min_energy",
+				},
+				Usage: accounting.Usage{
+					Instr:     (1 + rng.Float64()) * 1e12,
+					Cycles:    (1 + rng.Float64()) * 1e12,
+					DRAMBytes: (1 + rng.Float64()) * 1e11,
+				},
+				Rates: accounting.Rates{AvgCPUGHz: 2.1, AvgIMCGHz: 2.4},
+			}
+		}
+		recs, err := accounting.Attribute(window, energy, tenants)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
 // Run drives all nodes through the given per-node dialer under the
 // worker pool. Unreachable shards are an expected outcome, not an
 // error: affected batches spill to the node's journal and stay
@@ -203,6 +268,19 @@ func (g *Generator) runNode(i int, dial func(node string) func() (net.Conn, erro
 		case err == nil, errors.Is(err, eardbd.ErrUnreachable):
 			// Unreachable is survivable: the flush journaled the
 			// batch for a later replay.
+			enq++
+		default:
+			nodeErr = err
+		}
+	}
+	acct, err := g.AcctRecords(i)
+	if err != nil && nodeErr == nil {
+		nodeErr = err
+	}
+	for _, r := range acct {
+		err := c.EnqueueAcct(r)
+		switch {
+		case err == nil, errors.Is(err, eardbd.ErrUnreachable):
 			enq++
 		default:
 			nodeErr = err

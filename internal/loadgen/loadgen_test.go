@@ -79,7 +79,9 @@ func TestSnapshotByteIdenticalAcrossShardCounts(t *testing.T) {
 // byte-identical to a no-fault run.
 func TestFaultInjectionReplaysExactlyOnce(t *testing.T) {
 	const nodes, shards = 60, 3
-	cfg := Config{Workers: 4, Seed: 7}
+	// Job accounting records ride the same batches, so the fault pass
+	// proves their exactly-once delivery too.
+	cfg := Config{Workers: 4, Seed: 7, AcctPerNode: 2}
 
 	clean, _, cleanRes := runLoad(t, nodes, shards, cfg, Hooks{})
 	if cleanRes.BacklogBatches != 0 {
@@ -100,7 +102,7 @@ func TestFaultInjectionReplaysExactlyOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := New(Config{Nodes: nodes, Workers: cfg.Workers, Seed: cfg.Seed, Telemetry: set})
+	g, err := New(Config{Nodes: nodes, Workers: cfg.Workers, Seed: cfg.Seed, AcctPerNode: cfg.AcctPerNode, Telemetry: set})
 	if err != nil {
 		t.Fatal(err)
 	}

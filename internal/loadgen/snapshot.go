@@ -3,6 +3,7 @@ package loadgen
 import (
 	"encoding/json"
 
+	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/eardbd"
 	"goear/internal/eardbd/fed"
@@ -10,12 +11,14 @@ import (
 )
 
 // snapshot is the canonical federation state dump: the aggregate, the
-// merged per-node power view and every job summary, in the fixed
-// field and element order the byte-identity tests compare.
+// merged per-node power view, every job summary and every per-job
+// accounting record, in the fixed field and element order the
+// byte-identity tests compare.
 type snapshot struct {
-	Aggregate  eardbd.Aggregate  `json:"aggregate"`
-	NodePowers []wire.NodePower  `json:"node_powers"`
-	Jobs       []eard.JobSummary `json:"jobs"`
+	Aggregate  eardbd.Aggregate    `json:"aggregate"`
+	NodePowers []wire.NodePower    `json:"node_powers"`
+	Jobs       []eard.JobSummary   `json:"jobs"`
+	Acct       []accounting.Record `json:"acct"`
 }
 
 // Snapshot renders the root's merged state as canonical JSON. Two
@@ -35,5 +38,9 @@ func Snapshot(root *fed.Root) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.MarshalIndent(snapshot{Aggregate: agg, NodePowers: nps, Jobs: jobs}, "", "  ")
+	acct, err := root.AcctRecords()
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(snapshot{Aggregate: agg, NodePowers: nps, Jobs: jobs, Acct: acct}, "", "  ")
 }

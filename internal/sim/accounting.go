@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+
+	"goear/internal/accounting"
+)
+
+// AccountingRecords converts a phase-sampled run result into per-job,
+// per-phase energy records, attributing each node's measured energy to
+// the job via the accounting ratio engine. The run must have executed
+// with Options.Phases set.
+//
+// The simulator runs one job per node (MPI ranks, the paper's
+// deployment model), so each window has a single tenant and the ratio
+// split is exact passthrough; multi-tenant splitting is exercised by
+// the accounting engine itself wherever co-resident usage exists (see
+// accounting.Attribute). Records inherit the per-node determinism of
+// the run: byte-identical at any Workers count.
+//
+// nodeName maps a node index to its cluster name; nil uses the
+// "node%03d" convention. meta.Policy defaults to the run's policy.
+func AccountingRecords(res Result, meta accounting.Meta, nodeName func(i int) string) ([]accounting.Record, error) {
+	if nodeName == nil {
+		nodeName = defaultNodeName
+	}
+	if meta.Policy == "" {
+		meta.Policy = res.Policy
+	}
+	var out []accounting.Record
+	for i := range res.Nodes {
+		n := &res.Nodes[i]
+		if len(n.Phases) == 0 {
+			return nil, fmt.Errorf("sim: node %d has no phase samples; run with Options.Phases", i)
+		}
+		for _, ph := range n.Phases {
+			dur := ph.EndSec - ph.StartSec
+			rates := accounting.Rates{}
+			if dur > 0 {
+				rates.AvgCPUGHz = ph.CoreFreqSec / dur
+				rates.AvgIMCGHz = ph.IMCFreqSec / dur
+			}
+			recs, err := accounting.Attribute(
+				accounting.Window{
+					Node:     nodeName(i),
+					Phase:    ph.Seg,
+					StartSec: ph.StartSec,
+					EndSec:   ph.EndSec,
+				},
+				accounting.Energy{
+					PkgJ:    ph.PkgJ,
+					DramJ:   ph.DramJ,
+					UncoreJ: ph.UncoreJ,
+					NodeJ:   ph.NodeJ,
+				},
+				[]accounting.Tenant{{
+					Meta: meta,
+					Usage: accounting.Usage{
+						Instr:     ph.Instr,
+						Cycles:    ph.Cycles,
+						DRAMBytes: ph.DRAMBytes,
+					},
+					Rates: rates,
+				}},
+			)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recs...)
+		}
+	}
+	return out, nil
+}
+
+// defaultNodeName is the cluster naming convention used when no
+// mapping is supplied.
+func defaultNodeName(i int) string { return fmt.Sprintf("node%03d", i) }

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"goear/internal/accounting"
+	"goear/internal/workload"
+)
+
+// TestAccountingRecordsByteIdentical pins the attribution determinism
+// contract: the per-job records derived from a phase-sampled run are
+// byte-identical whatever the Workers count, because phase accumulation
+// is per-node and ordered.
+func TestAccountingRecordsByteIdentical(t *testing.T) {
+	cal := calibrated(t, workload.BTMZC)
+	run := func(workers int) []accounting.Record {
+		r, err := Run(cal, Options{Policy: "none", Seed: 3, Phases: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := AccountingRecords(r, accounting.Meta{JobID: "j1", StepID: "0", User: "alice"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	b1, err := json.Marshal(run(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := json.Marshal(run(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b4) {
+		t.Fatal("accounting records differ between Workers=1 and Workers=4")
+	}
+}
+
+// TestAccountingRecordsConserveEnergy checks that the per-phase records
+// sum back to the run's per-node energy integrals: attribution must
+// not create or lose joules.
+func TestAccountingRecordsConserveEnergy(t *testing.T) {
+	cal := calibrated(t, workload.BTMZC)
+	res, err := Run(cal, Options{Policy: "none", Seed: 5, Phases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := AccountingRecords(res, accounting.Meta{JobID: "j1", StepID: "0", User: "alice"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sums struct{ pkg, dram, node float64 }
+	byNode := map[string]*sums{}
+	for _, r := range recs {
+		s := byNode[r.Node]
+		if s == nil {
+			s = &sums{}
+			byNode[r.Node] = s
+		}
+		s.pkg += r.PkgJ
+		s.dram += r.DramJ
+		s.node += r.NodeJ
+	}
+	if len(byNode) != len(res.Nodes) {
+		t.Fatalf("records cover %d nodes, run has %d", len(byNode), len(res.Nodes))
+	}
+	relClose := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-9*math.Max(math.Abs(want), 1)
+	}
+	for i := range res.Nodes {
+		n := &res.Nodes[i]
+		name := defaultNodeName(i)
+		s := byNode[name]
+		if s == nil {
+			t.Fatalf("no records for %s", name)
+		}
+		if !relClose(s.pkg, n.PkgEnergyJ) {
+			t.Errorf("%s: summed PkgJ %.6f vs run integral %.6f", name, s.pkg, n.PkgEnergyJ)
+		}
+		if !relClose(s.dram, n.DramEnergyJ) {
+			t.Errorf("%s: summed DramJ %.6f vs run integral %.6f", name, s.dram, n.DramEnergyJ)
+		}
+		if !relClose(s.node, n.EnergyJ) {
+			t.Errorf("%s: summed NodeJ %.6f vs run integral %.6f", name, s.node, n.EnergyJ)
+		}
+	}
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("record failed validation: %v", err)
+		}
+	}
+}
+
+// TestAccountingRecordsNeedPhases pins the error path: a run without
+// Options.Phases has nothing to attribute.
+func TestAccountingRecordsNeedPhases(t *testing.T) {
+	cal := calibrated(t, workload.BTMZC)
+	res, err := Run(cal, Options{Policy: "none", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AccountingRecords(res, accounting.Meta{JobID: "j", StepID: "0", User: "u"}, nil); err == nil {
+		t.Fatal("expected an error for a run without phase samples")
+	}
+}

@@ -80,6 +80,11 @@ type node struct {
 	lastTraceE float64
 	lastTraceB float64
 
+	// Per-phase accumulation (Options.Phases). Segments run strictly in
+	// order, so phases[i] covers segment i; the backing array survives
+	// pool recycles (result copies out) and is truncated by init.
+	phases []PhaseSample
+
 	// Iteration progress, for resumable stepping (RunCoordinated).
 	segIdx, iterInSeg int
 	instrLeft         float64
@@ -323,6 +328,7 @@ func (n *node) init(cal workload.Calibrated, nodeID int, opt Options) error {
 	n.capRatio = 0
 	n.trace = nil
 	n.lastTraceT, n.lastTraceE, n.lastTraceB = 0, 0, 0
+	n.phases = n.phases[:0]
 	n.segIdx, n.iterInSeg = 0, 0
 	n.instrLeft, n.wallLeft = 0, 0
 	n.iterActive, n.done = false, false
@@ -526,6 +532,28 @@ func (n *node) advance(segIdx int, e evalEntry, nInstr, dt, pNoise float64) erro
 	n.coreFreqSec += e.res.EffCoreFreq.GHzF() * n.cal.FreqBias * dt
 	n.imcFreqSec += e.res.UncoreFreq.GHzF() * n.cal.IMCBias * dt
 
+	if n.opt.Phases {
+		// Segments run in order, each visited contiguously, so the
+		// current segment is either the last sample or a fresh one.
+		if len(n.phases) == segIdx {
+			n.phases = append(n.phases, PhaseSample{Seg: segIdx, StartSec: n.now})
+		}
+		ph := &n.phases[segIdx]
+		ph.PkgJ += scaled.Pkg * dt
+		ph.DramJ += scaled.Dram * dt
+		// Uncore is not separately noise-scaled in the RAPL view (it is
+		// a component of Pkg there); for attribution it carries the same
+		// multiplicative noise as its parent domain.
+		ph.UncoreJ += e.brk.Uncore * pNoise * dt
+		ph.NodeJ += total * dt
+		ph.Instr += nodeInstr
+		ph.Cycles += dt * e.res.EffCoreFreq.GHzF() * 1e9 * float64(n.cal.ActiveCores)
+		ph.DRAMBytes += nodeInstr * seg.Phase.BytesPerInstr
+		ph.CoreFreqSec += e.res.EffCoreFreq.GHzF() * n.cal.FreqBias * dt
+		ph.IMCFreqSec += e.res.UncoreFreq.GHzF() * n.cal.IMCBias * dt
+		ph.EndSec = n.now + dt
+	}
+
 	for _, c := range n.ctls {
 		if err := c.Advance(dt, e.effRatio); err != nil {
 			return err
@@ -623,6 +651,11 @@ func (n *node) result() (NodeResult, error) {
 	r.AvgPowerW = r.EnergyJ / r.TimeSec
 	r.AvgPkgPowerW = r.PkgEnergyJ / r.TimeSec
 	r.Trace = n.trace
+	if n.opt.Phases {
+		// Copy out: the node (and its phases backing array) goes back to
+		// the pool, but results outlive the run.
+		r.Phases = append([]PhaseSample(nil), n.phases...)
+	}
 	if n.lib != nil {
 		r.Signatures = n.lib.Signatures()
 		r.LoopDetected = n.lib.LoopDetected()

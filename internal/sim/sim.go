@@ -77,6 +77,13 @@ type Options struct {
 	// Trace records a per-node time series (one point per TraceStepSec
 	// of simulated time) in NodeResult.Trace.
 	Trace bool
+	// Phases accumulates per-workload-phase energy and usage counters
+	// into NodeResult.Phases — the raw material per-job energy
+	// attribution (package accounting) splits. Like the trace it is
+	// opt-in: the accumulation is cheap (a few adds per step) but the
+	// samples allocate per node run. Phase accumulation is per-node and
+	// ordered, so it is byte-identical at any Workers count.
+	Phases bool
 	// TraceStepSec is the trace sampling period (default 1 s).
 	TraceStepSec float64
 	// Workers bounds the goroutines fanned out over a run's nodes and
@@ -152,6 +159,31 @@ type TracePoint struct {
 	UncMax    uint64 // programmed uncore ceiling (MSR 0x620 max)
 }
 
+// PhaseSample is one workload phase's accumulated energy and usage on
+// one node: what per-job attribution ratio-splits. Energies carry the
+// same noise scaling as the node totals, so summing a node's phases
+// reproduces its NodeResult energies to float-reassociation accuracy.
+type PhaseSample struct {
+	// Seg is the workload segment (phase) index.
+	Seg int
+	// StartSec/EndSec bound the phase's wall-clock window.
+	StartSec float64
+	EndSec   float64
+	// Per-domain energy: RAPL PCK, RAPL DRAM, the uncore share of PCK,
+	// and the DC node meter scope.
+	PkgJ    float64
+	DramJ   float64
+	UncoreJ float64
+	NodeJ   float64
+	// Usage counters over the phase.
+	Instr     float64
+	Cycles    float64
+	DRAMBytes float64
+	// Frequency-seconds integrals (divide by duration for averages).
+	CoreFreqSec float64
+	IMCFreqSec  float64
+}
+
 // NodeResult is one node's run outcome.
 type NodeResult struct {
 	TimeSec      float64
@@ -178,6 +210,9 @@ type NodeResult struct {
 	NestedPeriod int
 	// Trace is the sampled time series when Options.Trace is set.
 	Trace []TracePoint
+	// Phases is the per-phase energy/usage breakdown when
+	// Options.Phases is set, in phase (segment) order.
+	Phases []PhaseSample
 	// Decisions is the EARL decision trace when Options.DecisionLog is
 	// set (node ids are assigned by Result.WriteDecisionLog).
 	Decisions []Decision

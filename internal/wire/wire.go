@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 
+	"goear/internal/accounting"
 	"goear/internal/eard"
 )
 
@@ -173,11 +174,16 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 // Batch is the unit a client ships: records under a client-assigned
 // identifier. The ID is what makes journal replay exactly-once — a
 // batch resent after a lost ack carries the same ID and the server
-// drops the duplicate.
+// drops the duplicate. Acct carries per-job energy-attribution
+// records alongside the node reports; riding the same batch gives
+// them the same dedup, spill and replay semantics for free. The acct
+// records are versioned independently (accounting.CodecVersion) so
+// the attribution layout can evolve without a wire version bump.
 type Batch struct {
-	ID      string           `json:"id"`
-	Node    string           `json:"node"`
-	Records []eard.JobRecord `json:"records"`
+	ID      string              `json:"id"`
+	Node    string              `json:"node"`
+	Records []eard.JobRecord    `json:"records"`
+	Acct    []accounting.Record `json:"acct,omitempty"`
 }
 
 // Ack acknowledges one batch. Accepted counts fresh records,
@@ -196,11 +202,17 @@ type ErrorFrame struct {
 }
 
 // Query asks the server for a snapshot. Kind selects the view; Job
-// and Step scope the "summary" kind.
+// and Step scope the "summary" kind. User, Since, Limit and Cursor
+// scope and paginate the "acct_jobs" kind (Job doubles as its job
+// filter).
 type Query struct {
-	Kind string `json:"kind"`
-	Job  string `json:"job,omitempty"`
-	Step string `json:"step,omitempty"`
+	Kind   string  `json:"kind"`
+	Job    string  `json:"job,omitempty"`
+	Step   string  `json:"step,omitempty"`
+	User   string  `json:"user,omitempty"`
+	Since  float64 `json:"since,omitempty"`
+	Limit  int     `json:"limit,omitempty"`
+	Cursor string  `json:"cursor,omitempty"`
 }
 
 // Query kinds.
@@ -218,7 +230,25 @@ const (
 	// node). The federation root folds shard dumps into one database so
 	// merged summaries run the exact arithmetic a single daemon would.
 	QueryRecords = "records"
+	// QueryAcctJobs serves one filtered, cursor-paginated page of
+	// per-job energy records (an accounting.Page).
+	QueryAcctJobs = "acct_jobs"
+	// QueryAcctRecords dumps every stored accounting record in
+	// canonical (job, step, node, phase) order — the bulk path the
+	// federation root merges shards by.
+	QueryAcctRecords = "acct_records"
+	// QueryGeneration returns the store's mutation counter (a
+	// Generation). Snapshot caches poll it: unchanged generations mean
+	// the cached merge is still exact.
+	QueryGeneration = "generation"
 )
+
+// Generation is a store mutation counter, the QueryGeneration result.
+// It advances on every accepted or replaced record — node report or
+// accounting record alike — so equality implies identical contents.
+type Generation struct {
+	Gen uint64 `json:"gen"`
+}
 
 // NodePower is one node's last reported DC power, the element of a
 // QueryNodePowers result.
