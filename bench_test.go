@@ -293,6 +293,107 @@ func BenchmarkNodeTick(b *testing.B) { benchNodeTick(b, false) }
 // once per run, so the expected delta is ~zero).
 func BenchmarkNodeTickTelemetry(b *testing.B) { benchNodeTick(b, true) }
 
+// Batch stepping benchmarks: the struct-of-arrays kernel that cluster
+// campaigns run on, measured over a 1024-node shard. BenchmarkBatchTick
+// is one 10 ms lock-step tick of the whole shard (the ns/node-tick
+// metric is the per-node cost to compare with BenchmarkNodeTick);
+// BenchmarkClusterSecond advances the shard one simulated second, and
+// BenchmarkClusterSecondReference does the same through the per-node
+// reference path — the ratio is the batch speedup the design targets.
+
+const batchBenchNodes = 1024
+
+func benchBatch(b *testing.B) *sim.Batch {
+	b.Helper()
+	cal := mustCal(b, workload.BTMZC)
+	bt, err := sim.NewBatch(cal, sim.Options{Policy: "none", Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for id := 0; id < batchBenchNodes; id++ {
+		if _, err := bt.Add(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bt
+}
+
+func BenchmarkBatchTick(b *testing.B) {
+	bt := benchBatch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bt.Done() {
+			b.StopTimer()
+			bt = benchBatch(b)
+			b.StartTimer()
+		}
+		if err := bt.Tick(0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batchBenchNodes, "ns/node-tick")
+}
+
+func BenchmarkClusterSecond(b *testing.B) {
+	bt := benchBatch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bt.Done() {
+			b.StopTimer()
+			bt = benchBatch(b)
+			b.StartTimer()
+		}
+		if err := bt.Tick(1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSecondReference(b *testing.B) {
+	cal := mustCal(b, workload.BTMZC)
+	opt := sim.Options{Policy: "none", Seed: 1}
+	build := func() []*sim.Stepper {
+		ss := make([]*sim.Stepper, batchBenchNodes)
+		for i := range ss {
+			s, err := sim.NewStepper(cal, i, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ss[i] = s
+		}
+		return ss
+	}
+	steppers := build()
+	barrier := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := true
+		for _, s := range steppers {
+			if !s.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			b.StopTimer()
+			steppers = build()
+			barrier = 0
+			b.StartTimer()
+		}
+		barrier += 1.0
+		for _, s := range steppers {
+			for !s.Done() && s.Now() < barrier {
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
 // Trace on/off pair: the delta is the cost of per-interval trace
 // sampling, the off case is the production configuration.
 

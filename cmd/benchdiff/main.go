@@ -62,8 +62,10 @@ type Snapshot struct {
 
 // defaultGates are the name prefixes whose ns/op regressions fail the
 // run: the paper-artifact benchmarks, the simulator hot-path micros,
-// the federation load-generator burst and the accounting query path.
-const defaultGates = "BenchmarkTable,BenchmarkFig,BenchmarkSim,BenchmarkNodeTick,BenchmarkEarload,BenchmarkJobQuery"
+// the batch stepping kernels (BenchmarkBatch*/BenchmarkCluster*), the
+// federation load-generator burst and the accounting query path.
+const defaultGates = "BenchmarkTable,BenchmarkFig,BenchmarkSim,BenchmarkNodeTick," +
+	"BenchmarkBatch,BenchmarkCluster,BenchmarkEarload,BenchmarkJobQuery"
 
 func run(args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)

@@ -18,21 +18,30 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 //
 //	go test ./cmd/benchtables -run TestGolden -update
 var goldenCases = []struct {
-	exp string
-	csv bool
+	exp   string
+	csv   bool
+	exact bool
 }{
-	{"table3", false},
-	{"table3", true},
-	{"summary", false},
-	{"summary", true},
+	{exp: "table3"},
+	{exp: "table3", csv: true},
+	{exp: "summary"},
+	{exp: "summary", csv: true},
+	// The -exact opt-out pins the per-tick reference integration the
+	// default macro-stepped campaign is toleranced against.
+	{exp: "table3", exact: true},
+	{exp: "summary", exact: true},
 }
 
-func goldenPath(exp string, csv bool) string {
+func goldenPath(exp string, csv, exact bool) string {
 	ext := "txt"
 	if csv {
 		ext = "csv"
 	}
-	return filepath.Join("testdata", fmt.Sprintf("%s_runs1.%s", exp, ext))
+	suffix := ""
+	if exact {
+		suffix = "_exact"
+	}
+	return filepath.Join("testdata", fmt.Sprintf("%s_runs1%s.%s", exp, suffix, ext))
 }
 
 func TestGolden(t *testing.T) {
@@ -41,16 +50,22 @@ func TestGolden(t *testing.T) {
 		if tc.csv {
 			name += "_csv"
 		}
+		if tc.exact {
+			name += "_exact"
+		}
 		t.Run(name, func(t *testing.T) {
 			args := []string{"-exp", tc.exp, "-runs", "1", "-parallel", "1"}
 			if tc.csv {
 				args = append(args, "-csv")
 			}
+			if tc.exact {
+				args = append(args, "-exact")
+			}
 			var got bytes.Buffer
 			if err := run(args, &got); err != nil {
 				t.Fatal(err)
 			}
-			path := goldenPath(tc.exp, tc.csv)
+			path := goldenPath(tc.exp, tc.csv, tc.exact)
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)

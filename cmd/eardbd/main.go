@@ -82,6 +82,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 	fedShards := fs.String("fed", "", "comma-separated shard TCP endpoints: run as a federation root (query-only)")
 	maxFrame := fs.Int("max-frame", 0, "per-frame payload byte limit (default 1 MiB)")
 	maxBatch := fs.Int("max-batch", 0, "records per batch limit (default 1024)")
+	acctRetain := fs.Int("acct-retain", 0, "resident accounting record cap: oldest (job, step) groups are evicted past it (0 = unlimited)")
 	telAddr := fs.String("telemetry", "", "HTTP address serving /metrics, /events and /api/jobs (empty = telemetry off)")
 	cascadeBudget := fs.Float64("cascade", 0, "cluster DC power budget in watts: run the cascaded EARGM over the shards (fed mode only, 0 = off)")
 	cascadeInterval := fs.Float64("cascade-interval", 5, "cascaded EARGM control period in seconds")
@@ -125,6 +126,8 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 			return fmt.Errorf("-db is ingest-only: a federation root keeps no database")
 		case *maxBatch != 0:
 			return fmt.Errorf("-max-batch is ingest-only: a federation root refuses batches")
+		case *acctRetain != 0:
+			return fmt.Errorf("-acct-retain is ingest-only: a federation root keeps no accounting store")
 		}
 		cfg := fed.Config{MaxFramePayload: *maxFrame, Telemetry: telSet}
 		for _, addr := range splitList(*fedShards) {
@@ -216,7 +219,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 				fmt.Fprintf(out, "eardbd: loaded %d records from %s\n", db.Len(), *dbPath)
 			}
 		}
-		srv = eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch, Telemetry: telSet})
+		srv = eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch, AcctMaxRecords: *acctRetain, Telemetry: telSet})
 		svc = srv
 	}
 

@@ -7,9 +7,14 @@
 // spill journals drain with exactly-once replay; with -addrs the same
 // burst targets externally launched eardbd daemons.
 //
+// With -sim the command instead drives the compute-side simulator: a
+// coordinated cluster campaign of a catalogue workload on the batch
+// stepping kernels (macro-stepped by default; -exact opts out).
+//
 //	earload -nodes 10000 -shards 4 -snapshot -
 //	earload -nodes 2000 -shards 3 -kill shard1@500 -restart shard1@1500
 //	earload -nodes 500 -addrs 127.0.0.1:4711,127.0.0.1:4712
+//	earload -sim BT-MZ.C -sim-nodes 4096 -sim-budget 1.1e6
 package main
 
 import (
@@ -74,8 +79,36 @@ func run(args []string, out io.Writer) error {
 	maxFrame := fs.Int("max-frame", 64<<20, "frame payload cap in bytes (snapshot record dumps scale with node count)")
 	snapshotPath := fs.String("snapshot", "", "write the federation root snapshot here ('-' = stdout)")
 	metrics := fs.Bool("metrics", false, "dump the telemetry registry after the run")
+	simWl := fs.String("sim", "", "run a coordinated cluster simulation campaign of this catalogue workload instead of an ingest burst")
+	simNodes := fs.Int("sim-nodes", 1024, "simulated cluster size for -sim")
+	simShards := fs.Int("sim-shards", 0, "batch stepping kernels for -sim (0 = derive from -workers)")
+	simBudget := fs.Float64("sim-budget", 0, "site power budget in watts for -sim (0 = uncapped)")
+	simPolicy := fs.String("sim-policy", "none", "EARL policy for -sim")
+	exact := fs.Bool("exact", false, "with -sim: disable the macro-step fast-forward (slower, per-tick integration)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *simWl != "" {
+		r, err := loadgen.RunSim(loadgen.SimConfig{
+			Workload: *simWl,
+			Nodes:    *simNodes,
+			Policy:   *simPolicy,
+			Seed:     *seed,
+			Workers:  *workers,
+			Shards:   *simShards,
+			Exact:    *exact,
+			BudgetW:  *simBudget,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "earload: sim %s: %d nodes, %.1fs simulated, %.1fW avg node power, %.0fJ mean node energy, %.2f GHz avg CPU, %.2f GHz avg IMC\n",
+			*simWl, len(r.Nodes), r.TimeSec, r.AvgPowerW, r.EnergyJ, r.AvgCPUGHz, r.AvgIMCGHz)
+		return nil
+	}
+	if *exact {
+		return fmt.Errorf("-exact needs -sim")
 	}
 
 	set := telemetry.NewSet()

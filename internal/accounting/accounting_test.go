@@ -219,6 +219,114 @@ func TestSnapshotCanonicalOrder(t *testing.T) {
 	}
 }
 
+// windowRecord builds a valid record with an explicit time window so
+// the retention tests can control group recency directly.
+func windowRecord(t *testing.T, job, step, node string, start, end float64) Record {
+	t.Helper()
+	r, err := NewRecord(
+		Meta{JobID: job, StepID: step, User: "u", Policy: "min_energy"},
+		Window{Node: node, StartSec: start, EndSec: end},
+		Energy{PkgJ: 10, DramJ: 1, UncoreJ: 1, NodeJ: 13},
+		Rates{AvgCPUGHz: 2.1, AvgIMCGHz: 2.4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestStoreRetentionCap(t *testing.T) {
+	set := telemetry.NewSet()
+	s := NewStore(set)
+	// Three job steps of two records each, end times ascending: j0
+	// (oldest) ends at 100, j1 at 200, j2 at 300.
+	for j := 0; j < 3; j++ {
+		end := float64(100 * (j + 1))
+		for n := 0; n < 2; n++ {
+			job := fmt.Sprintf("j%d", j)
+			if _, err := s.Insert(windowRecord(t, job, "0", fmt.Sprintf("n%d", n), end-60, end)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.MaxRecords() != 0 {
+		t.Fatalf("MaxRecords = %d before any cap", s.MaxRecords())
+	}
+
+	// Installing a cap of 4 must evict the oldest group whole and bump
+	// the generation.
+	gen := s.Generation()
+	s.SetMaxRecords(4)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d after SetMaxRecords(4), want 4", s.Len())
+	}
+	if s.Generation() == gen {
+		t.Error("eviction did not move the generation counter")
+	}
+	for n := 0; n < 2; n++ {
+		if _, ok := s.Get(Key{JobID: "j0", StepID: "0", Node: fmt.Sprintf("n%d", n)}); ok {
+			t.Errorf("j0/n%d survived eviction of the oldest group", n)
+		}
+		if _, ok := s.Get(Key{JobID: "j1", StepID: "0", Node: fmt.Sprintf("n%d", n)}); !ok {
+			t.Errorf("j1/n%d evicted out of order", n)
+		}
+	}
+
+	// A fresh ingest over the cap prunes on insert. j3 is the newest
+	// group, so j1 (now oldest) goes; its second record must not linger
+	// — groups age out whole, never partially.
+	if _, err := s.Insert(windowRecord(t, "j3", "0", "n0", 340, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d after over-cap insert, want 3", s.Len())
+	}
+	for n := 0; n < 2; n++ {
+		if _, ok := s.Get(Key{JobID: "j1", StepID: "0", Node: fmt.Sprintf("n%d", n)}); ok {
+			t.Errorf("j1/n%d survived a whole-group eviction", n)
+		}
+	}
+	if _, ok := s.Get(Key{JobID: "j3", StepID: "0", Node: "n0"}); !ok {
+		t.Error("the record that triggered pruning was itself evicted")
+	}
+
+	// Seed rides the same cap.
+	s.Seed([]Record{
+		windowRecord(t, "j4", "0", "n0", 440, 500),
+		windowRecord(t, "j4", "0", "n1", 440, 500),
+		windowRecord(t, "j4", "0", "n2", 440, 500),
+	})
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d after Seed, want 4", s.Len())
+	}
+	if _, ok := s.Get(Key{JobID: "j4", StepID: "0", Node: "n2"}); !ok {
+		t.Error("seeded newest-group record missing after prune")
+	}
+
+	var buf bytes.Buffer
+	if err := set.Reg().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"goear_accounting_pruned_total 6",
+		"goear_accounting_records 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry missing %q in:\n%s", want, text)
+		}
+	}
+
+	// Lifting the cap stops eviction.
+	s.SetMaxRecords(0)
+	if _, err := s.Insert(windowRecord(t, "j5", "0", "n0", 540, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d with the cap lifted, want 5", s.Len())
+	}
+}
+
 // buildStore populates n jobs × m nodes for the query tests.
 func buildStore(t testing.TB, jobs, nodes int) *Store {
 	s := NewStore(nil)

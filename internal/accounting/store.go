@@ -30,6 +30,10 @@ type Store struct {
 	mu   sync.Mutex
 	recs map[Key]Record
 	gen  uint64
+	// maxRecords, when positive, caps the resident record count:
+	// crossing it evicts whole (job, step) groups, oldest window first,
+	// until the store fits again.
+	maxRecords int
 
 	snap    []Record // cached canonical dump; immutable once published
 	snapGen uint64
@@ -68,8 +72,85 @@ func (s *Store) Insert(r Record) (Class, error) {
 	s.recs[k] = r
 	s.gen++
 	s.tel.ingAccept.Inc()
+	s.pruneLocked()
 	s.tel.records.Set(float64(len(s.recs)))
 	return ClassAccepted, nil
+}
+
+// SetMaxRecords installs (or with 0 removes) the retention cap and
+// prunes immediately if the store already exceeds it.
+func (s *Store) SetMaxRecords(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxRecords = n
+	s.pruneLocked()
+	s.tel.records.Set(float64(len(s.recs)))
+}
+
+// MaxRecords reports the retention cap (0 = unlimited).
+func (s *Store) MaxRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxRecords
+}
+
+// pruneLocked enforces the retention cap by evicting whole (job, step)
+// groups — a job step's records age out together, never partially —
+// oldest first by the group's latest window end, ties broken by key
+// order so two stores with identical contents prune identically. Any
+// eviction bumps the generation: stacked snapshot caches must rebuild.
+func (s *Store) pruneLocked() {
+	if s.maxRecords <= 0 || len(s.recs) <= s.maxRecords {
+		return
+	}
+	type stepKey struct{ job, step string }
+	type group struct {
+		k     stepKey
+		end   float64 // latest window end in the group
+		count int
+	}
+	byStep := make(map[stepKey]int, len(s.recs))
+	groups := make([]group, 0, len(s.recs))
+	for k, r := range s.recs {
+		sk := stepKey{k.JobID, k.StepID}
+		if i, ok := byStep[sk]; ok {
+			groups[i].count++
+			if r.EndSec > groups[i].end {
+				groups[i].end = r.EndSec
+			}
+			continue
+		}
+		byStep[sk] = len(groups)
+		groups = append(groups, group{k: sk, end: r.EndSec, count: 1})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].end != groups[j].end {
+			return groups[i].end < groups[j].end
+		}
+		if groups[i].k.job != groups[j].k.job {
+			return groups[i].k.job < groups[j].k.job
+		}
+		return groups[i].k.step < groups[j].k.step
+	})
+	evict := make(map[stepKey]bool)
+	left := len(s.recs)
+	for _, g := range groups {
+		if left <= s.maxRecords {
+			break
+		}
+		evict[g.k] = true
+		left -= g.count
+	}
+	if len(evict) == 0 {
+		return
+	}
+	for k := range s.recs {
+		if evict[stepKey{k.JobID, k.StepID}] {
+			delete(s.recs, k)
+			s.tel.pruned.Inc()
+		}
+	}
+	s.gen++
 }
 
 // Seed restores records wholesale — a daemon reloading its persisted
@@ -84,6 +165,7 @@ func (s *Store) Seed(recs []Record) {
 	if len(recs) > 0 {
 		s.gen++
 	}
+	s.pruneLocked()
 	s.tel.records.Set(float64(len(s.recs)))
 }
 

@@ -11,6 +11,7 @@ const (
 	metricAcctIngest  = "goear_accounting_ingest_total"
 	metricAcctQueries = "goear_accounting_queries_total"
 	metricAcctCache   = "goear_accounting_snapshot_cache_total"
+	metricAcctPruned  = "goear_accounting_pruned_total"
 )
 
 // storeTel is a store's pre-resolved instrument bundle; nil fields
@@ -23,6 +24,7 @@ type storeTel struct {
 	queries   *telemetry.Counter
 	cacheHit  *telemetry.Counter // result="hit"
 	cacheMiss *telemetry.Counter // result="miss"
+	pruned    *telemetry.Counter
 }
 
 func newStoreTel(s *telemetry.Set) storeTel {
@@ -37,5 +39,6 @@ func newStoreTel(s *telemetry.Set) storeTel {
 		queries:   r.Counter(metricAcctQueries, "job queries served"),
 		cacheHit:  cache.With("hit"),
 		cacheMiss: cache.With("miss"),
+		pruned:    r.Counter(metricAcctPruned, "job records evicted by the retention cap"),
 	}
 }

@@ -10,7 +10,9 @@ import (
 )
 
 // Determinism rejects sources of run-to-run variation in the
-// simulation, experiment, policy, wire and eardbd packages. The whole
+// simulation, experiment, policy, wire, eardbd and loadgen packages
+// — including the struct-of-arrays batch stepping kernels, whose
+// fast-path replay must stay a pure function of the seed. The whole
 // experiment engine promises byte-identical output across worker
 // counts and reruns (CI diffs `benchtables -parallel 1` against
 // `-parallel 8`), which only holds if these packages never consult
@@ -24,10 +26,10 @@ var Determinism = &analysis.Analyzer{
 	Doc: "forbid wall-clock reads (time.Now/Since/Until), global math/rand draws, " +
 		"and output or slice building in bare map-iteration order inside " +
 		"internal/sim, internal/experiments, internal/policy, " +
-		"internal/wire and internal/eardbd; " +
+		"internal/wire, internal/eardbd and internal/loadgen; " +
 		"explicitly seeded *rand.Rand generators remain allowed",
 	Scope: []string{"internal/sim", "internal/experiments", "internal/policy",
-		"internal/wire", "internal/eardbd"},
+		"internal/wire", "internal/eardbd", "internal/loadgen"},
 	Run: runDeterminism,
 }
 

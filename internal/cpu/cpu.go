@@ -275,3 +275,19 @@ func (s *Socket) CurrentUncoreRatio() (uint64, error) {
 	}
 	return msr.DecodeUncorePerfStatus(v), nil
 }
+
+// OperatingPoint reads the socket's requested core ratio and operating
+// uncore ratio in one call — the pair every steady-state evaluation
+// keys on. Batch stepping reads it per arm-check, so the two register
+// loads share one call.
+func (s *Socket) OperatingPoint() (coreRatio, uncoreRatio uint64, err error) {
+	cv, err := s.MSR.Read(msr.IA32PerfCtl)
+	if err != nil {
+		return 0, 0, err
+	}
+	uv, err := s.MSR.Read(msr.MSRUncorePerfStatus)
+	if err != nil {
+		return 0, 0, err
+	}
+	return msr.DecodePerfCtl(cv), msr.DecodeUncorePerfStatus(uv), nil
+}

@@ -41,6 +41,11 @@ type Config struct {
 	// replays a batch older than the window, and even then the replay is
 	// caught record-by-record against the database.
 	MaxSeenBatches int
+	// AcctMaxRecords caps the per-job accounting store's resident
+	// record count (0 = unlimited). Over the cap, whole (job, step)
+	// groups are evicted oldest-window-first; each eviction advances
+	// the store generation so stacked snapshot caches rebuild.
+	AcctMaxRecords int
 	// Telemetry, when set, mirrors the Stats counters into that set's
 	// registry (goear_eardbd_* families) and logs batch outcomes to its
 	// event recorder. Falls back to the process-global telemetry set;
@@ -119,10 +124,14 @@ func NewServer(db *eard.DB, cfg Config) *Server {
 	if ts == nil {
 		ts = telemetry.Default()
 	}
+	acct := accounting.NewStore(ts)
+	if cfg.AcctMaxRecords > 0 {
+		acct.SetMaxRecords(cfg.AcctMaxRecords)
+	}
 	return &Server{
 		cfg:       cfg.withDefaults(),
 		db:        db,
-		acct:      accounting.NewStore(ts),
+		acct:      acct,
 		tel:       newServerTel(ts),
 		seen:      map[string]bool{},
 		nodeW:     map[string]float64{},

@@ -73,6 +73,22 @@ func (r *Rapl) Advance(b Breakdown, dt float64) error {
 	return nil
 }
 
+// FlatCarry copies the fractional-joule carries into pkg (which must
+// hold one element per socket) and returns the DRAM carry. Together
+// with SetFlatCarry it lets a batch stepping kernel lift the meter's
+// hot state into dense arrays and restore it unchanged afterwards.
+func (r *Rapl) FlatCarry(pkg []float64) (dram float64) {
+	copy(pkg, r.carryPkg)
+	return r.carryDram
+}
+
+// SetFlatCarry restores carries previously lifted with FlatCarry (or
+// advanced externally by a kernel replicating Advance's arithmetic).
+func (r *Rapl) SetFlatCarry(pkg []float64, dram float64) {
+	copy(r.carryPkg, pkg)
+	r.carryDram = dram
+}
+
 // PkgEnergy reads the accumulated package energy in joules across all
 // sockets, handling 32-bit counter wraparound relative to prev (the raw
 // values returned by a previous call). It returns the new raw values.
@@ -132,6 +148,24 @@ func (nm *NodeManager) Advance(powerW, dt float64) error {
 		nm.lastPub = float64(int64(nm.now)) // snap to the boundary
 	}
 	return nil
+}
+
+// FlatState returns the meter's full internal state: the true energy
+// integral, the published counter, the last publication time and the
+// meter clock. It exists so a batch stepping kernel can lift the state
+// into dense arrays, advance it with Advance's exact arithmetic, and
+// restore it with SetFlatState — the flat round trip is bit-exact.
+func (nm *NodeManager) FlatState() (trueJ, published, lastPub, now float64) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	return nm.trueJ, nm.published, nm.lastPub, nm.now
+}
+
+// SetFlatState restores state previously lifted with FlatState.
+func (nm *NodeManager) SetFlatState(trueJ, published, lastPub, now float64) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	nm.trueJ, nm.published, nm.lastPub, nm.now = trueJ, published, lastPub, now
 }
 
 // ReadEnergy returns the last published accumulated DC energy in joules,

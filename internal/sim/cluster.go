@@ -23,6 +23,14 @@ type PowerManager interface {
 // RunCoordinated executes the workload on all its nodes in lock-step
 // time slices under a cluster power manager, the way EAR's node daemons
 // advance jobs while EARGM enforces a site power budget over them.
+//
+// By default nodes are partitioned into Options.Shards batch stepping
+// kernels (contiguous node-id ranges) and each interval advances whole
+// shards through the struct-of-arrays fast path; Options.ReferenceStep
+// selects the per-node reference path instead. Both paths — at any
+// Workers and Shards count — produce byte-identical results. Macro
+// stepping (Options.MacroStep), when enabled, is bounded by the
+// lock-step barrier so intervals still end at exact time boundaries.
 func RunCoordinated(cal workload.Calibrated, opt Options, gm PowerManager) (Result, error) {
 	opt = opt.withDefaults()
 	if gm == nil {
@@ -34,10 +42,102 @@ func RunCoordinated(cal workload.Calibrated, opt Options, gm PowerManager) (Resu
 	if opt.Policy != "none" && opt.Model == nil {
 		return Result{}, fmt.Errorf("sim: policy %q needs a trained model", opt.Policy)
 	}
-	// Coordinated runs advance in lock-step slices; a macro step would
-	// overshoot the barrier, so the fast-forward is always off here.
-	opt.MacroStep = false
+	if opt.ReferenceStep {
+		return runCoordinatedReference(cal, opt, gm)
+	}
 
+	nb := opt.Shards
+	if nb <= 0 {
+		nb = opt.workers()
+	}
+	if nb > cal.Nodes {
+		nb = cal.Nodes
+	}
+	batches := make([]*Batch, nb)
+	for s := range batches {
+		b, err := NewBatch(cal, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		// Contiguous ranges keep global node order equal to batch order
+		// followed by in-batch dense order.
+		lo, hi := s*cal.Nodes/nb, (s+1)*cal.Nodes/nb
+		for id := lo; id < hi; id++ {
+			if _, err := b.Add(id); err != nil {
+				return Result{}, fmt.Errorf("sim: %s node %d: %w", cal.Name, id, err)
+			}
+		}
+		batches[s] = b
+	}
+
+	interval := gm.Interval()
+	prevE := make([]float64, cal.Nodes)
+	powers := make([]float64, cal.Nodes)
+	curCap := 0
+	for tick := interval; ; tick += interval {
+		// Shards share no state, so each interval's lock-step advance
+		// fans out across workers; the manager only runs once every
+		// node has reached the barrier, exactly as in the sequential
+		// schedule.
+		err := par.ForEach(opt.workers(), len(batches), func(s int) error {
+			return batches[s].StepUntil(tick)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		alive := false
+		idx := 0
+		for _, b := range batches {
+			if !b.Done() {
+				alive = true
+			}
+			for i := 0; i < b.Len(); i++ {
+				e := b.TrueEnergy(i)
+				powers[idx] = (e - prevE[idx]) / interval
+				prevE[idx] = e
+				idx++
+			}
+		}
+		cap, err := gm.Update(tick, powers)
+		if err != nil {
+			return Result{}, err
+		}
+		if cap != curCap {
+			curCap = cap
+			ratio := uint64(0)
+			if cap != 0 {
+				ratio, err = cal.Platform.Machine.CPU.PstateRatio(cap)
+				if err != nil {
+					return Result{}, err
+				}
+			}
+			for _, b := range batches {
+				if err := b.SetCapRatio(ratio); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+		if !alive {
+			break
+		}
+	}
+
+	res := Result{Workload: cal.Name, Policy: opt.Policy}
+	res.Nodes = make([]NodeResult, 0, cal.Nodes)
+	for _, b := range batches {
+		nrs, err := b.Results()
+		if err != nil {
+			return Result{}, err
+		}
+		res.Nodes = append(res.Nodes, nrs...)
+	}
+	res.aggregate()
+	return res, nil
+}
+
+// runCoordinatedReference is the per-node stepping path batch kernels
+// are verified against (Options.ReferenceStep).
+func runCoordinatedReference(cal workload.Calibrated, opt Options, gm PowerManager) (Result, error) {
 	nodes := make([]*node, cal.Nodes)
 	for i := range nodes {
 		n, err := newNode(cal, i, opt)

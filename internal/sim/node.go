@@ -102,6 +102,12 @@ type node struct {
 	macroCount uint64
 	everUsed   bool
 
+	// macroLimit, when positive, bounds macro-step fast-forwarding to
+	// iterations that complete by this simulated time. Coordinated
+	// (lock-step) runs set it to the current barrier so a macro step
+	// never overshoots an interval boundary; 0 leaves macro unbounded.
+	macroLimit float64
+
 	// Macro-step (Options.MacroStep) bookkeeping: iterKey/iterSingle
 	// track whether the in-flight iteration has run entirely at one
 	// operating point; prevIterKey/prevIterSingle hold the completed
@@ -213,6 +219,8 @@ func (n *node) stepOnce() error {
 		n.iterSingle = false
 	}
 
+	spi := e.res.SecPerInstr * n.tNoise
+
 	// Steady-phase fast-forward: the previous iteration ran entirely at
 	// this operating point, so this one will too (noise scales the
 	// whole iteration uniformly) — consume it in one analytic step.
@@ -220,6 +228,17 @@ func (n *node) stepOnce() error {
 	// exact mode; only the integral summation order differs.
 	macro := first && n.opt.MacroStep && !n.opt.Trace &&
 		n.prevIterSingle && key == n.prevIterKey
+	if macro && n.macroLimit > 0 {
+		// Lock-step runs may not overshoot their barrier: fast-forward
+		// only iterations that complete inside the current slice.
+		projDt := n.instrLeft * spi
+		if n.cal.Class == workload.Accelerator {
+			projDt = n.wallLeft
+		}
+		if n.now+projDt > n.macroLimit {
+			macro = false
+		}
+	}
 	if macro {
 		// A still-ramping uncore controller would move mid-iteration
 		// (and exact mode would re-evaluate at each new ratio), so the
@@ -240,7 +259,6 @@ func (n *node) stepOnce() error {
 		n.macroCount++
 	}
 
-	spi := e.res.SecPerInstr * n.tNoise
 	var dt, nInstr float64
 	switch {
 	case macro && n.cal.Class == workload.Accelerator:
@@ -288,8 +306,11 @@ func (n *node) stepOnce() error {
 }
 
 // stepUntil advances the node to (at least) the given simulated time or
-// to completion, whichever comes first.
+// to completion, whichever comes first. The target doubles as the
+// macro-step bound: a lock-step caller's barrier must not be overshot
+// by an analytic fast-forward.
 func (n *node) stepUntil(t float64) error {
+	n.macroLimit = t
 	for !n.done && n.now < t {
 		if err := n.stepOnce(); err != nil {
 			return err
@@ -336,6 +357,7 @@ func (n *node) init(cal workload.Calibrated, nodeID int, opt Options) error {
 	n.tNoise, n.pNoise = 0, 0
 	n.iterKey, n.prevIterKey = cacheKey{}, cacheKey{}
 	n.iterSingle, n.prevIterSingle = false, false
+	n.macroLimit = 0
 	n.lib = nil
 	n.mpiEvents = cal.AppendMPIEvents(n.mpiEvents)
 	n.nctl.n = n
@@ -449,16 +471,12 @@ func (n *node) hwCurve() uncore.Curve {
 // evalAt returns the cached steady-state behaviour at the node's
 // current operating point, honouring any power-management core cap.
 func (n *node) evalAt(segIdx int) (evalEntry, error) {
-	coreRatio, err := n.sockets[0].RequestedRatio()
+	coreRatio, uncRatio, err := n.sockets[0].OperatingPoint()
 	if err != nil {
 		return evalEntry{}, err
 	}
 	if n.capRatio != 0 && coreRatio > n.capRatio {
 		coreRatio = n.capRatio
-	}
-	uncRatio, err := n.sockets[0].CurrentUncoreRatio()
-	if err != nil {
-		return evalEntry{}, err
 	}
 	if uncRatio == 0 {
 		// Boot transient: the controller has not ticked yet.

@@ -64,10 +64,12 @@ type Options struct {
 	// unchanged; only the float summation order of the integrals
 	// differs, so results agree with exact mode to a small tolerance
 	// (~1e-3 relative, see DESIGN.md § Performance) instead of being
-	// byte-identical. Off by default; all paper experiments run exact.
-	// Ignored while Trace is on (trace points need per-step sampling)
-	// and by coordinated (powercapped) cluster runs, which must stop at
-	// exact time boundaries.
+	// byte-identical. Off by default here; the experiment engine turns
+	// it on for campaign paths (opt out with its Exact switch). Ignored
+	// while Trace is on (trace points need per-step sampling); in
+	// coordinated (powercapped) cluster runs the fast-forward is bounded
+	// by the lock-step barrier, so intervals still end at exact time
+	// boundaries.
 	MacroStep bool
 	// DecisionLog collects every EARL signature-handling event into
 	// NodeResult.Decisions (see Result.WriteDecisionLog). Collection is
@@ -92,6 +94,17 @@ type Options struct {
 	// by (Seed, node id, run index), so results are byte-identical at
 	// any worker count; Workers only changes wall-clock time.
 	Workers int
+	// Shards is the number of batch stepping kernels a coordinated run
+	// partitions its nodes into (contiguous node-id ranges, one Batch
+	// each). 0 derives it from Workers. Nodes are fully independent
+	// between barriers, so results are byte-identical at any shard
+	// count; Shards only changes scheduling granularity.
+	Shards int
+	// ReferenceStep forces coordinated runs onto the per-node reference
+	// stepping path instead of the batch kernels. Results are
+	// byte-identical either way (the golden tests assert it); the
+	// switch exists for verification and benchmarking.
+	ReferenceStep bool
 }
 
 // workers returns the effective fan-out bound.

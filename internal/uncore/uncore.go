@@ -202,6 +202,31 @@ func (c *Controller) tick(coreRatio uint64) error {
 	return c.msrs.WriteHw(msr.MSRUncorePerfStatus, msr.EncodeUncorePerfStatus(next))
 }
 
+// TickAccum returns the time accumulated toward the controller's next
+// tick. Together with SetTickAccum it lets a batch stepping kernel lift
+// the controller's only mutable non-MSR state into a dense array while
+// the controller is settled (ticks are then pure no-ops) and restore it
+// unchanged afterwards.
+func (c *Controller) TickAccum() float64 { return c.acc }
+
+// SetTickAccum restores an accumulator lifted with TickAccum (or
+// advanced externally with SettleAccum).
+func (c *Controller) SetTickAccum(v float64) { c.acc = v }
+
+// SettleAccum advances a lifted tick accumulator by dt using exactly
+// Advance's arithmetic, draining whole ticks without performing them.
+// It is only correct while the controller is settled (a tick neither
+// reads changing state nor writes anything), which is the condition
+// batch kernels arm under.
+func SettleAccum(acc, dt float64) float64 {
+	acc += dt
+	const eps = 1e-9
+	for acc >= TickSeconds-eps {
+		acc -= TickSeconds
+	}
+	return acc
+}
+
 // Settled reports whether a tick at the given effective core ratio
 // would leave the operating ratio where it is — i.e. the control loop
 // has converged under the current limits. The simulator's macro-step
