@@ -16,6 +16,7 @@
 //	earctl dbd -addr host:port[,host:port...] <stats|aggregate|jobs|summary> query a live eardbd or a shard fleet
 //	earctl jobs -addr host:port[,host:port...] [-user u] [-job j] [-since s] list per-job energy records
 //	earctl metrics -addr host:port  scrape a daemon's telemetry endpoint
+//	earctl trace -addr host:port [-trace id] [-kind prefix] [-since seq]  fetch a daemon's span traces
 package main
 
 import (
@@ -25,7 +26,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -40,6 +43,7 @@ import (
 	"goear/internal/policy"
 	"goear/internal/report"
 	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
 	"goear/internal/wire"
 	"goear/internal/workload"
 )
@@ -53,7 +57,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report|dbd|jobs|metrics> [flags]")
+		return fmt.Errorf("usage: earctl <workloads|policies|pstates|msr|experiments|acct|conf|report|dbd|jobs|metrics|trace> [flags]")
 	}
 	switch args[0] {
 	case "workloads":
@@ -84,6 +88,8 @@ func run(args []string, out io.Writer) error {
 		return jobsCmd(args[1:], out)
 	case "metrics":
 		return metricsCmd(args[1:], out)
+	case "trace":
+		return traceCmd(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -589,6 +595,113 @@ func metricsCmd(args []string, out io.Writer) error {
 		}
 	}
 	return t.Render(out)
+}
+
+// traceCmd fetches span traces from a daemon's /traces endpoint
+// (eardbd -trace) and renders them as indented trees, one per trace.
+func traceCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	addr := fs.String("addr", "", "telemetry HTTP address (host:port)")
+	traceID := fs.String("trace", "", "only spans of this trace id (16 hex digits)")
+	kind := fs.String("kind", "", "only spans whose kind has this dot-path prefix")
+	since := fs.Uint64("since", 0, "only spans recorded after this sequence number (arrival order)")
+	raw := fs.Bool("raw", false, "print the raw JSON lines instead of trees")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("trace needs -addr")
+	}
+	q := url.Values{}
+	if *traceID != "" {
+		q.Set("trace", *traceID)
+	}
+	if *kind != "" {
+		q.Set("kind", *kind)
+	}
+	if *since > 0 {
+		q.Set("since", strconv.FormatUint(*since, 10))
+	}
+	u := "http://" + *addr + "/traces"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return fmt.Errorf("fetch traces: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch traces: /traces returned %s", resp.Status)
+	}
+	if d := resp.Header.Get(trace.DroppedHeader); d != "" && d != "0" {
+		fmt.Fprintf(out, "warning: %s span(s) overwritten in the daemon's ring buffer\n", d)
+	}
+	if *raw {
+		_, err := io.Copy(out, resp.Body)
+		return err
+	}
+	var spans []trace.Span
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var s trace.Span
+		if err := dec.Decode(&s); err != nil {
+			return fmt.Errorf("decode span: %w", err)
+		}
+		spans = append(spans, s)
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(out, "no spans")
+		return nil
+	}
+	printSpanTrees(out, spans)
+	return nil
+}
+
+// printSpanTrees renders spans as one indented tree per trace, in
+// input order. Spans whose parent is absent (filtered out, or still
+// open server-side) render as roots.
+func printSpanTrees(out io.Writer, spans []trace.Span) {
+	present := map[trace.HexID]bool{}
+	for _, s := range spans {
+		present[s.ID] = true
+	}
+	kids := map[trace.HexID][]trace.Span{}
+	var roots []trace.Span
+	for _, s := range spans {
+		if s.Parent != 0 && present[s.Parent] {
+			kids[s.Parent] = append(kids[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var walk func(s trace.Span, depth int)
+	walk = func(s trace.Span, depth int) {
+		line := strings.Repeat("  ", depth) + s.Kind
+		if s.Src != "" {
+			line += " [" + s.Src + "]"
+		}
+		if s.End != s.Start {
+			line += fmt.Sprintf(" %.3fms", (s.End-s.Start)*1e3)
+		}
+		attrs := append(trace.Attrs(nil), s.Attrs...)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+		for _, at := range attrs {
+			line += " " + at.Key + "=" + at.Value
+		}
+		fmt.Fprintln(out, line)
+		for _, c := range kids[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	last := trace.HexID(0)
+	for _, r := range roots {
+		if r.Trace != last {
+			fmt.Fprintf(out, "trace %s\n", r.Trace)
+			last = r.Trace
+		}
+		walk(r, 1)
+	}
 }
 
 func acct(args []string, out io.Writer) error {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"goear/internal/telemetry/trace"
+)
+
+// serveTraces spins a buffer with one two-level trace plus an
+// unrelated root behind the /traces handler and returns its host:port.
+func serveTraces(t *testing.T) (string, *trace.Buffer) {
+	t.Helper()
+	buf := trace.NewBuffer(16)
+	tr := trace.New("eardbd", buf)
+	root := tr.RootNamed("n01/1", "server.batch", 1.0)
+	root.Attr("batch", "n01/1")
+	kid := root.Child("server.store", 1.0)
+	kid.End(1.002)
+	root.End(1.005)
+	other := tr.Root("server.query", 2.0)
+	other.Attr("kind", "stats")
+	other.End(2.001)
+	mux := http.NewServeMux()
+	mux.Handle("/traces", buf.Handler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://"), buf
+}
+
+func TestTraceTree(t *testing.T) {
+	addr, _ := serveTraces(t)
+	out := capture(t, []string{"trace", "-addr", addr})
+	for _, want := range []string{
+		"trace ", "server.batch [eardbd] 5.000ms batch=n01/1",
+		"  server.store [eardbd] 2.000ms",
+		"server.query [eardbd] 1.000ms kind=stats",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// The child renders nested one level under its parent.
+	batchAt := strings.Index(out, "  server.batch")
+	storeAt := strings.Index(out, "    server.store")
+	if batchAt < 0 || storeAt < batchAt {
+		t.Errorf("store span not nested under batch:\n%s", out)
+	}
+}
+
+func TestTraceFilters(t *testing.T) {
+	addr, buf := serveTraces(t)
+	kindOnly := capture(t, []string{"trace", "-addr", addr, "-kind", "server.query"})
+	if strings.Contains(kindOnly, "server.batch") || !strings.Contains(kindOnly, "server.query") {
+		t.Errorf("-kind filter leaked:\n%s", kindOnly)
+	}
+	spans := buf.Spans()
+	id := spans[0].Trace.String()
+	byTrace := capture(t, []string{"trace", "-addr", addr, "-trace", id})
+	if strings.Contains(byTrace, "server.query") || !strings.Contains(byTrace, "server.store") {
+		t.Errorf("-trace filter leaked:\n%s", byTrace)
+	}
+	raw := capture(t, []string{"trace", "-addr", addr, "-raw", "-since", "2"})
+	if strings.Contains(raw, `"kind":"server.store"`) || !strings.Contains(raw, `"seq":3`) {
+		t.Errorf("-since resume output wrong:\n%s", raw)
+	}
+	empty := capture(t, []string{"trace", "-addr", addr, "-kind", "nothing"})
+	if !strings.Contains(empty, "no spans") {
+		t.Errorf("empty result output = %q", empty)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"trace"}, &b); err == nil {
+		t.Error("trace without -addr accepted")
+	}
+	if err := run([]string{"trace", "-addr", "127.0.0.1:1"}, &b); err == nil {
+		t.Error("dial to dead endpoint accepted")
+	}
+	addr, _ := serveTraces(t)
+	if err := run([]string{"trace", "-addr", addr, "-trace", "zzzz"}, &b); err == nil {
+		t.Error("bad trace id accepted")
+	}
+}

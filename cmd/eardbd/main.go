@@ -48,6 +48,7 @@ import (
 	"goear/internal/eardbd/fed"
 	"goear/internal/eargm"
 	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
 )
 
 // wireService is the part of a Server or a fed.Root the listener
@@ -83,7 +84,9 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 	maxFrame := fs.Int("max-frame", 0, "per-frame payload byte limit (default 1 MiB)")
 	maxBatch := fs.Int("max-batch", 0, "records per batch limit (default 1024)")
 	acctRetain := fs.Int("acct-retain", 0, "resident accounting record cap: oldest (job, step) groups are evicted past it (0 = unlimited)")
-	telAddr := fs.String("telemetry", "", "HTTP address serving /metrics, /events and /api/jobs (empty = telemetry off)")
+	telAddr := fs.String("telemetry", "", "HTTP address serving /metrics, /events, /healthz, /readyz and /api/jobs (empty = telemetry off)")
+	traceOn := fs.Bool("trace", false, "record span traces, served at /traces on the telemetry address (requires -telemetry)")
+	staleAfter := fs.Float64("stale-after", 0, "readiness degrades when no record landed for this many seconds (ingest mode, 0 = off)")
 	cascadeBudget := fs.Float64("cascade", 0, "cluster DC power budget in watts: run the cascaded EARGM over the shards (fed mode only, 0 = off)")
 	cascadeInterval := fs.Float64("cascade-interval", 5, "cascaded EARGM control period in seconds")
 	cascadeReserve := fs.Float64("cascade-reserve", 0.2, "budget fraction split equally across islands regardless of draw")
@@ -96,6 +99,9 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 	}
 	if *cascadeBudget != 0 && *fedShards == "" {
 		return fmt.Errorf("-cascade drives islands through a federation root: pass -fed")
+	}
+	if *traceOn && *telAddr == "" {
+		return fmt.Errorf("-trace serves spans over the telemetry endpoint: pass -telemetry")
 	}
 
 	// Telemetry must be live before the server is built: instrument
@@ -114,6 +120,14 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		defer func() { _ = telLn.Close() }()
 		fmt.Fprintf(out, "eardbd: telemetry on http://%s/metrics\n", telLn.Addr())
 	}
+	var traceBuf *trace.Buffer
+	if *traceOn {
+		traceBuf = trace.NewBuffer(0)
+	}
+	// Latency spans and SLO percentiles use a monotonic wall clock; the
+	// span tree itself stays deterministic, only the timings are live.
+	start := time.Now()
+	wallSec := func() float64 { return time.Since(start).Seconds() }
 
 	var svc wireService
 	var db *eard.DB
@@ -129,7 +143,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		case *acctRetain != 0:
 			return fmt.Errorf("-acct-retain is ingest-only: a federation root keeps no accounting store")
 		}
-		cfg := fed.Config{MaxFramePayload: *maxFrame, Telemetry: telSet}
+		cfg := fed.Config{MaxFramePayload: *maxFrame, Telemetry: telSet, Trace: traceBuf, Now: wallSec}
 		for _, addr := range splitList(*fedShards) {
 			addr := addr
 			cfg.Shards = append(cfg.Shards, fed.Shard{
@@ -162,6 +176,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 					MaxCapPstate: *cascadeMaxP,
 					Telemetry:    telSet,
 				},
+				Trace: traceBuf,
 			}, islands)
 			if err != nil {
 				return err
@@ -219,7 +234,7 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 				fmt.Fprintf(out, "eardbd: loaded %d records from %s\n", db.Len(), *dbPath)
 			}
 		}
-		srv = eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch, AcctMaxRecords: *acctRetain, Telemetry: telSet})
+		srv = eardbd.NewServer(db, eardbd.Config{MaxFramePayload: *maxFrame, MaxBatchRecords: *maxBatch, AcctMaxRecords: *acctRetain, Telemetry: telSet, Trace: traceBuf, Now: wallSec})
 		svc = srv
 	}
 
@@ -227,12 +242,24 @@ func run(args []string, out io.Writer, ready chan<- []string, quit <-chan struct
 		mux := http.NewServeMux()
 		mux.Handle("/", telSet.Handler())
 		var queryFn accounting.QueryFunc
+		slo := telemetry.NewSLO()
+		health := telemetry.NewHealth()
 		if root != nil {
 			queryFn = root.AcctQuery
+			root.LatencySLO(slo, 0, 0)
+			health.Register(root.HealthCheck())
 		} else {
 			queryFn = srv.Acct().Query
+			srv.LatencySLO(slo, 0, 0)
+			health.Register(srv.HealthCheck(*staleAfter))
 		}
 		mux.Handle("/api/jobs", accounting.Handler(queryFn))
+		mux.Handle("/slo", slo.Handler())
+		mux.Handle("/healthz", health.Healthz())
+		mux.Handle("/readyz", health.Readyz())
+		if traceBuf != nil {
+			mux.Handle("/traces", traceBuf.Handler())
+		}
 		go func() {
 			// Serve returns when the listener closes at shutdown; the
 			// daemon's fate is decided by the wire listeners, not this one.

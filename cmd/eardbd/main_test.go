@@ -208,6 +208,9 @@ func TestDaemonFlagErrors(t *testing.T) {
 	if err := run([]string{"-listen", "no-such-host-xyz:99999"}, &out, nil, nil); err == nil {
 		t.Error("bad listen address accepted")
 	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-trace"}, &out, nil, nil); err == nil {
+		t.Error("-trace without -telemetry accepted")
+	}
 	bad := filepath.Join(t.TempDir(), "corrupt.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)

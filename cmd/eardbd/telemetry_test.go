@@ -98,3 +98,65 @@ func TestDaemonTelemetryEndpoint(t *testing.T) {
 		t.Errorf("startup output missing telemetry line:\n%s", out.String())
 	}
 }
+
+// TestDaemonTraceAndHealthEndpoints boots an ingest daemon with
+// tracing on and scrapes the observability surface: the probes must
+// answer, and a delivered batch must show up as server-side spans on
+// /traces. (It runs after TestDaemonTelemetryEndpoint: the global
+// telemetry set is shared, and that test asserts exact counts.)
+func TestDaemonTraceAndHealthEndpoints(t *testing.T) {
+	var out strings.Builder
+	ready := make(chan []string, 1)
+	quit := make(chan struct{})
+	done := make(chan error, 1)
+	args := []string{"-listen", "127.0.0.1:0", "-telemetry", "127.0.0.1:0", "-trace"}
+	go func() { done <- run(args, &out, ready, quit) }()
+	var addrs []string
+	select {
+	case addrs = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon died on startup: %v (output: %s)", err, out.String())
+	}
+	wireAddr, telAddr := addrs[0], addrs[len(addrs)-1]
+
+	sendBatch(t, wireAddr, wire.Batch{ID: "n05/1", Node: "n05", Records: []eard.JobRecord{
+		{JobID: "j9", StepID: "0", Node: "n05", App: "X", TimeSec: 10, EnergyJ: 3000, AvgPower: 300},
+	}})
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + telAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("/healthz = %d %s", code, body)
+	}
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, `"generation 1"`) {
+		t.Errorf("/readyz = %d %s", code, body)
+	}
+	if code, body := get("/slo"); code != 200 || !strings.Contains(body, `"op": "batch"`) {
+		t.Errorf("/slo = %d %s", code, body)
+	}
+	if code, body := get("/traces"); code != 200 ||
+		!strings.Contains(body, `"kind":"server.batch"`) || !strings.Contains(body, `"batch":"n05/1"`) {
+		t.Errorf("/traces = %d %s", code, body)
+	}
+	if code, body := get("/traces?kind=server.store"); code != 200 || strings.Contains(body, "server.batch") {
+		t.Errorf("/traces?kind filter leaked: %d %s", code, body)
+	}
+
+	close(quit)
+	if err := <-done; err != nil {
+		t.Errorf("daemon exit: %v", err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"goear/internal/eard"
 	"goear/internal/eardbd"
 	"goear/internal/eardbd/ring"
+	"goear/internal/telemetry/trace"
 )
 
 // wallClock adapts the real clock to the client's injected interface.
@@ -60,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	batch := fs.Int("batch", 64, "records per batch")
 	attempts := fs.Int("attempts", 3, "delivery attempts per flush")
 	seed := fs.Int64("seed", 1, "backoff jitter seed")
+	tracesOut := fs.String("traces-out", "", "write the feed's span trace as JSON lines here ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +125,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "eardsend: node %s routes to shard %s\n", *node, owner)
 		target = owner
 	}
+	var traceBuf *trace.Buffer
+	if *tracesOut != "" {
+		traceBuf = trace.NewBuffer(0)
+	}
 	c, err := eardbd.NewClient(eardbd.ClientConfig{
 		Node:         *node,
 		Dial:         func() (net.Conn, error) { return net.Dial(network, target) },
@@ -131,6 +137,7 @@ func run(args []string, out io.Writer) error {
 		BatchRecords: *batch,
 		MaxAttempts:  *attempts,
 		Journal:      journal,
+		Trace:        traceBuf,
 	})
 	if err != nil {
 		return err
@@ -160,6 +167,28 @@ func run(args []string, out io.Writer) error {
 		} else {
 			fmt.Fprintf(out, "eardsend: %d record(s) undeliverable and no -journal given; they are lost\n",
 				st.RecordsSpilled)
+		}
+	}
+	if traceBuf != nil {
+		spans := traceBuf.Canonical()
+		if *tracesOut == "-" {
+			if err := trace.WriteJSONLines(out, spans); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			tf, err := os.Create(*tracesOut)
+			if err != nil {
+				return err
+			}
+			werr := trace.WriteJSONLines(tf, spans)
+			cerr := tf.Close()
+			if werr != nil && firstErr == nil {
+				firstErr = werr
+			}
+			if cerr != nil && firstErr == nil {
+				firstErr = cerr
+			}
+			fmt.Fprintf(out, "eardsend: %d span(s) written to %s\n", len(spans), *tracesOut)
 		}
 	}
 	return firstErr

@@ -70,6 +70,32 @@ func TestSendDeliversAll(t *testing.T) {
 	}
 }
 
+// TestSendTracesOut feeds with span tracing on: the export must hold
+// the client-side trace of every batch.
+func TestSendTracesOut(t *testing.T) {
+	_, addr := startServer(t)
+	path := writeRecords(t, testRecords(4))
+	tracePath := filepath.Join(t.TempDir(), "traces.jsonl")
+
+	var out strings.Builder
+	err := run([]string{"-addr", addr, "-records", path, "-node", "n01", "-batch", "2", "-traces-out", tracePath}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := string(blob)
+	if strings.Count(spans, `"kind":"client.batch"`) != 2 ||
+		strings.Count(spans, `"kind":"client.send"`) != 2 {
+		t.Errorf("trace export missing batch spans:\n%s", spans)
+	}
+	if !strings.Contains(out.String(), "span(s) written to") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
 func TestSendSpillsThenReplays(t *testing.T) {
 	// Reserve a port nothing listens on.
 	l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -23,16 +23,19 @@ import (
 	"io"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"goear/internal/accounting"
 	"goear/internal/eardbd"
 	"goear/internal/eardbd/fed"
 	"goear/internal/loadgen"
 	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
 )
 
 func main() {
@@ -79,6 +82,8 @@ func run(args []string, out io.Writer) error {
 	maxFrame := fs.Int("max-frame", 64<<20, "frame payload cap in bytes (snapshot record dumps scale with node count)")
 	snapshotPath := fs.String("snapshot", "", "write the federation root snapshot here ('-' = stdout)")
 	metrics := fs.Bool("metrics", false, "dump the telemetry registry after the run")
+	traceOn := fs.Bool("trace", false, "record span traces across the burst (clients, shards and root share one buffer)")
+	tracesOut := fs.String("traces-out", "", "write the canonical span export as JSON lines here ('-' = stdout); implies -trace")
 	simWl := fs.String("sim", "", "run a coordinated cluster simulation campaign of this catalogue workload instead of an ingest burst")
 	simNodes := fs.Int("sim-nodes", 1024, "simulated cluster size for -sim")
 	simShards := fs.Int("sim-shards", 0, "batch stepping kernels for -sim (0 = derive from -workers)")
@@ -112,6 +117,26 @@ func run(args []string, out io.Writer) error {
 	}
 
 	set := telemetry.NewSet()
+	var traceBuf *trace.Buffer
+	if *traceOn || *tracesOut != "" {
+		// Size the ring to the burst: a delivered batch emits about
+		// ten spans end to end (client pair, server tree, fan-out),
+		// so this keeps every span of a full run without paying for
+		// a fixed worst-case ring on small bursts.
+		batches := *nodes * ((*records+*batch-1) / *batch + (*acct+*batch-1) / *batch + 1)
+		cap := batches * 10
+		if cap < trace.DefaultBufferCap {
+			cap = trace.DefaultBufferCap
+		}
+		if cap > 1<<18 {
+			cap = 1 << 18
+		}
+		traceBuf = trace.NewBuffer(cap)
+	}
+	// RTTs and latency histograms ride a monotonic wall clock; the
+	// span tree and the workload stay deterministic regardless.
+	start := time.Now()
+	wallSec := func() float64 { return time.Since(start).Seconds() }
 	g, err := loadgen.New(loadgen.Config{
 		Nodes:          *nodes,
 		RecordsPerNode: *records,
@@ -120,6 +145,8 @@ func run(args []string, out io.Writer) error {
 		Workers:        *workers,
 		Seed:           *seed,
 		Telemetry:      set,
+		Trace:          traceBuf,
+		RTTNow:         wallSec,
 	})
 	if err != nil {
 		return err
@@ -141,9 +168,10 @@ func run(args []string, out io.Writer) error {
 		}
 		eps.MaxFramePayload = *maxFrame
 		eps.Telemetry = set
+		eps.Trace = traceBuf
 		dialFor, root = eps.DialFor, eps.Root
 	} else {
-		cluster, err := loadgen.NewCluster(*shards, eardbd.Config{Telemetry: set, MaxFramePayload: *maxFrame})
+		cluster, err := loadgen.NewCluster(*shards, eardbd.Config{Telemetry: set, MaxFramePayload: *maxFrame, Trace: traceBuf})
 		if err != nil {
 			return err
 		}
@@ -205,6 +233,8 @@ func run(args []string, out io.Writer) error {
 	// injection (a severed shard fails the fan-out) and are counted,
 	// not fatal.
 	var qPages, qErrs uint64
+	var qMu sync.Mutex
+	var qRTTs []float64
 	stopQueries := func() {}
 	if *queries > 0 {
 		qr, err := root()
@@ -224,12 +254,16 @@ func run(args []string, out io.Writer) error {
 						return
 					default:
 					}
+					t0 := wallSec()
 					page, err := qr.AcctQuery(q)
 					if err != nil {
 						atomic.AddUint64(&qErrs, 1)
 						q = accounting.Query{Limit: 200}
 						continue
 					}
+					qMu.Lock()
+					qRTTs = append(qRTTs, wallSec()-t0)
+					qMu.Unlock()
 					atomic.AddUint64(&qPages, 1)
 					if page.Next == "" {
 						q = accounting.Query{Limit: 200}
@@ -259,9 +293,30 @@ func run(args []string, out io.Writer) error {
 	st := g.Stats()
 	fmt.Fprintf(out, "earload: %d nodes, %d records enqueued, %d sent in %d batches, %d spilled, %d replayed, %d retries, backlog %d\n",
 		res.Nodes, res.RecordsEnqueued, st.RecordsSent, st.BatchesSent, st.BatchesSpilled, st.BatchesReplayed, st.Retries, left)
+	// Client-observed round trips: the latency the reporting tier
+	// actually delivered, printed and recorded as a telemetry event so
+	// -metrics scrapes and event dumps carry it too.
+	if n, p50, p95, p99 := g.RTTPercentiles(); n > 0 {
+		fmt.Fprintf(out, "earload: batch rtt: %d acked, p50 %s, p95 %s, p99 %s\n",
+			n, fmtSec(p50), fmtSec(p95), fmtSec(p99))
+		set.Rec().Record(telemetry.Event{
+			TimeSec: wallSec(), Kind: "earload.rtt", Src: "earload",
+			Str: map[string]string{"op": "batch"},
+			Num: map[string]float64{"count": float64(n), "p50_s": p50, "p95_s": p95, "p99_s": p99},
+		})
+	}
 	if *queries > 0 {
 		fmt.Fprintf(out, "earload: query hammer: %d workers, %d pages, %d errors\n",
 			*queries, atomic.LoadUint64(&qPages), atomic.LoadUint64(&qErrs))
+		if n, p50, p95, p99 := percentiles(qRTTs); n > 0 {
+			fmt.Fprintf(out, "earload: query rtt: %d pages, p50 %s, p95 %s, p99 %s\n",
+				n, fmtSec(p50), fmtSec(p95), fmtSec(p99))
+			set.Rec().Record(telemetry.Event{
+				TimeSec: wallSec(), Kind: "earload.rtt", Src: "earload",
+				Str: map[string]string{"op": "query"},
+				Num: map[string]float64{"count": float64(n), "p50_s": p50, "p95_s": p95, "p99_s": p99},
+			})
+		}
 	}
 	if res.NodeErrors > 0 {
 		return fmt.Errorf("%d node reporters failed", res.NodeErrors)
@@ -287,10 +342,59 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if traceBuf != nil {
+		fmt.Fprintf(out, "earload: %d spans recorded (%d dropped)\n", traceBuf.Len(), traceBuf.Dropped())
+		if *tracesOut != "" {
+			spans := traceBuf.Canonical()
+			if *tracesOut == "-" {
+				if err := trace.WriteJSONLines(out, spans); err != nil {
+					return err
+				}
+			} else {
+				f, err := os.Create(*tracesOut)
+				if err != nil {
+					return err
+				}
+				werr := trace.WriteJSONLines(f, spans)
+				cerr := f.Close()
+				if werr != nil {
+					return werr
+				}
+				if cerr != nil {
+					return cerr
+				}
+			}
+		}
+	}
 	if left > 0 {
 		return fmt.Errorf("%d spilled batches left undrained", left)
 	}
 	return nil
+}
+
+// percentiles summarises samples with nearest-rank p50/p95/p99.
+func percentiles(samples []float64) (n int, p50, p95, p99 float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0, 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return len(s), rank(0.50), rank(0.95), rank(0.99)
+}
+
+// fmtSec renders a duration in seconds at microsecond resolution.
+func fmtSec(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 // splitList splits a comma-separated list, dropping empty elements.

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -183,6 +184,44 @@ func TestEarloadKillWithoutRestartRecovers(t *testing.T) {
 	}
 }
 
+// TestEarloadTraceExport runs traced bursts: the RTT and span summary
+// lines must print, and the canonical span export must be
+// byte-identical across shard counts — the tool-level face of the
+// trace determinism contract.
+func TestEarloadTraceExport(t *testing.T) {
+	exportOf := func(shards int) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "traces.jsonl")
+		var out strings.Builder
+		err := run([]string{
+			"-nodes", "40", "-shards", fmt.Sprint(shards), "-records", "6",
+			"-traces-out", path,
+		}, &out)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out.String())
+		}
+		for _, want := range []string{"spans recorded (0 dropped)", "batch rtt:", "p99"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("shards=%d output missing %q:\n%s", shards, want, out.String())
+			}
+		}
+		blob, err := readFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	ref := exportOf(1)
+	for _, want := range []string{`"kind":"client.batch"`, `"kind":"client.send"`, `"kind":"server.batch"`, `"kind":"server.store"`} {
+		if !strings.Contains(ref, want) {
+			t.Errorf("trace export missing %s", want)
+		}
+	}
+	if got := exportOf(2); got != ref {
+		t.Fatal("2-shard trace export differs from single-shard run")
+	}
+}
+
 func BenchmarkEarload(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -194,3 +233,25 @@ func BenchmarkEarload(b *testing.B) {
 		}
 	}
 }
+
+// benchEarloadTrace is the on/off pair behind the trace overhead gate:
+// identical bursts, tracing toggled.
+// benchEarloadTrace bursts full 64-record batches (the production
+// batch size): tracing cost is per batch, so overhead is measured
+// against the real per-batch work, not a 5-record toy batch.
+func benchEarloadTrace(b *testing.B, traceOn bool) {
+	b.ReportAllocs()
+	args := []string{"-nodes", "64", "-shards", "4", "-records", "64", "-batch", "64", "-workers", "16"}
+	if traceOn {
+		args = append(args, "-trace")
+	}
+	for i := 0; i < b.N; i++ {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			b.Fatalf("%v\n%s", err, out.String())
+		}
+	}
+}
+
+func BenchmarkEarloadTraceOff(b *testing.B) { benchEarloadTrace(b, false) }
+func BenchmarkEarloadTraceOn(b *testing.B)  { benchEarloadTrace(b, true) }

@@ -78,7 +78,18 @@ func run(args []string, out io.Writer) error {
 			}
 			defer func() { _ = ln.Close() }()
 			fmt.Fprintf(out, "telemetry: serving http://%s/metrics for the run\n", ln.Addr())
-			go func() { _ = http.Serve(ln, set.Handler()) }()
+			// The probe endpoints make a scraped run look like the
+			// daemons: alive while serving, ready while the simulation
+			// is still producing samples.
+			health := telemetry.NewHealth()
+			health.Register(func() telemetry.Check {
+				return telemetry.Check{Name: "run", OK: true, Detail: "simulation running"}
+			})
+			mux := http.NewServeMux()
+			mux.Handle("/", set.Handler())
+			mux.Handle("/healthz", health.Healthz())
+			mux.Handle("/readyz", health.Readyz())
+			go func() { _ = http.Serve(ln, mux) }()
 		}
 		defer func() {
 			if err := dumpTelemetry(set, *metricsTo, *eventsTo, out); err != nil {

@@ -20,20 +20,42 @@ import (
 // is exactly why the single-call-site rule lives in the analyzer: a
 // second registration of the same name is silently folded at runtime
 // and would hide a copy-paste family collision forever.
+//
+// Two tracing-era rules ride along: latency families (names ending in
+// _latency_seconds) must be HistogramVecs — per-op labels are the
+// contract that lets SLO summaries and dashboards select by wire op —
+// and span kinds passed to trace span constructors (Root, RootNamed,
+// Remote, Child) must be dotted lowercase paths, the shape the /traces
+// kind filter matches on dot boundaries.
 var Telemetry = &analysis.Analyzer{
 	Name: "telemetry",
 	Doc: "metric names passed to telemetry registry registrations must be package-level " +
-		"constants matching ^goear_[a-z0-9_]+$, each registered at exactly one call site",
+		"constants matching ^goear_[a-z0-9_]+$, each registered at exactly one call site; " +
+		"latency families must be HistogramVecs; span kinds must match ^[a-z]+(\\.[a-z_]+)+$",
 	Run: runTelemetry,
 }
 
 var metricNameRx = regexp.MustCompile(`^goear_[a-z0-9_]+$`)
+
+// latencyFamilyRx picks out per-operation latency families, which must
+// be histogram vectors keyed by op.
+var latencyFamilyRx = regexp.MustCompile(`^goear_[a-z0-9_]+_latency_seconds$`)
+
+// spanKindRx is the span-kind shape: at least two dot-separated
+// lowercase segments ("client.send", "eargm.island").
+var spanKindRx = regexp.MustCompile(`^[a-z]+(\.[a-z_]+)+$`)
 
 // registryMethods are the Registry methods whose first argument is a
 // metric family name.
 var registryMethods = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true,
 	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+// traceKindArg maps the trace span constructors to the index of their
+// span-kind argument.
+var traceKindArg = map[string]int{
+	"Root": 0, "RootNamed": 1, "Remote": 1, "Child": 0,
 }
 
 func runTelemetry(pass *analysis.Pass) error {
@@ -49,7 +71,16 @@ func runTelemetry(pass *analysis.Pass) error {
 				return true
 			}
 			sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
-			if !ok || !registryMethods[sel.Sel.Name] {
+			if !ok {
+				return true
+			}
+			if idx, isSpan := traceKindArg[sel.Sel.Name]; isSpan && idx < len(call.Args) {
+				if s, isMethod := pass.Info.Selections[sel]; isMethod && isTraceHandle(s.Recv()) {
+					checkSpanKind(pass, stripParens(call.Args[idx]))
+				}
+				return true
+			}
+			if !registryMethods[sel.Sel.Name] {
 				return true
 			}
 			s, isMethod := pass.Info.Selections[sel]
@@ -66,8 +97,12 @@ func runTelemetry(pass *analysis.Pass) error {
 				return true
 			}
 			if c.Val().Kind() == constant.String {
-				if v := constant.StringVal(c.Val()); !metricNameRx.MatchString(v) {
+				v := constant.StringVal(c.Val())
+				if !metricNameRx.MatchString(v) {
 					pass.Reportf(arg.Pos(), "metric name %q does not match ^goear_[a-z0-9_]+$", v)
+				}
+				if latencyFamilyRx.MatchString(v) && sel.Sel.Name != "HistogramVec" {
+					pass.Reportf(arg.Pos(), "latency family %q must be registered as a HistogramVec keyed by op", v)
 				}
 			}
 			sites[c] = append(sites[c], site{pos: arg.Pos(), name: c.Name()})
@@ -103,6 +138,41 @@ func constOf(pass *analysis.Pass, e ast.Expr) *types.Const {
 		return c
 	}
 	return nil
+}
+
+// checkSpanKind reports a span-kind argument whose constant value does
+// not match the dotted-lowercase shape. Non-constant kinds (the trace
+// package's own plumbing passes parameters through) are left alone:
+// the rule is about the literal taxonomy, not the forwarding layers.
+func checkSpanKind(pass *analysis.Pass, arg ast.Expr) {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if v := constant.StringVal(tv.Value); !spanKindRx.MatchString(v) {
+		pass.Reportf(arg.Pos(), "span kind %q does not match ^[a-z]+(\\.[a-z_]+)+$", v)
+	}
+}
+
+// isTraceHandle reports whether t is (a pointer to) the trace
+// package's Tracer or Active type — the receivers of the span
+// constructors.
+func isTraceHandle(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if !analysis.PathMatches(named.Obj().Pkg().Path(), "internal/telemetry/trace") {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Tracer" || name == "Active"
 }
 
 // isTelemetryRegistry reports whether t is (a pointer to) the

@@ -1,16 +1,20 @@
 // Package telemetrytest is a goearvet test fixture exercising the
-// metric-naming checks over the real goear/internal/telemetry
-// registry.
+// metric-naming, latency-family and span-kind checks over the real
+// goear/internal/telemetry registry and trace packages.
 package telemetrytest
 
-import "goear/internal/telemetry"
+import (
+	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
+)
 
 // The clean pattern: one package-level constant, one registration.
 const (
 	metricGoodCounter = "goear_fixture_requests_total"
 	metricGoodGauge   = "goear_fixture_power_watts"
-	metricGoodHist    = "goear_fixture_latency_seconds"
+	metricGoodHist    = "goear_fixture_wait_seconds"
 	metricGoodVec     = "goear_fixture_batches_total"
+	metricGoodLatency = "goear_fixture_latency_seconds"
 )
 
 // Names violating the ^goear_[a-z0-9_]+$ contract.
@@ -25,8 +29,9 @@ var latencyBounds = []float64{0.1, 1, 10}
 func goodRegistrations(r *telemetry.Registry) {
 	r.Counter(metricGoodCounter, "requests served")
 	r.Gauge(metricGoodGauge, "instantaneous power draw")
-	r.Histogram(metricGoodHist, "request latency", latencyBounds)
+	r.Histogram(metricGoodHist, "queue wait", latencyBounds)
 	r.CounterVec(metricGoodVec, "batches by result", "result")
+	r.HistogramVec(metricGoodLatency, "request latency by op", latencyBounds, "op")
 }
 
 func literalName(r *telemetry.Registry) {
@@ -52,6 +57,53 @@ func badNames(r *telemetry.Registry) {
 	r.Counter(metricNoPrefix, "missing goear_ prefix")  // want `metric name "fixture_requests_total" does not match`
 	r.Gauge(metricUpperCase, "upper-case letters")      // want `metric name "goear_Fixture_Requests" does not match`
 	r.HistogramVec(metricHyphen, "hyphen", nil, "node") // want `metric name "goear_fixture-requests" does not match`
+}
+
+// A latency family registered as anything but a HistogramVec loses the
+// per-op label the SLO summary selects on.
+const metricFlatLatency = "goear_fixture_flat_latency_seconds"
+
+func flatLatency(r *telemetry.Registry) {
+	r.Histogram(metricFlatLatency, "latency without op label", latencyBounds) // want `latency family "goear_fixture_flat_latency_seconds" must be registered as a HistogramVec keyed by op`
+}
+
+// Span kinds must be dotted lowercase paths so the /traces kind filter
+// can match them on dot boundaries.
+const (
+	spanGoodKind   = "fixture.step"
+	spanBadCase    = "Fixture.Step"
+	spanBadSingle  = "fixture"
+	spanBadHyphens = "fixture.sub-step"
+)
+
+func spanKinds(tr *trace.Tracer, now float64) {
+	root := tr.Root(spanGoodKind, now)
+	kid := root.Child("fixture.sub_step", now)
+	kid.End(now)
+	named := tr.RootNamed("b1", spanGoodKind, now)
+	named.End(now)
+	rem := tr.Remote(trace.Context{}, spanBadCase, now) // want `span kind "Fixture.Step" does not match`
+	rem.End(now)
+	bad := tr.Root(spanBadSingle, now) // want `span kind "fixture" does not match`
+	bad.Child(spanBadHyphens, now)     // want `span kind "fixture.sub-step" does not match`
+	bad.End(now)
+	root.End(now)
+}
+
+// dynamicKind forwards a caller-supplied kind; non-constant kinds are
+// out of the rule's scope.
+func dynamicKind(tr *trace.Tracer, kind string, now float64) {
+	tr.Root(kind, now).End(now)
+}
+
+// notATracer has the same method names as Tracer; calls through it
+// must not be flagged.
+type notATracer struct{}
+
+func (notATracer) Root(kind string, now float64) {}
+
+func unrelatedTracer(n notATracer) {
+	n.Root("Whatever Kind", 0)
 }
 
 const metricTwice = "goear_fixture_twice_total"

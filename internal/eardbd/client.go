@@ -12,6 +12,7 @@ import (
 	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
 	"goear/internal/wire"
 )
 
@@ -74,6 +75,23 @@ type ClientConfig struct {
 	// replay events. Falls back to the process-global telemetry set; nil
 	// when that is disabled too, making every instrument a no-op.
 	Telemetry *telemetry.Set
+	// Trace, when set, records a span tree per batch into the buffer.
+	// Each batch's trace is keyed by its batch ID (trace.RootNamed), so
+	// the tree a batch renders is independent of which worker or shard
+	// carried it, and a journaled batch's replay rejoins the trace its
+	// spill started. Span timestamps come from Clock; nil disables
+	// tracing at zero cost.
+	Trace *trace.Buffer
+	// RTTNow, when set, measures client-observed batch round trips
+	// (write to ack) in seconds, feeding the
+	// goear_eardbd_client_latency_seconds histogram and OnBatchRTT. It
+	// is separate from Clock so wall-clock RTT measurement never
+	// perturbs the deterministic logical timeline.
+	RTTNow func() float64
+	// OnBatchRTT, when set alongside RTTNow, receives each acked
+	// batch's observed round trip. Called under the client lock; keep
+	// it cheap (the load generator appends to a slice).
+	OnBatchRTT func(seconds float64)
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -134,8 +152,9 @@ type ClientStats struct {
 // Client ships job records to an EARDBD server. It is safe for
 // concurrent use; all time and randomness are injected.
 type Client struct {
-	cfg ClientConfig
-	tel clientTel
+	cfg    ClientConfig
+	tel    clientTel
+	tracer *trace.Tracer
 
 	mu        sync.Mutex
 	conn      net.Conn
@@ -157,7 +176,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if ts == nil {
 		ts = telemetry.Default()
 	}
-	c := &Client{cfg: cfg, tel: newClientTel(ts), lastFlush: cfg.Clock.Now()}
+	c := &Client{
+		cfg:       cfg,
+		tel:       newClientTel(ts),
+		tracer:    trace.New(cfg.Node, cfg.Trace),
+		lastFlush: cfg.Clock.Now(),
+	}
 	if cfg.Journal != nil {
 		// Resume the batch sequence past anything a previous process
 		// spilled: reusing an ID would make the server's seen-window drop
@@ -343,28 +367,41 @@ func (c *Client) flushLocked() error {
 		Records: c.queue,
 		Acct:    c.acctQueue,
 	}
-	err := c.sendBatchLocked(b)
+	// The batch trace is rooted on the batch ID, so whatever worker or
+	// shard handles it — or a later replay after a spill — renders the
+	// same tree.
+	sp := c.tracer.RootNamed(b.ID, spanClientBatch, c.cfg.Clock.Now())
+	sp.Attr("node", c.cfg.Node)
+	err := c.sendBatchLocked(b, sp)
 	switch {
 	case err == nil:
+		sp.Attr("result", "acked")
 		c.queue, c.acctQueue = nil, nil
 	case errors.Is(err, ErrUnreachable):
+		sp.Attr("result", "unreachable")
 		if c.cfg.Journal != nil {
 			if serr := c.journalBatchLocked(b); serr != nil {
+				sp.End(c.cfg.Clock.Now())
 				return serr
 			}
+			sp.Attr("result", "spilled")
 			c.queue, c.acctQueue = nil, nil
 		}
 	default:
 		var rej *RejectedError
 		if errors.As(err, &rej) {
 			// Permanent: drop the poison batch.
+			sp.Attr("result", "rejected")
 			c.stats.BatchesRejected++
 			c.stats.RecordsDropped += c.pendingLocked()
 			c.tel.rejected.Inc()
 			c.tel.dropped.Add(uint64(c.pendingLocked()))
 			c.queue, c.acctQueue = nil, nil
+		} else {
+			sp.Attr("result", "error")
 		}
 	}
+	sp.End(c.cfg.Clock.Now())
 	return err
 }
 
@@ -375,21 +412,27 @@ func (c *Client) replayLocked() error {
 		return nil
 	}
 	for _, b := range c.cfg.Journal.Entries() {
-		err := c.sendBatchLocked(b)
+		// RootNamed keys the trace by batch ID, so the replay span lands
+		// in the same trace the batch's original flush and spill did.
+		rsp := c.tracer.RootNamed(b.ID, spanClientReplay, c.cfg.Clock.Now())
+		err := c.sendBatchLocked(b, rsp)
 		var rej *RejectedError
 		switch {
 		case err == nil:
+			rsp.Attr("result", "acked").End(c.cfg.Clock.Now())
 			c.stats.BatchesReplayed++
 			c.tel.replayed.Inc()
 			c.tel.event(c.cfg.Clock.Now(), "eardbd.replay", c.cfg.Node, b.ID, len(b.Records)+len(b.Acct))
 		case errors.As(err, &rej):
 			// The daemon will never take this batch; keeping it would
 			// wedge the journal forever.
+			rsp.Attr("result", "rejected").End(c.cfg.Clock.Now())
 			c.stats.BatchesRejected++
 			c.stats.RecordsDropped += len(b.Records) + len(b.Acct)
 			c.tel.rejected.Inc()
 			c.tel.dropped.Add(uint64(len(b.Records) + len(b.Acct)))
 		default:
+			rsp.Attr("result", "unreachable").End(c.cfg.Clock.Now())
 			return err
 		}
 		if err := c.cfg.Journal.Remove(b.ID); err != nil {
@@ -402,7 +445,10 @@ func (c *Client) replayLocked() error {
 // sendBatchLocked delivers one batch with bounded, jittered
 // exponential backoff. It returns nil on ack, a *RejectedError on a
 // server error frame, or ErrUnreachable when attempts are exhausted.
-func (c *Client) sendBatchLocked(b wire.Batch) error {
+// Each send attempt is a client.send child of parent whose context
+// rides the wire frame, which is how the server's span tree connects
+// to this client's; backoff sleeps render as client.backoff children.
+func (c *Client) sendBatchLocked(b wire.Batch, parent *trace.Active) error {
 	f, err := wire.EncodeBatch(b)
 	if err != nil {
 		return err
@@ -413,7 +459,9 @@ func (c *Client) sendBatchLocked(b wire.Batch) error {
 			c.tel.retries.Inc()
 			d := c.backoff(attempt)
 			c.tel.backoff.Observe(d)
+			bsp := parent.Child(spanClientBackoff, c.cfg.Clock.Now())
 			c.cfg.Clock.Sleep(d)
+			bsp.End(c.cfg.Clock.Now())
 		}
 		if c.conn == nil {
 			conn, err := c.cfg.Dial()
@@ -424,12 +472,20 @@ func (c *Client) sendBatchLocked(b wire.Batch) error {
 			c.tel.redials.Inc()
 			c.conn = conn
 		}
+		ssp := parent.Child(spanClientSend, c.cfg.Clock.Now())
+		f.Trace = ssp.Context()
+		var rt0 float64
+		if c.cfg.RTTNow != nil {
+			rt0 = c.cfg.RTTNow()
+		}
 		if err := wire.WriteFrame(c.conn, f, c.cfg.MaxFramePayload); err != nil {
+			ssp.Attr("result", "io_error").End(c.cfg.Clock.Now())
 			c.closeConnLocked()
 			continue
 		}
 		resp, err := wire.ReadFrame(c.conn, c.cfg.MaxFramePayload)
 		if err != nil {
+			ssp.Attr("result", "io_error").End(c.cfg.Clock.Now())
 			c.closeConnLocked()
 			continue
 		}
@@ -437,8 +493,17 @@ func (c *Client) sendBatchLocked(b wire.Batch) error {
 		case wire.TypeAck:
 			ack, err := resp.AsAck()
 			if err != nil || ack.BatchID != b.ID {
+				ssp.Attr("result", "bad_ack").End(c.cfg.Clock.Now())
 				c.closeConnLocked()
 				continue
+			}
+			ssp.Attr("result", "acked").End(c.cfg.Clock.Now())
+			if c.cfg.RTTNow != nil {
+				rtt := c.cfg.RTTNow() - rt0
+				c.tel.latSend.Observe(rtt)
+				if c.cfg.OnBatchRTT != nil {
+					c.cfg.OnBatchRTT(rtt)
+				}
 			}
 			c.stats.BatchesSent++
 			c.stats.RecordsSent += len(b.Records) + len(b.Acct)
@@ -448,11 +513,14 @@ func (c *Client) sendBatchLocked(b wire.Batch) error {
 		case wire.TypeError:
 			ef, err := resp.AsError()
 			if err != nil {
+				ssp.Attr("result", "io_error").End(c.cfg.Clock.Now())
 				c.closeConnLocked()
 				continue
 			}
+			ssp.Attr("result", "rejected").End(c.cfg.Clock.Now())
 			return &RejectedError{Msg: ef.Message}
 		default:
+			ssp.Attr("result", "bad_frame").End(c.cfg.Clock.Now())
 			c.closeConnLocked()
 		}
 	}
@@ -493,11 +561,16 @@ func (c *Client) spillQueueLocked() error {
 	return nil
 }
 
-// journalBatchLocked persists one batch to the journal.
+// journalBatchLocked persists one batch to the journal. The spill is
+// recorded as its own span in the batch's ID-keyed trace, so a
+// spill-then-replay batch reads as one trace: flush, spill, replay.
 func (c *Client) journalBatchLocked(b wire.Batch) error {
 	if err := c.cfg.Journal.Append(b); err != nil {
 		return err
 	}
+	now := c.cfg.Clock.Now()
+	c.tracer.RootNamed(b.ID, spanClientSpill, now).
+		Attr("records", strconv.Itoa(len(b.Records)+len(b.Acct))).End(now)
 	c.stats.BatchesSpilled++
 	c.stats.RecordsSpilled += len(b.Records) + len(b.Acct)
 	c.tel.spilled.Inc()

@@ -3,6 +3,7 @@ package fed
 import (
 	"goear/internal/accounting"
 	"goear/internal/eard"
+	"goear/internal/telemetry/trace"
 	"goear/internal/wire"
 )
 
@@ -18,9 +19,9 @@ import (
 // byte-identity contract — it only changes how often the fold runs.
 
 // shardGenerations polls every shard's ingest generation counter.
-func (r *Root) shardGenerations() ([]uint64, error) {
+func (r *Root) shardGenerations(parent *trace.Active) ([]uint64, error) {
 	gens := make([]uint64, len(r.cfg.Shards))
-	err := r.fanOut(wire.Query{Kind: wire.QueryGeneration}, func(i int, res wire.Result) error {
+	err := r.fanOut(parent, wire.Query{Kind: wire.QueryGeneration}, func(i int, res wire.Result) error {
 		var g wire.Generation
 		if err := res.Decode(&g); err != nil {
 			return err
@@ -51,9 +52,11 @@ func equalGens(a, b []uint64) bool {
 // moved, rebuilding it otherwise. Published views are immutable:
 // invalidation swaps in freshly built state, so concurrent readers of
 // an old view stay consistent.
-func (r *Root) mergedState() (*eard.DB, *accounting.Store, error) {
-	gens, err := r.shardGenerations()
+func (r *Root) mergedState(parent *trace.Active) (*eard.DB, *accounting.Store, error) {
+	msp := parent.Child(spanFedMerge, r.nowSec())
+	gens, err := r.shardGenerations(msp)
 	if err != nil {
+		msp.Attr("cache", "error").End(r.nowSec())
 		return nil, nil, err
 	}
 	r.cacheMu.Lock()
@@ -61,15 +64,18 @@ func (r *Root) mergedState() (*eard.DB, *accounting.Store, error) {
 		db, acct := r.cacheDB, r.cacheAcct
 		r.cacheMu.Unlock()
 		r.countCache(true)
+		msp.Attr("cache", "hit").End(r.nowSec())
 		return db, acct, nil
 	}
 	r.cacheMu.Unlock()
 	r.countCache(false)
+	msp.Attr("cache", "miss")
+	defer func() { msp.End(r.nowSec()) }()
 
 	// Rebuild outside the cache lock: concurrent misses duplicate work
 	// but never block a hit, and the last finisher wins the cache slot.
 	db := eard.NewDB()
-	err = r.fanOut(wire.Query{Kind: wire.QueryRecords}, func(_ int, res wire.Result) error {
+	err = r.fanOut(msp, wire.Query{Kind: wire.QueryRecords}, func(_ int, res wire.Result) error {
 		var recs []eard.JobRecord
 		if err := res.Decode(&recs); err != nil {
 			return err
@@ -88,7 +94,7 @@ func (r *Root) mergedState() (*eard.DB, *accounting.Store, error) {
 	// goear_accounting_* families on a federation root cover the
 	// serving tier the same way they cover a single daemon.
 	acct := accounting.NewStore(r.ts)
-	err = r.fanOut(wire.Query{Kind: wire.QueryAcctRecords}, func(_ int, res wire.Result) error {
+	err = r.fanOut(msp, wire.Query{Kind: wire.QueryAcctRecords}, func(_ int, res wire.Result) error {
 		var recs []accounting.Record
 		if err := res.Decode(&recs); err != nil {
 			return err
@@ -137,7 +143,11 @@ func (r *Root) countCache(hit bool) {
 // answers to wire.QueryGeneration so a cache can stack above a root
 // exactly as above a daemon.
 func (r *Root) Generation() (uint64, error) {
-	gens, err := r.shardGenerations()
+	return r.generation(nil)
+}
+
+func (r *Root) generation(parent *trace.Active) (uint64, error) {
+	gens, err := r.shardGenerations(parent)
 	if err != nil {
 		return 0, err
 	}
@@ -154,7 +164,11 @@ func (r *Root) Generation() (uint64, error) {
 // merged store's canonical order has no memory of which shard a
 // record came from.
 func (r *Root) AcctQuery(q accounting.Query) (accounting.Page, error) {
-	_, acct, err := r.mergedState()
+	return r.acctQuery(nil, q)
+}
+
+func (r *Root) acctQuery(parent *trace.Active, q accounting.Query) (accounting.Page, error) {
+	_, acct, err := r.mergedState(parent)
 	if err != nil {
 		return accounting.Page{}, err
 	}
@@ -163,7 +177,11 @@ func (r *Root) AcctQuery(q accounting.Query) (accounting.Page, error) {
 
 // AcctRecords dumps the merged accounting records in canonical order.
 func (r *Root) AcctRecords() ([]accounting.Record, error) {
-	_, acct, err := r.mergedState()
+	return r.acctRecords(nil)
+}
+
+func (r *Root) acctRecords(parent *trace.Active) ([]accounting.Record, error) {
+	_, acct, err := r.mergedState(parent)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,7 @@ import (
 	"goear/internal/eardbd"
 	"goear/internal/par"
 	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
 	"goear/internal/wire"
 )
 
@@ -53,6 +54,18 @@ type Config struct {
 	// goear_eardbd_fed_* families in that set; falls back to the
 	// process-global set, and to no-ops when that is disabled too.
 	Telemetry *telemetry.Set
+	// Trace, when set, records a span tree per served query: a
+	// fed.query root continuing the incoming frame's context, one
+	// fed.fanout child per shard (created in configured shard order, so
+	// the tree is identical whatever order the concurrent fan-out
+	// finishes in), and a fed.merge child annotated with the snapshot
+	// cache outcome. Nil disables tracing at zero cost.
+	Trace *trace.Buffer
+	// Now, when set, stamps span times and feeds the
+	// goear_eardbd_fed_latency_seconds histograms. Nil leaves spans
+	// untimed and observes no latencies; the span tree itself stays
+	// fully deterministic.
+	Now func() float64
 }
 
 // Stats counts root activity since construction.
@@ -69,12 +82,14 @@ type Stats struct {
 // (see cache.go): a query costs one cheap generation poll per shard
 // until ingest actually moves, instead of a full record dump.
 type Root struct {
-	cfg Config
-	ts  *telemetry.Set
-	tel rootTel
+	cfg    Config
+	ts     *telemetry.Set
+	tel    rootTel
+	tracer *trace.Tracer
 
 	mu    sync.Mutex
 	stats Stats
+	reach map[string]bool // last fan-out outcome per shard
 
 	cacheMu   sync.Mutex
 	cacheOK   bool
@@ -117,11 +132,56 @@ func NewRoot(cfg Config) (*Root, error) {
 		cfg:       cfg,
 		ts:        ts,
 		tel:       newRootTel(ts),
+		tracer:    trace.New("fedroot", cfg.Trace),
+		reach:     map[string]bool{},
 		listeners: map[net.Listener]struct{}{},
 		conns:     map[net.Conn]struct{}{},
 	}
 	root.tel.shards.Set(float64(len(cfg.Shards)))
 	return root, nil
+}
+
+// nowSec reads the injected latency clock, 0 when none is configured.
+func (r *Root) nowSec() float64 {
+	if r.cfg.Now == nil {
+		return 0
+	}
+	return r.cfg.Now()
+}
+
+// observe records one latency sample when a clock is configured.
+func (r *Root) observe(h *telemetry.Histogram, startSec float64) {
+	if r.cfg.Now != nil {
+		h.Observe(r.cfg.Now() - startSec)
+	}
+}
+
+// ShardsReachable reports how many shards answered their most recent
+// fan-out query, out of the configured total. Shards not yet queried
+// count as unreachable: a root that has never completed a fan-out is
+// not ready.
+func (r *Root) ShardsReachable() (ok, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.cfg.Shards {
+		if r.reach[s.Name] {
+			ok++
+		}
+	}
+	return ok, len(r.cfg.Shards)
+}
+
+// HealthCheck returns the root's readiness check for a telemetry
+// Health set: OK when every shard answered its last fan-out.
+func (r *Root) HealthCheck() telemetry.CheckFunc {
+	return func() telemetry.Check {
+		ok, total := r.ShardsReachable()
+		return telemetry.Check{
+			Name:   "shards",
+			OK:     ok == total,
+			Detail: fmt.Sprintf("%d/%d shards reachable", ok, total),
+		}
+	}
 }
 
 // Shards returns the member names in fan-out order.
@@ -141,28 +201,42 @@ func (r *Root) Stats() Stats {
 }
 
 // queryShard runs one wire query against one shard over a fresh
-// connection. Fan-out connections are per-query: the root's load is
-// snapshot-rate (the eargm control period, admin queries), so
-// simplicity and isolation beat connection reuse here.
-func (r *Root) queryShard(s Shard, q wire.Query) (wire.Result, error) {
+// connection, stamping tc on the query frame so the shard's
+// server.query span joins the caller's trace. Fan-out connections are
+// per-query: the root's load is snapshot-rate (the eargm control
+// period, admin queries), so simplicity and isolation beat connection
+// reuse here.
+func (r *Root) queryShard(s Shard, q wire.Query, tc trace.Context) (wire.Result, error) {
+	t0 := r.nowSec()
 	r.mu.Lock()
 	r.stats.Fanouts++
 	r.mu.Unlock()
 	conn, err := s.Dial()
 	if err == nil {
 		var res wire.Result
-		res, err = eardbd.Query(conn, q, r.cfg.MaxFramePayload)
+		res, err = eardbd.QueryCtx(conn, q, r.cfg.MaxFramePayload, tc)
 		_ = conn.Close()
 		if err == nil {
-			r.tel.fanout(s.Name, true)
+			r.countReach(s.Name, true)
+			r.observe(r.tel.latFanout, t0)
 			return res, nil
 		}
 	}
 	r.mu.Lock()
 	r.stats.FanoutErrors++
 	r.mu.Unlock()
-	r.tel.fanout(s.Name, false)
+	r.countReach(s.Name, false)
+	r.observe(r.tel.latFanout, t0)
 	return wire.Result{}, fmt.Errorf("fed: shard %s: %w", s.Name, err)
+}
+
+// countReach folds one fan-out outcome into the telemetry counters
+// and the reachability view the readiness probe reports.
+func (r *Root) countReach(shard string, ok bool) {
+	r.mu.Lock()
+	r.reach[shard] = ok
+	r.mu.Unlock()
+	r.tel.fanout(shard, ok)
 }
 
 // fanOutConcurrency bounds concurrent shard queries per fan-out. A
@@ -179,17 +253,30 @@ const fanOutConcurrency = 8
 // output stays byte-identical to a sequential fan-out, and decode
 // callbacks never race. On error the lowest-indexed failure wins,
 // matching what the sequential loop would have reported.
-func (r *Root) fanOut(q wire.Query, decode func(i int, res wire.Result) error) error {
+//
+// When parent is live, each shard gets a fed.fanout child span. The
+// children are all created here, in configured shard order, before
+// any goroutine runs — span IDs come from a per-parent child counter,
+// so allocation order (not completion order) is what must be
+// deterministic for the trace to be byte-identical across runs.
+func (r *Root) fanOut(parent *trace.Active, q wire.Query, decode func(i int, res wire.Result) error) error {
 	results := make([]wire.Result, len(r.cfg.Shards))
+	kids := make([]*trace.Active, len(r.cfg.Shards))
+	for i, s := range r.cfg.Shards {
+		kids[i] = parent.Child(spanFedFanout, r.nowSec()).Attr("shard", s.Name)
+	}
 	err := par.ForEach(fanOutConcurrency, len(r.cfg.Shards), func(i int) error {
 		s := r.cfg.Shards[i]
-		res, err := r.queryShard(s, q)
+		res, err := r.queryShard(s, q, kids[i].Context())
 		if err != nil {
+			kids[i].Attr("result", "error").End(r.nowSec())
 			return err
 		}
 		if res.Kind != q.Kind {
+			kids[i].Attr("result", "error").End(r.nowSec())
 			return fmt.Errorf("fed: shard %s answered kind %q to %q", s.Name, res.Kind, q.Kind)
 		}
+		kids[i].Attr("result", "ok").End(r.nowSec())
 		results[i] = res
 		return nil
 	})
@@ -210,8 +297,12 @@ func (r *Root) fanOut(q wire.Query, decode func(i int, res wire.Result) error) e
 // two shards (mid-rebalance traffic) keeps the value from the later
 // shard in fan-out order.
 func (r *Root) MergedNodePowers() ([]wire.NodePower, error) {
+	return r.mergedNodePowers(nil)
+}
+
+func (r *Root) mergedNodePowers(parent *trace.Active) ([]wire.NodePower, error) {
 	merged := map[string]float64{}
-	err := r.fanOut(wire.Query{Kind: wire.QueryNodePowers}, func(_ int, res wire.Result) error {
+	err := r.fanOut(parent, wire.Query{Kind: wire.QueryNodePowers}, func(_ int, res wire.Result) error {
 		var nps []wire.NodePower
 		if err := res.Decode(&nps); err != nil {
 			return err
@@ -256,8 +347,8 @@ func (r *Root) NodePowers() []float64 {
 // mergedDB returns the record-merge view, served from the
 // generation-keyed cache (cache.go): identical arithmetic to a fresh
 // fold, rebuilt only when a shard's ingest generation moves.
-func (r *Root) mergedDB() (*eard.DB, error) {
-	db, _, err := r.mergedState()
+func (r *Root) mergedDB(parent *trace.Active) (*eard.DB, error) {
+	db, _, err := r.mergedState(parent)
 	return db, err
 }
 
@@ -265,11 +356,15 @@ func (r *Root) mergedDB() (*eard.DB, error) {
 // the same arithmetic order a single daemon uses: power summed over
 // name-sorted nodes, energy summed over (job, step)-sorted summaries.
 func (r *Root) Aggregate() (eardbd.Aggregate, error) {
-	nps, err := r.MergedNodePowers()
+	return r.aggregate(nil)
+}
+
+func (r *Root) aggregate(parent *trace.Active) (eardbd.Aggregate, error) {
+	nps, err := r.mergedNodePowers(parent)
 	if err != nil {
 		return eardbd.Aggregate{}, err
 	}
-	db, err := r.mergedDB()
+	db, err := r.mergedDB(parent)
 	if err != nil {
 		return eardbd.Aggregate{}, err
 	}
@@ -290,7 +385,11 @@ func (r *Root) Aggregate() (eardbd.Aggregate, error) {
 // JobSummaries summarizes every (job, step) pair across the
 // federation, in the same sorted order a single daemon reports.
 func (r *Root) JobSummaries() ([]eard.JobSummary, error) {
-	db, err := r.mergedDB()
+	return r.jobSummaries(nil)
+}
+
+func (r *Root) jobSummaries(parent *trace.Active) ([]eard.JobSummary, error) {
+	db, err := r.mergedDB(parent)
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +407,11 @@ func (r *Root) JobSummaries() ([]eard.JobSummary, error) {
 
 // Summarize aggregates one job step across the federation.
 func (r *Root) Summarize(job, step string) (eard.JobSummary, error) {
-	db, err := r.mergedDB()
+	return r.summarize(nil, job, step)
+}
+
+func (r *Root) summarize(parent *trace.Active, job, step string) (eard.JobSummary, error) {
+	db, err := r.mergedDB(parent)
 	if err != nil {
 		return eard.JobSummary{}, err
 	}
@@ -318,8 +421,12 @@ func (r *Root) Summarize(job, step string) (eard.JobSummary, error) {
 // MergedStats sums the activity counters of every shard: the cluster's
 // ingest totals. The root's own Stats stay separate.
 func (r *Root) MergedStats() (eardbd.Stats, error) {
+	return r.mergedStats(nil)
+}
+
+func (r *Root) mergedStats(parent *trace.Active) (eardbd.Stats, error) {
 	var total eardbd.Stats
-	err := r.fanOut(wire.Query{Kind: wire.QueryStats}, func(_ int, res wire.Result) error {
+	err := r.fanOut(parent, wire.Query{Kind: wire.QueryStats}, func(_ int, res wire.Result) error {
 		var st eardbd.Stats
 		if err := res.Decode(&st); err != nil {
 			return err
@@ -365,7 +472,7 @@ type IslandSource struct {
 
 // NodePowers implements eargm.PowerSource for one island.
 func (s *IslandSource) NodePowers() []float64 {
-	res, err := s.root.queryShard(s.shard, wire.Query{Kind: wire.QueryNodePowers})
+	res, err := s.root.queryShard(s.shard, wire.Query{Kind: wire.QueryNodePowers}, trace.Context{})
 	if err != nil {
 		return nil
 	}

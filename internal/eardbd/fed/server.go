@@ -113,13 +113,24 @@ func (r *Root) ServeConn(conn net.Conn) {
 
 // handleQuery fans one snapshot query out to the shards and replies
 // with the merged view. It reports whether the connection should stay
-// open.
+// open. When tracing is on, the serving renders as a fed.query span —
+// continuing the caller's frame context — whose fed.fanout children
+// carry their contexts onto the shard query frames, so one served
+// query reads as a connected tree from the caller through the root to
+// every shard daemon.
 func (r *Root) handleQuery(conn net.Conn, f wire.Frame) bool {
+	t0 := r.nowSec()
 	q, err := f.AsQuery()
 	if err != nil {
 		r.reply(conn, mustError(err.Error()))
 		return false
 	}
+	sp := r.tracer.Remote(f.Trace, spanFedQuery, t0)
+	sp.Attr("kind", string(q.Kind))
+	defer func() {
+		sp.End(r.nowSec())
+		r.observe(r.tel.latQuery, t0)
+	}()
 	r.mu.Lock()
 	r.stats.Queries++
 	r.mu.Unlock()
@@ -128,43 +139,43 @@ func (r *Root) handleQuery(conn net.Conn, f wire.Frame) bool {
 	switch q.Kind {
 	case wire.QueryStats:
 		var sum any
-		sum, err = r.MergedStats()
+		sum, err = r.mergedStats(sp)
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, sum)
 		}
 	case wire.QueryAggregate:
 		var agg any
-		agg, err = r.Aggregate()
+		agg, err = r.aggregate(sp)
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, agg)
 		}
 	case wire.QueryJobs:
 		var sums any
-		sums, err = r.JobSummaries()
+		sums, err = r.jobSummaries(sp)
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, sums)
 		}
 	case wire.QueryNodePowers:
 		var nps any
-		nps, err = r.MergedNodePowers()
+		nps, err = r.mergedNodePowers(sp)
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, nps)
 		}
 	case wire.QueryRecords:
-		db, qerr := r.mergedDB()
+		db, qerr := r.mergedDB(sp)
 		err = qerr
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, db.Records())
 		}
 	case wire.QuerySummary:
 		var sum any
-		sum, err = r.Summarize(q.Job, q.Step)
+		sum, err = r.summarize(sp, q.Job, q.Step)
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, sum)
 		}
 	case wire.QueryAcctJobs:
 		var page any
-		page, err = r.AcctQuery(accounting.Query{
+		page, err = r.acctQuery(sp, accounting.Query{
 			User:   q.User,
 			Job:    q.Job,
 			Since:  q.Since,
@@ -176,13 +187,13 @@ func (r *Root) handleQuery(conn net.Conn, f wire.Frame) bool {
 		}
 	case wire.QueryAcctRecords:
 		var recs any
-		recs, err = r.AcctRecords()
+		recs, err = r.acctRecords(sp)
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, recs)
 		}
 	case wire.QueryGeneration:
 		var gen uint64
-		gen, err = r.Generation()
+		gen, err = r.generation(sp)
 		if err == nil {
 			resp, err = wire.EncodeResult(q.Kind, wire.Generation{Gen: gen})
 		}

@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"goear/internal/eardbd"
 	"goear/internal/telemetry"
 )
 
@@ -12,6 +13,14 @@ const (
 	metricFedShards    = "goear_eardbd_fed_shards"
 	metricFedCache     = "goear_eardbd_fed_cache_total"
 	metricFedCacheHitR = "goear_eardbd_fed_cache_hit_ratio"
+	metricFedLatency   = "goear_eardbd_fed_latency_seconds"
+)
+
+// Span kinds (dotted-lowercase per the goearvet telemetry analyzer).
+const (
+	spanFedQuery  = "fed.query"
+	spanFedFanout = "fed.fanout"
+	spanFedMerge  = "fed.merge"
 )
 
 // rootTel is a root's pre-resolved instrument bundle; nil fields
@@ -25,11 +34,15 @@ type rootTel struct {
 	cacheHit  *telemetry.Counter // result="hit"
 	cacheMiss *telemetry.Counter // result="miss"
 	cacheHitR *telemetry.Gauge
+	latQuery  *telemetry.Histogram // op="query": serving a merged query
+	latFanout *telemetry.Histogram // op="fanout": one shard round trip
 }
 
 func newRootTel(s *telemetry.Set) rootTel {
 	r := s.Reg()
 	cache := r.CounterVec(metricFedCache, "merged-snapshot lookups by cache outcome", "result")
+	latency := r.HistogramVec(metricFedLatency, "federation root latency by wire op, seconds",
+		eardbd.LatencyBounds(), "op")
 	return rootTel{
 		queries:   r.Counter(metricFedQueries, "snapshot queries served by the federation root"),
 		fanoutVec: r.CounterVec(metricFedFanout, "shard fan-out queries by shard and result", "shard", "result"),
@@ -37,7 +50,19 @@ func newRootTel(s *telemetry.Set) rootTel {
 		cacheHit:  cache.With("hit"),
 		cacheMiss: cache.With("miss"),
 		cacheHitR: r.Gauge(metricFedCacheHitR, "fraction of merged-snapshot lookups served from cache"),
+		latQuery:  latency.With("query"),
+		latFanout: latency.With("fanout"),
 	}
+}
+
+// LatencySLO registers the root's per-op latency histograms with an
+// SLO summary; targets are p99 seconds, zero means "report only".
+func (r *Root) LatencySLO(slo *telemetry.SLO, queryTargetP99, fanoutTargetP99 float64) {
+	if r == nil {
+		return
+	}
+	slo.Register("query", r.tel.latQuery, queryTargetP99)
+	slo.Register("fanout", r.tel.latFanout, fanoutTargetP99)
 }
 
 // fanout counts one shard query outcome.

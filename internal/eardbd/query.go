@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 
+	"goear/internal/telemetry/trace"
 	"goear/internal/wire"
 )
 
@@ -11,10 +12,19 @@ import (
 // admin-tool side of the protocol (earctl dbd). A server error frame
 // comes back as an error; maxPayload <= 0 uses the wire default.
 func Query(conn net.Conn, q wire.Query, maxPayload int) (wire.Result, error) {
+	return QueryCtx(conn, q, maxPayload, trace.Context{})
+}
+
+// QueryCtx is Query carrying a trace context on the query frame, so a
+// caller's span tree (the federation root's fan-out) continues into
+// the server's server.query span. A zero context sends an untraced
+// frame, byte-identical to Query's.
+func QueryCtx(conn net.Conn, q wire.Query, maxPayload int, tc trace.Context) (wire.Result, error) {
 	qf, err := wire.EncodeQuery(q)
 	if err != nil {
 		return wire.Result{}, err
 	}
+	qf.Trace = tc
 	if err := wire.WriteFrame(conn, qf, maxPayload); err != nil {
 		return wire.Result{}, err
 	}

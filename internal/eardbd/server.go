@@ -25,6 +25,7 @@ import (
 	"goear/internal/accounting"
 	"goear/internal/eard"
 	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
 	"goear/internal/wire"
 )
 
@@ -51,6 +52,17 @@ type Config struct {
 	// event recorder. Falls back to the process-global telemetry set;
 	// nil when that is disabled too, making every instrument a no-op.
 	Telemetry *telemetry.Set
+	// Trace, when set, records a span tree per handled batch and query
+	// into the buffer, continuing any trace context carried on the
+	// incoming frame. Nil disables tracing at zero cost.
+	Trace *trace.Buffer
+	// Now, when set, stamps span start/end times and feeds the
+	// per-operation latency histograms (goear_eardbd_latency_seconds).
+	// It is a plain seconds reading — daemons inject a monotonic wall
+	// clock, deterministic tests inject a logical one or leave it nil
+	// (spans then carry no timestamps and no latencies are observed;
+	// the span tree itself stays fully deterministic).
+	Now func() float64
 }
 
 func (c Config) withDefaults() Config {
@@ -97,17 +109,19 @@ type Aggregate struct {
 // Server is the aggregation daemon. One Server may serve several
 // listeners (a TCP port and a unix socket, say) concurrently.
 type Server struct {
-	cfg  Config
-	db   *eard.DB
-	acct *accounting.Store
-	tel  serverTel
+	cfg    Config
+	db     *eard.DB
+	acct   *accounting.Store
+	tel    serverTel
+	tracer *trace.Tracer
 
 	mu        sync.Mutex
 	seen      map[string]bool
 	seenQueue []string // FIFO eviction order for seen
 	nodeW     map[string]float64
 	stats     Stats
-	gen       uint64 // bumped whenever any record lands; see Generation
+	gen       uint64  // bumped whenever any record lands; see Generation
+	lastMut   float64 // cfg.Now at the last generation bump (0 with no clock)
 
 	connMu    sync.Mutex
 	closed    bool
@@ -133,10 +147,27 @@ func NewServer(db *eard.DB, cfg Config) *Server {
 		db:        db,
 		acct:      acct,
 		tel:       newServerTel(ts),
+		tracer:    trace.New("eardbd", cfg.Trace),
 		seen:      map[string]bool{},
 		nodeW:     map[string]float64{},
 		listeners: map[net.Listener]struct{}{},
 		conns:     map[net.Conn]struct{}{},
+	}
+}
+
+// nowSec reads the injected latency clock, 0 when none is configured.
+func (s *Server) nowSec() float64 {
+	if s.cfg.Now == nil {
+		return 0
+	}
+	return s.cfg.Now()
+}
+
+// observe records one latency sample when a clock is configured;
+// without one there is nothing meaningful to observe.
+func (s *Server) observe(h *telemetry.Histogram, startSec float64) {
+	if s.cfg.Now != nil {
+		h.Observe(s.cfg.Now() - startSec)
 	}
 }
 
@@ -155,6 +186,29 @@ func (s *Server) Generation() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gen
+}
+
+// HealthCheck returns a readiness check on store freshness: degraded
+// when records have landed before but none for more than staleAfterSec
+// seconds — the signature of a daemon whose reporters all went away.
+// With no clock configured, no staleness bound, or no records yet, the
+// check only reports the generation. Mount it on a telemetry.Health.
+func (s *Server) HealthCheck(staleAfterSec float64) telemetry.CheckFunc {
+	return func() telemetry.Check {
+		s.mu.Lock()
+		gen, last := s.gen, s.lastMut
+		s.mu.Unlock()
+		c := telemetry.Check{Name: "store", OK: true, Detail: fmt.Sprintf("generation %d", gen)}
+		if gen == 0 || staleAfterSec <= 0 || s.cfg.Now == nil {
+			return c
+		}
+		age := s.cfg.Now() - last
+		if age > staleAfterSec {
+			c.OK = false
+			c.Detail = fmt.Sprintf("generation %d stale: %.0fs since last record (limit %.0fs)", gen, age, staleAfterSec)
+		}
+		return c
+	}
 }
 
 // Serve accepts connections on l until the listener fails or the
@@ -269,48 +323,69 @@ func (s *Server) ServeConn(conn net.Conn) {
 }
 
 // handleBatch validates, deduplicates and stores one batch, then
-// acks. It reports whether the connection should stay open.
+// acks. It reports whether the connection should stay open. When
+// tracing is on, the handling renders as a server.batch span —
+// continuing the context the client stamped on the frame — with
+// validate/dedup/store/acct children, so one delivered batch reads as
+// a connected tree from the client's flush to the rows landing here.
 func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
+	t0 := s.nowSec()
 	b, err := f.AsBatch()
 	if err != nil {
 		s.countProtocolError()
 		s.reply(conn, mustError(err.Error()))
 		return false
 	}
-	if b.ID == "" {
-		s.rejectBatch(conn, "batch has no id")
+	sp := s.tracer.Remote(f.Trace, spanServerBatch, t0)
+	sp.Attr("batch", b.ID)
+	done := func(result string) {
+		sp.Attr("result", result).End(s.nowSec())
+		s.observe(s.tel.latBatch, t0)
+	}
+
+	vsp := sp.Child(spanServerValidate, s.nowSec())
+	reject := func(msg string) bool {
+		vsp.End(s.nowSec())
+		done("rejected")
+		s.rejectBatch(conn, msg)
 		return true
 	}
+	if b.ID == "" {
+		return reject("batch has no id")
+	}
 	if n := len(b.Records) + len(b.Acct); n > s.cfg.MaxBatchRecords {
-		s.rejectBatch(conn, fmt.Sprintf("batch %s holds %d records, limit %d", b.ID, n, s.cfg.MaxBatchRecords))
-		return true
+		return reject(fmt.Sprintf("batch %s holds %d records, limit %d", b.ID, n, s.cfg.MaxBatchRecords))
 	}
 	for _, r := range b.Records {
 		if err := r.Validate(); err != nil {
-			s.rejectBatch(conn, fmt.Sprintf("batch %s: %v", b.ID, err))
-			return true
+			return reject(fmt.Sprintf("batch %s: %v", b.ID, err))
 		}
 	}
 	for _, r := range b.Acct {
 		if err := r.Validate(); err != nil {
-			s.rejectBatch(conn, fmt.Sprintf("batch %s: %v", b.ID, err))
-			return true
+			return reject(fmt.Sprintf("batch %s: %v", b.ID, err))
 		}
 	}
+	vsp.End(s.nowSec())
 
+	dsp := sp.Child(spanServerDedup, s.nowSec())
 	s.mu.Lock()
 	if s.seen[b.ID] {
 		n := len(b.Records) + len(b.Acct)
 		s.stats.Batches++
 		s.stats.DuplicateBatches++
 		s.mu.Unlock()
+		dsp.End(s.nowSec())
+		done("duplicate")
 		s.tel.batchDup.Inc()
 		s.tel.recDup.Add(uint64(n))
 		s.tel.batchEvent(b.Node, b.ID, "duplicate", &int3{b: n})
 		return s.reply(conn, mustAck(wire.Ack{BatchID: b.ID, Duplicate: n}))
 	}
 	s.mu.Unlock()
+	dsp.End(s.nowSec())
 
+	ssp := sp.Child(spanServerStore, s.nowSec())
 	ack := wire.Ack{BatchID: b.ID}
 	for _, r := range b.Records {
 		prev, exists := s.db.Get(r.JobID, r.StepID, r.Node)
@@ -328,18 +403,24 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 		if err := s.db.Insert(r); err != nil {
 			// Validate passed above; an insert failure here is a bug, not
 			// client traffic. Surface it and drop the connection.
+			ssp.End(s.nowSec())
+			done("error")
 			s.countProtocolError()
 			s.reply(conn, mustError(fmt.Sprintf("store batch %s: %v", b.ID, err)))
 			return false
 		}
 	}
+	ssp.End(s.nowSec())
 	// Accounting records ride the same batch and fold into the same
 	// ack so the client's exactly-once machinery sees one outcome per
 	// batch; the store classifies them itself.
+	asp := sp.Child(spanServerAcct, s.nowSec())
 	var acctA, acctD, acctR int
 	for _, r := range b.Acct {
 		class, err := s.acct.Insert(r)
 		if err != nil {
+			asp.End(s.nowSec())
+			done("error")
 			s.countProtocolError()
 			s.reply(conn, mustError(fmt.Sprintf("store batch %s: %v", b.ID, err)))
 			return false
@@ -353,6 +434,7 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 			acctA++
 		}
 	}
+	asp.End(s.nowSec())
 	ack.Accepted += acctA
 	ack.Duplicate += acctD
 	ack.Replaced += acctR
@@ -367,6 +449,7 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 	s.stats.AcctReplaced += acctR
 	if ack.Accepted+ack.Replaced > 0 {
 		s.gen++
+		s.lastMut = s.nowSec()
 	}
 	for _, r := range b.Records {
 		s.nodeW[r.Node] = r.AvgPower
@@ -378,6 +461,7 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 		s.seenQueue = s.seenQueue[1:]
 	}
 	s.mu.Unlock()
+	done("accepted")
 	s.tel.batchOK.Inc()
 	s.tel.recAccept.Add(uint64(ack.Accepted))
 	s.tel.recDup.Add(uint64(ack.Duplicate))
@@ -389,12 +473,19 @@ func (s *Server) handleBatch(conn net.Conn, f wire.Frame) bool {
 // handleQuery answers one snapshot query. It reports whether the
 // connection should stay open.
 func (s *Server) handleQuery(conn net.Conn, f wire.Frame) bool {
+	t0 := s.nowSec()
 	q, err := f.AsQuery()
 	if err != nil {
 		s.countProtocolError()
 		s.reply(conn, mustError(err.Error()))
 		return false
 	}
+	sp := s.tracer.Remote(f.Trace, spanServerQuery, t0)
+	sp.Attr("kind", string(q.Kind))
+	defer func() {
+		sp.End(s.nowSec())
+		s.observe(s.tel.latQuery, t0)
+	}()
 	s.mu.Lock()
 	s.stats.Queries++
 	s.mu.Unlock()

@@ -24,12 +24,51 @@ const (
 	metricDBDClientRejected    = "goear_eardbd_client_batches_rejected_total"
 	metricDBDClientDropped     = "goear_eardbd_client_records_dropped_total"
 	metricDBDClientBackoff     = "goear_eardbd_client_backoff_seconds"
+
+	metricDBDLatency       = "goear_eardbd_latency_seconds"
+	metricDBDClientLatency = "goear_eardbd_client_latency_seconds"
+)
+
+// Span kinds (package-level constants per the goearvet telemetry
+// analyzer's dotted-lowercase naming rule). The server side continues
+// the trace context arriving on the wire frame; the client side roots
+// each batch trace by batch ID, so a replayed batch rejoins the trace
+// its spill started.
+const (
+	spanServerBatch    = "server.batch"
+	spanServerValidate = "server.validate"
+	spanServerDedup    = "server.dedup"
+	spanServerStore    = "server.store"
+	spanServerAcct     = "server.acct"
+	spanServerQuery    = "server.query"
+
+	spanClientBatch   = "client.batch"
+	spanClientSend    = "client.send"
+	spanClientBackoff = "client.backoff"
+	spanClientSpill   = "client.spill"
+	spanClientReplay  = "client.replay"
 )
 
 // backoffBounds buckets client backoff sleeps in seconds, spanning the
 // default schedule (base 0.5 s doubling to the 30 s cap, jittered down
 // to half).
 var backoffBounds = []float64{0.1, 0.25, 0.5, 1, 2, 5, 10, 30}
+
+// latencyBounds buckets per-operation latencies in seconds, from
+// in-process round trips (tens of microseconds) up to WAN-and-retry
+// territory.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// LatencyBounds exposes the shared per-operation latency buckets so
+// the federation and load-generation tiers register histogram
+// families with identical shape (the registry requires it when they
+// share one Set).
+func LatencyBounds() []float64 {
+	return append([]float64(nil), latencyBounds...)
+}
 
 // serverTel is a server's pre-resolved instrument bundle. Handles are
 // resolved once in NewServer; with telemetry absent every field is nil
@@ -46,6 +85,8 @@ type serverTel struct {
 	recReplace *telemetry.Counter // result="replaced"
 	protoErrs  *telemetry.Counter
 	queries    *telemetry.Counter
+	latBatch   *telemetry.Histogram // op="batch"
+	latQuery   *telemetry.Histogram // op="query"
 	rec        *telemetry.Recorder
 }
 
@@ -53,6 +94,7 @@ func newServerTel(s *telemetry.Set) serverTel {
 	r := s.Reg()
 	batches := r.CounterVec(metricDBDBatches, "batches handled by outcome", "result")
 	records := r.CounterVec(metricDBDRecords, "records folded into the database by outcome", "result")
+	latency := r.HistogramVec(metricDBDLatency, "server handling latency by wire op, seconds", latencyBounds, "op")
 	return serverTel{
 		conns:      r.Counter(metricDBDConnections, "connections accepted"),
 		batchOK:    batches.With("accepted"),
@@ -63,8 +105,22 @@ func newServerTel(s *telemetry.Set) serverTel {
 		recReplace: records.With("replaced"),
 		protoErrs:  r.Counter(metricDBDProtoErrors, "malformed frames and internal store failures"),
 		queries:    r.Counter(metricDBDQueries, "snapshot queries answered"),
+		latBatch:   latency.With("batch"),
+		latQuery:   latency.With("query"),
 		rec:        s.Rec(),
 	}
+}
+
+// LatencySLO registers the server's per-op latency histograms with an
+// SLO summary so daemons can report objective conformance. Targets
+// are p99 seconds; zero means "report, no objective". A nil server or
+// SLO is a no-op.
+func (s *Server) LatencySLO(slo *telemetry.SLO, batchTargetP99, queryTargetP99 float64) {
+	if s == nil {
+		return
+	}
+	slo.Register("batch", s.tel.latBatch, batchTargetP99)
+	slo.Register("query", s.tel.latQuery, queryTargetP99)
 }
 
 // batchEvent records one batch outcome in the event log. The daemon
@@ -109,11 +165,13 @@ type clientTel struct {
 	rejected *telemetry.Counter
 	dropped  *telemetry.Counter
 	backoff  *telemetry.Histogram
+	latSend  *telemetry.Histogram // op="send": client-observed batch RTT
 	rec      *telemetry.Recorder
 }
 
 func newClientTel(s *telemetry.Set) clientTel {
 	r := s.Reg()
+	latency := r.HistogramVec(metricDBDClientLatency, "client-observed latency by wire op, seconds", latencyBounds, "op")
 	return clientTel{
 		flushes:  r.Counter(metricDBDClientFlushes, "flush cycles started"),
 		sent:     r.Counter(metricDBDClientBatchesSent, "batches acked by the daemon"),
@@ -125,6 +183,7 @@ func newClientTel(s *telemetry.Set) clientTel {
 		rejected: r.Counter(metricDBDClientRejected, "batches dropped on permanent server rejection"),
 		dropped:  r.Counter(metricDBDClientDropped, "records lost to queue overflow or rejection"),
 		backoff:  r.Histogram(metricDBDClientBackoff, "backoff sleep before a retry, seconds", backoffBounds),
+		latSend:  latency.With("send"),
 		rec:      s.Rec(),
 	}
 }

@@ -2,6 +2,9 @@ package eargm
 
 import (
 	"fmt"
+	"strconv"
+
+	"goear/internal/telemetry/trace"
 )
 
 // This file implements the cascaded form of the global manager. EAR's
@@ -41,6 +44,12 @@ type CascadeConfig struct {
 	// applies as in a flat deployment. BudgetW is owned by the cascade
 	// and overwritten every interval.
 	Island Config
+	// Trace, when set, records one eargm.interval span per Update with
+	// an eargm.island child per island (created in island order),
+	// annotated with the apportioned budget, observed draw and
+	// resulting cap. Span times are the logical interval time, so
+	// cascade traces replay byte-identically.
+	Trace *trace.Buffer
 }
 
 // Defaults fills unset fields.
@@ -69,6 +78,7 @@ type Cascade struct {
 	mgrs    []*Manager
 	budgets []float64
 	tel     cascadeTel
+	tracer  *trace.Tracer
 }
 
 // NewCascade builds a cascade over the given islands. Island names
@@ -99,6 +109,7 @@ func NewCascade(cfg CascadeConfig, islands []Island) (*Cascade, error) {
 		mgrs:    make([]*Manager, len(islands)),
 		budgets: make([]float64, len(islands)),
 		tel:     newCascadeTel(cfg.Island.Telemetry, islands),
+		tracer:  trace.New("eargm", cfg.Trace),
 	}
 	for i := range islands {
 		mcfg := cfg.Island
@@ -145,6 +156,8 @@ func (c *Cascade) apportion(draws []float64) []float64 {
 // then ratchet each island manager against its own nodes under its
 // new budget. It returns the per-island caps in island order.
 func (c *Cascade) Update(now float64) ([]int, error) {
+	sp := c.tracer.Root(spanGMInterval, now)
+	defer func() { sp.End(now) }()
 	powers := make([][]float64, len(c.islands))
 	draws := make([]float64, len(c.islands))
 	for i, isl := range c.islands {
@@ -156,15 +169,23 @@ func (c *Cascade) Update(now float64) ([]int, error) {
 	c.budgets = c.apportion(draws)
 	caps := make([]int, len(c.islands))
 	for i, m := range c.mgrs {
+		isp := sp.Child(spanGMIsland, now)
+		isp.Attr("island", c.islands[i].Name)
 		if err := m.SetBudget(c.budgets[i]); err != nil {
+			isp.End(now)
 			return nil, fmt.Errorf("eargm: island %s: %w", c.islands[i].Name, err)
 		}
 		cap, err := m.Update(now, powers[i])
 		if err != nil {
+			isp.End(now)
 			return nil, fmt.Errorf("eargm: island %s: %w", c.islands[i].Name, err)
 		}
 		caps[i] = cap
 		c.tel.island(i, c.budgets[i], draws[i], cap)
+		isp.Attr("budget_w", strconv.FormatFloat(c.budgets[i], 'g', -1, 64)).
+			Attr("draw_w", strconv.FormatFloat(draws[i], 'g', -1, 64)).
+			Attr("cap", strconv.Itoa(cap)).
+			End(now)
 	}
 	c.tel.updates.Inc()
 	return caps, nil
@@ -177,15 +198,15 @@ func (c *Cascade) Drive(start float64, steps int) ([][]int, error) {
 	if steps < 0 {
 		return nil, fmt.Errorf("eargm: negative step count %d", steps)
 	}
-	trace := make([][]int, 0, steps)
+	rows := make([][]int, 0, steps)
 	for i := 0; i < steps; i++ {
 		caps, err := c.Update(start + float64(i)*c.Interval())
 		if err != nil {
-			return trace, err
+			return rows, err
 		}
-		trace = append(trace, caps)
+		rows = append(rows, caps)
 	}
-	return trace, nil
+	return rows, nil
 }
 
 // Budgets returns the most recent per-island budget split, in island

@@ -19,6 +19,12 @@ const (
 	metricGMIslandCap      = "goear_eargm_island_cap_pstate"
 )
 
+// Span kinds (dotted-lowercase per the goearvet telemetry analyzer).
+const (
+	spanGMInterval = "eargm.interval"
+	spanGMIsland   = "eargm.island"
+)
+
 // gmTel is a manager's pre-resolved instrument bundle; nil fields
 // (telemetry absent) make every use a nil-receiver no-op.
 type gmTel struct {

@@ -18,6 +18,7 @@ import (
 	"goear/internal/eardbd/fed"
 	"goear/internal/eardbd/ring"
 	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
 	"goear/internal/wire"
 )
 
@@ -211,9 +212,10 @@ func (c *Cluster) Restart(name string) error {
 
 // Root builds a federation root over the cluster's shards, sharing
 // the shards' frame-payload cap so large record dumps survive the
-// merge queries.
+// merge queries, and the shards' trace buffer so a root query and the
+// shard queries it fans out render as one connected tree.
 func (c *Cluster) Root() (*fed.Root, error) {
-	cfg := fed.Config{MaxFramePayload: c.cfg.MaxFramePayload, Telemetry: c.cfg.Telemetry}
+	cfg := fed.Config{MaxFramePayload: c.cfg.MaxFramePayload, Telemetry: c.cfg.Telemetry, Trace: c.cfg.Trace}
 	for _, name := range c.names {
 		name := name
 		cfg.Shards = append(cfg.Shards, fed.Shard{
@@ -257,6 +259,9 @@ type Endpoints struct {
 	// fan-out and snapshot-cache families an earload -metrics dump
 	// includes.
 	Telemetry *telemetry.Set
+	// Trace, when set, records roots built by Root() into the shared
+	// span buffer.
+	Trace *trace.Buffer
 }
 
 // NewEndpoints builds a ring over the given shard addresses.
@@ -290,7 +295,7 @@ func (e *Endpoints) DialFor(node string) func() (net.Conn, error) {
 // Root builds a federation root over the external shards, named by
 // address.
 func (e *Endpoints) Root() (*fed.Root, error) {
-	cfg := fed.Config{MaxFramePayload: e.MaxFramePayload, Telemetry: e.Telemetry}
+	cfg := fed.Config{MaxFramePayload: e.MaxFramePayload, Telemetry: e.Telemetry, Trace: e.Trace}
 	for _, addr := range e.addrs {
 		addr := addr
 		cfg.Shards = append(cfg.Shards, fed.Shard{

@@ -13,6 +13,7 @@ import (
 	"goear/internal/eardbd"
 	"goear/internal/par"
 	"goear/internal/telemetry"
+	"goear/internal/telemetry/trace"
 )
 
 // Config parameterises a load run.
@@ -52,6 +53,15 @@ type Config struct {
 	// set; nil when that is disabled too, making every instrument a
 	// no-op.
 	Telemetry *telemetry.Set
+	// Trace, when set, is handed to every node client so each batch
+	// renders its span tree into the shared buffer. Batch traces are
+	// keyed by batch ID, so the buffer's canonical export is identical
+	// whatever Workers is set to.
+	Trace *trace.Buffer
+	// RTTNow, when set, enables client-observed batch RTT measurement:
+	// every acked batch's write-to-ack round trip is collected, and
+	// RTTPercentiles summarises them. Leave nil in deterministic runs.
+	RTTNow func() float64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +124,38 @@ type Generator struct {
 	enqueued int
 	errs     int
 	ran      int
+	rtts     []float64 // client-observed batch RTTs, seconds
+}
+
+// recordRTT collects one acked batch's observed round trip.
+func (g *Generator) recordRTT(sec float64) {
+	g.mu.Lock()
+	g.rtts = append(g.rtts, sec)
+	g.mu.Unlock()
+}
+
+// RTTPercentiles summarises the collected batch round trips with
+// nearest-rank percentiles: count, p50, p95, p99 in seconds. All
+// zeros when RTT measurement was off or nothing was acked.
+func (g *Generator) RTTPercentiles() (n int, p50, p95, p99 float64) {
+	g.mu.Lock()
+	samples := append([]float64(nil), g.rtts...)
+	g.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(samples)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	return len(samples), rank(0.50), rank(0.95), rank(0.99)
 }
 
 // New builds a generator.
@@ -256,6 +298,9 @@ func (g *Generator) runNode(i int, dial func(node string) func() (net.Conn, erro
 		MaxAttempts:  g.cfg.MaxAttempts,
 		Journal:      journal,
 		Telemetry:    g.cfg.Telemetry,
+		Trace:        g.cfg.Trace,
+		RTTNow:       g.cfg.RTTNow,
+		OnBatchRTT:   g.recordRTT,
 	})
 	if err != nil {
 		return err
@@ -345,6 +390,9 @@ func (g *Generator) Drain(dial func(node string) func() (net.Conn, error), maxPa
 				MaxAttempts:  g.cfg.MaxAttempts,
 				Journal:      journal,
 				Telemetry:    g.cfg.Telemetry,
+				Trace:        g.cfg.Trace,
+				RTTNow:       g.cfg.RTTNow,
+				OnBatchRTT:   g.recordRTT,
 			})
 			if err != nil {
 				return g.Backlog(), err

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -79,6 +80,16 @@ func (r *Recorder) Events() []Event {
 		out[i] = r.buf[(r.start+i)%len(r.buf)]
 	}
 	return out
+}
+
+// EventsSince returns the buffered events with sequence numbers
+// greater than seq, oldest first: the resume form scrapers page with
+// (/events?since=). Events older than seq that the ring already
+// overwrote are simply absent; Dropped tells the scraper how many.
+func (r *Recorder) EventsSince(seq uint64) []Event {
+	all := r.Events()
+	i := sort.Search(len(all), func(i int) bool { return all[i].Seq > seq })
+	return all[i:]
 }
 
 // Len returns the number of buffered events.

@@ -1,19 +1,30 @@
 package telemetry
 
 import (
+	"bufio"
+	"encoding/json"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
+// DroppedEventsHeader carries the recorder's overwritten-event count
+// on every /events response, so scrapers can detect ring overruns
+// (previously silent) and tell a quiet source from a wrapped ring.
+const DroppedEventsHeader = "X-Goear-Dropped-Events"
+
 // Handler serves the set over HTTP:
 //
-//	GET /metrics  Prometheus text exposition of the registry
-//	GET /events   buffered events as JSON lines, oldest first
-//	GET /         a plain-text index
+//	GET /metrics             Prometheus text exposition of the registry
+//	GET /events[?since=seq]  buffered events as JSON lines, oldest
+//	                         first; since=seq resumes after that
+//	                         sequence number
+//	GET /                    a plain-text index
 //
-// A nil Set serves empty bodies, so callers can wire the handler
-// unconditionally. Write errors mean the client went away mid-response
-// and are ignored.
+// Every /events response carries the recorder's dropped-event count
+// in the X-Goear-Dropped-Events header. A nil Set serves empty
+// bodies, so callers can wire the handler unconditionally. Write
+// errors mean the client went away mid-response and are ignored.
 func (s *Set) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -21,10 +32,26 @@ func (s *Set) Handler() http.Handler {
 		_ = s.Reg().WritePrometheus(w)
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		if rec := s.Rec(); rec != nil {
-			_ = rec.WriteJSONLines(w)
+		rec := s.Rec()
+		events := rec.Events()
+		if v := req.URL.Query().Get("since"); v != "" {
+			seq, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since parameter: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			events = rec.EventsSince(seq)
 		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set(DroppedEventsHeader, strconv.FormatUint(rec.Dropped(), 10))
+		bw := bufio.NewWriter(w)
+		enc := json.NewEncoder(bw)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		_ = bw.Flush()
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
@@ -35,7 +62,7 @@ func (s *Set) Handler() http.Handler {
 		var sb strings.Builder
 		sb.WriteString("goear telemetry\n\n")
 		sb.WriteString("/metrics  Prometheus text format\n")
-		sb.WriteString("/events   JSON-lines event buffer\n")
+		sb.WriteString("/events   JSON-lines event buffer (?since=seq resumes)\n")
 		_, _ = w.Write([]byte(sb.String()))
 	})
 	return mux

@@ -121,3 +121,36 @@ func (h *Histogram) Sum() float64 {
 	}
 	return math.Float64frombits(h.sumBits.Load())
 }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation within the covering bucket — the
+// same estimate Prometheus' histogram_quantile computes. The +Inf
+// bucket has no upper edge, so observations landing there estimate as
+// the largest finite bound. Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if float64(cum+n) >= rank && n > 0 {
+			if i >= len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite edge.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// HexID is a 64-bit identifier that serialises as 16 lowercase hex
+// digits, so trace and span IDs are grep-able in JSON-lines output
+// and CI logs.
+type HexID uint64
+
+// String formats the ID as 16 hex digits.
+func (h HexID) String() string { return fmt.Sprintf("%016x", uint64(h)) }
+
+// MarshalJSON encodes the ID as a hex string.
+func (h HexID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + h.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a hex string ID.
+func (h *HexID) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParseID(s)
+	if err != nil {
+		return err
+	}
+	*h = HexID(v)
+	return nil
+}
+
+// ParseID parses a hex trace or span ID as printed by HexID.
+func ParseID(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad id %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Attrs is a span's attribute list. It marshals as a JSON object with
+// sorted keys — the same bytes a map would produce — but is backed by
+// a small slice so attaching attributes on the hot path costs one
+// allocation, not a map.
+type Attrs []Attr
+
+// Get returns the value for key, or "" when absent.
+func (a Attrs) Get(key string) string {
+	for _, at := range a {
+		if at.Key == key {
+			return at.Value
+		}
+	}
+	return ""
+}
+
+// MarshalJSON encodes the attributes as an object with sorted keys.
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	kv := append(Attrs(nil), a...)
+	sort.Slice(kv, func(i, j int) bool { return kv[i].Key < kv[j].Key })
+	var b []byte
+	b = append(b, '{')
+	for i, at := range kv {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		k, err := json.Marshal(at.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(at.Value)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, k...)
+		b = append(b, ':')
+		b = append(b, v...)
+	}
+	return append(b, '}'), nil
+}
+
+// UnmarshalJSON decodes an attribute object into a key-sorted list.
+func (a *Attrs) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	out := make(Attrs, 0, len(m))
+	for k, v := range m {
+		out = append(out, Attr{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	*a = out
+	return nil
+}
+
+// Span is one recorded (ended) span. The JSON shape is stable: the
+// attribute list marshals with sorted keys, so a span always
+// serialises to the same bytes. Seq is buffer-local arrival order and
+// is zeroed in canonical exports, which are sorted by content instead.
+type Span struct {
+	Seq    uint64  `json:"seq,omitempty"`
+	Trace  HexID   `json:"trace"`
+	ID     HexID   `json:"span"`
+	Parent HexID   `json:"parent,omitempty"`
+	Kind   string  `json:"kind"`
+	Src    string  `json:"src,omitempty"`
+	Start  float64 `json:"start,omitempty"`
+	End    float64 `json:"end,omitempty"`
+	Attrs  Attrs   `json:"attrs,omitempty"`
+}
+
+// DefaultBufferCap is the ring capacity NewBuffer(0) uses.
+const DefaultBufferCap = 4096
+
+// Buffer is a bounded ring of ended spans, the trace-side sibling of
+// telemetry.Recorder: recording overwrites the oldest span when full
+// and counts it as dropped. All methods are nil-safe.
+type Buffer struct {
+	mu      sync.Mutex
+	buf     []Span
+	start   int // index of the oldest span
+	n       int // live spans
+	seq     uint64
+	dropped uint64
+}
+
+// NewBuffer returns a buffer holding up to capacity spans
+// (DefaultBufferCap when capacity <= 0).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultBufferCap
+	}
+	return &Buffer{buf: make([]Span, capacity)}
+}
+
+// record appends one ended span, assigning its sequence number.
+func (b *Buffer) record(s Span) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	s.Seq = b.seq
+	if b.n < len(b.buf) {
+		b.buf[(b.start+b.n)%len(b.buf)] = s
+		b.n++
+	} else {
+		b.buf[b.start] = s
+		b.start = (b.start + 1) % len(b.buf)
+		b.dropped++
+	}
+	b.mu.Unlock()
+}
+
+// Spans returns a copy of the buffered spans in arrival order.
+func (b *Buffer) Spans() []Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Span, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.buf[(b.start+i)%len(b.buf)]
+	}
+	return out
+}
+
+// SpansSince returns the buffered spans with sequence numbers greater
+// than seq, in arrival order: the resume form scrapers page with.
+func (b *Buffer) SpansSince(seq uint64) []Span {
+	all := b.Spans()
+	i := sort.Search(len(all), func(i int) bool { return all[i].Seq > seq })
+	return all[i:]
+}
+
+// Len returns the number of buffered spans.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Dropped returns how many spans were overwritten.
+func (b *Buffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Canonical returns the buffered spans in their canonical order —
+// sorted by (trace, parent, kind, span) with arrival sequence zeroed.
+// Arrival order depends on goroutine scheduling; canonical order
+// depends only on span content, so two runs that produce the same
+// spans render byte-identical canonical exports whatever the worker
+// count or shard placement.
+func (b *Buffer) Canonical() []Span {
+	spans := b.Spans()
+	for i := range spans {
+		spans[i].Seq = 0
+	}
+	SortCanonical(spans)
+	return spans
+}
+
+// SortCanonical sorts spans in place by (trace, parent, kind, span).
+func SortCanonical(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if a.Parent != b.Parent {
+			return a.Parent < b.Parent
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.ID < b.ID
+	})
+}
+
+// WriteJSONLines writes spans as one JSON object per line.
+func WriteJSONLines(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -7,7 +7,16 @@ import (
 	"testing"
 
 	"goear/internal/eard"
+	"goear/internal/telemetry/trace"
 )
+
+// traceZeros is a full-length trace block with a valid version but a
+// zero trace ID — the non-canonical form the decoder must refuse.
+func traceZeros() []byte {
+	blk := make([]byte, traceBlockLen)
+	blk[0] = byte(traceBlockVersion)
+	return blk
+}
 
 // FuzzFrame hammers the decoder with arbitrary bytes and checks the
 // codec's two safety contracts: decoding never panics whatever the
@@ -32,6 +41,10 @@ func FuzzFrame(f *testing.F) {
 	if q, err := EncodeQuery(Query{Kind: QueryStats}); err == nil {
 		seeds = append(seeds, q)
 	}
+	// Traced variants exercise the optional context block.
+	traced := batch
+	traced.Trace = trace.Context{TraceID: 0x1122334455667788, SpanID: 0x99AABBCCDDEEFF00, Flags: 3}
+	seeds = append(seeds, traced)
 	for _, s := range seeds {
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, s, 0); err != nil {
@@ -40,13 +53,17 @@ func FuzzFrame(f *testing.F) {
 		f.Add(buf.Bytes())
 	}
 	// ... and with deliberately broken headers: bad magic, future
-	// version, unknown type, reserved flags, lying length prefixes.
+	// version, unknown type, reserved flags, lying length prefixes,
+	// malformed trace blocks.
 	f.Add(header(0xDEADBEEF, Version, 2, 0, 0))
 	f.Add(header(Magic, Version+3, 2, 0, 0))
 	f.Add(header(Magic, Version, 250, 0, 0))
 	f.Add(header(Magic, Version, 2, 0xFFFF, 0))
 	f.Add(header(Magic, Version, 2, 0, 0xFFFFFFFF))
 	f.Add(append(header(Magic, Version, 2, 0, 100), "short"...))
+	f.Add(header(Magic, Version, 2, uint16(FlagTrace), 0))                          // flag with no block
+	f.Add(append(header(Magic, Version, 2, uint16(FlagTrace), 0), 9, 0))            // future block version
+	f.Add(append(header(Magic, Version, 2, uint16(FlagTrace), 0), traceZeros()...)) // zero trace id
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data), 4096)
@@ -56,18 +73,23 @@ func FuzzFrame(f *testing.F) {
 			// conditions must be the io sentinels.
 			if errors.Is(err, ErrMagic) || errors.Is(err, ErrVersion) ||
 				errors.Is(err, ErrType) || errors.Is(err, ErrFlags) ||
-				errors.Is(err, ErrTooLarge) || errors.Is(err, io.EOF) ||
-				errors.Is(err, io.ErrUnexpectedEOF) {
+				errors.Is(err, ErrTooLarge) || errors.Is(err, ErrTrace) ||
+				errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return
 			}
 			t.Fatalf("unexpected error class: %v", err)
 		}
-		// Decoded frames re-encode to the exact consumed bytes.
+		// Decoded frames re-encode to the exact consumed bytes (header,
+		// optional trace block, payload).
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, fr, 4096); err != nil {
 			t.Fatalf("re-encode of decoded frame failed: %v", err)
 		}
-		if want := data[:headerLen+len(fr.Payload)]; !bytes.Equal(buf.Bytes(), want) {
+		consumed := headerLen + len(fr.Payload)
+		if fr.Trace.Valid() {
+			consumed += traceBlockLen
+		}
+		if want := data[:consumed]; !bytes.Equal(buf.Bytes(), want) {
 			t.Fatalf("re-encode differs:\n got %x\nwant %x", buf.Bytes(), want)
 		}
 		// Typed payload decoding must never panic either, whatever JSON

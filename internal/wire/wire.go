@@ -18,6 +18,19 @@
 // unknown types, oversized lengths and truncated payloads are errors,
 // never panics — the daemon must survive arbitrary bytes on its
 // listening socket.
+//
+// One flag bit is defined: FlagTrace marks that an 18-byte trace
+// context block sits between the header and the payload —
+//
+//	ctx version uint8   trace block version, currently 1
+//	ctx flags   uint8   trace flags, carried verbatim
+//	trace id    uint64  the request's trace identifier (non-zero)
+//	span id     uint64  the sender's span, parent of the receiver's
+//
+// so a batch or query can be followed across processes as one span
+// tree. Frames without the flag are byte-identical to protocol
+// version 1 before tracing existed; peers that never set the flag
+// interoperate unchanged.
 package wire
 
 import (
@@ -29,6 +42,7 @@ import (
 
 	"goear/internal/accounting"
 	"goear/internal/eard"
+	"goear/internal/telemetry/trace"
 )
 
 // Magic identifies a goear wire frame ("EARW").
@@ -41,6 +55,20 @@ const Version uint8 = 1
 
 // headerLen is the fixed frame header size in bytes.
 const headerLen = 12
+
+// FlagTrace marks a frame carrying a trace context block between the
+// header and the payload. All other flag bits stay reserved-must-be-
+// zero.
+const FlagTrace uint16 = 0x0001
+
+// traceBlockLen is the trace context block size in bytes.
+const traceBlockLen = 18
+
+// traceBlockVersion is the trace block layout this package speaks.
+// The block is versioned independently of the frame header so the
+// context can grow (baggage, sampling state) without a protocol
+// version bump that would sever untraced peers.
+const traceBlockVersion uint8 = 1
 
 // DefaultMaxPayload bounds a frame payload unless the caller chooses
 // its own limit. One megabyte comfortably holds the largest record
@@ -89,12 +117,15 @@ var (
 	ErrType     = errors.New("wire: unknown frame type")
 	ErrFlags    = errors.New("wire: reserved flags set")
 	ErrTooLarge = errors.New("wire: frame exceeds payload limit")
+	ErrTrace    = errors.New("wire: malformed trace context block")
 )
 
-// Frame is one decoded frame: a type and its raw JSON payload.
+// Frame is one decoded frame: a type, its raw JSON payload, and the
+// optional trace context it rode with (zero Context = untraced).
 type Frame struct {
 	Type    Type
 	Payload []byte
+	Trace   trace.Context
 }
 
 // WriteFrame encodes f to w. Writing a frame larger than maxPayload is
@@ -110,14 +141,28 @@ func WriteFrame(w io.Writer, f Frame, maxPayload int) error {
 	if len(f.Payload) > maxPayload {
 		return fmt.Errorf("%w: %d bytes > limit %d", ErrTooLarge, len(f.Payload), maxPayload)
 	}
+	var flags uint16
+	if f.Trace.Valid() {
+		flags |= FlagTrace
+	}
 	var hdr [headerLen]byte
 	binary.BigEndian.PutUint32(hdr[0:4], Magic)
 	hdr[4] = Version
 	hdr[5] = uint8(f.Type)
-	binary.BigEndian.PutUint16(hdr[6:8], 0)
+	binary.BigEndian.PutUint16(hdr[6:8], flags)
 	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(f.Payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if f.Trace.Valid() {
+		var blk [traceBlockLen]byte
+		blk[0] = traceBlockVersion
+		blk[1] = f.Trace.Flags
+		binary.BigEndian.PutUint64(blk[2:10], f.Trace.TraceID)
+		binary.BigEndian.PutUint64(blk[10:18], f.Trace.SpanID)
+		if _, err := w.Write(blk[:]); err != nil {
+			return fmt.Errorf("wire: write trace block: %w", err)
+		}
 	}
 	if len(f.Payload) > 0 {
 		if _, err := w.Write(f.Payload); err != nil {
@@ -152,12 +197,37 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 	if t == 0 || t >= typeEnd {
 		return Frame{}, fmt.Errorf("%w: %d", ErrType, hdr[5])
 	}
-	if flags := binary.BigEndian.Uint16(hdr[6:8]); flags != 0 {
+	flags := binary.BigEndian.Uint16(hdr[6:8])
+	if flags&^FlagTrace != 0 {
 		return Frame{}, fmt.Errorf("%w: 0x%04X", ErrFlags, flags)
 	}
 	n := binary.BigEndian.Uint32(hdr[8:12])
 	if int64(n) > int64(maxPayload) {
 		return Frame{}, fmt.Errorf("%w: %d bytes > limit %d", ErrTooLarge, n, maxPayload)
+	}
+	var tc trace.Context
+	if flags&FlagTrace != 0 {
+		var blk [traceBlockLen]byte
+		if _, err := io.ReadFull(r, blk[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, fmt.Errorf("wire: read trace block: %w", err)
+		}
+		if blk[0] != traceBlockVersion {
+			return Frame{}, fmt.Errorf("%w: version %d, this side %d", ErrTrace, blk[0], traceBlockVersion)
+		}
+		tc = trace.Context{
+			Flags:   blk[1],
+			TraceID: binary.BigEndian.Uint64(blk[2:10]),
+			SpanID:  binary.BigEndian.Uint64(blk[10:18]),
+		}
+		if !tc.Valid() {
+			// A zero trace ID means "untraced", which the flag
+			// contradicts; refusing it keeps the encoding canonical
+			// (every decoded frame re-encodes byte-identically).
+			return Frame{}, fmt.Errorf("%w: zero trace id", ErrTrace)
+		}
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -168,7 +238,7 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 		}
 		return Frame{}, fmt.Errorf("wire: read payload: %w", err)
 	}
-	return Frame{Type: t, Payload: payload}, nil
+	return Frame{Type: t, Payload: payload, Trace: tc}, nil
 }
 
 // Batch is the unit a client ships: records under a client-assigned

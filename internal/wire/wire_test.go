@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"goear/internal/eard"
+	"goear/internal/telemetry/trace"
 )
 
 func testRecords() []eard.JobRecord {
@@ -177,6 +178,78 @@ func TestWriteRejectsInvalidType(t *testing.T) {
 	}
 	if buf.Len() != 0 {
 		t.Error("rejected frame still wrote bytes")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	in, err := EncodeQuery(Query{Kind: QueryStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Trace = trace.Context{TraceID: 0xABCD, SpanID: 0x1234, Flags: 5}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, in, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != in.Trace {
+		t.Fatalf("trace context = %+v, want %+v", got.Trace, in.Trace)
+	}
+	if q, err := got.AsQuery(); err != nil || q.Kind != QueryStats {
+		t.Fatalf("payload after trace block: %+v, err %v", q, err)
+	}
+}
+
+func TestUntracedFramesUnchanged(t *testing.T) {
+	// A frame without a trace context must encode to the exact bytes
+	// the pre-trace protocol produced: flag bits zero, no block.
+	f, err := EncodeAck(Ack{BatchID: "n01/1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if flags := binary.BigEndian.Uint16(raw[6:8]); flags != 0 {
+		t.Fatalf("untraced frame carries flags 0x%04X", flags)
+	}
+	if len(raw) != headerLen+len(f.Payload) {
+		t.Fatalf("untraced frame length %d, want %d", len(raw), headerLen+len(f.Payload))
+	}
+}
+
+func TestTraceBlockRejections(t *testing.T) {
+	valid := func() []byte {
+		blk := make([]byte, traceBlockLen)
+		blk[0] = byte(traceBlockVersion)
+		binary.BigEndian.PutUint64(blk[2:10], 77)
+		binary.BigEndian.PutUint64(blk[10:18], 88)
+		return blk
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"missing block", header(Magic, Version, uint8(TypeAck), FlagTrace, 0), io.ErrUnexpectedEOF},
+		{"future block version", append(header(Magic, Version, uint8(TypeAck), FlagTrace, 0),
+			func() []byte { b := valid(); b[0] = 9; return b }()...), ErrTrace},
+		{"zero trace id", append(header(Magic, Version, uint8(TypeAck), FlagTrace, 0),
+			func() []byte { b := valid(); binary.BigEndian.PutUint64(b[2:10], 0); return b }()...), ErrTrace},
+		{"other flag bits", header(Magic, Version, uint8(TypeAck), FlagTrace|2, 0), ErrFlags},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(tc.raw), 0)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error = %v, want %v", err, tc.want)
+			}
+		})
 	}
 }
 
